@@ -1,0 +1,54 @@
+"""Ablation -- fMAC chunk width (the paper uses 2-bit chunks).
+
+Section V-B subdivides mantissas into 2-bit chunks.  This ablation sweeps the
+chunk width and reports, for each choice:
+
+* the number of passes needed for the (2,2,2) / (4,4,4) precision settings,
+* the modelled fMAC area (wider chunks need bigger multipliers), and
+* the resulting area x passes product -- the quantity that should be minimized
+  and that motivates the 2-bit choice for a system targeting m in {2, 4}.
+"""
+
+from bench_utils import print_banner, print_rows
+from repro.core.chunks import passes_required
+from repro.hardware.mac import fmac_design
+
+CHUNK_WIDTHS = (1, 2, 4)
+
+
+def test_ablation_chunk_width(benchmark):
+    def evaluate():
+        rows = []
+        for chunk_bits in CHUNK_WIDTHS:
+            design = fmac_design(chunk_bits=chunk_bits)
+            passes_low = passes_required(2, 2, chunk_bits)
+            passes_high = passes_required(4, 4, chunk_bits)
+            rows.append({
+                "chunk_bits": chunk_bits,
+                "area": design.area_units,
+                "passes_low": passes_low,
+                "passes_high": passes_high,
+                "area_x_passes_low": design.area_units * passes_low,
+                "area_x_passes_high": design.area_units * passes_high,
+            })
+        return rows
+
+    rows = benchmark(evaluate)
+
+    print_banner("Ablation: fMAC chunk width")
+    print_rows(
+        ["chunk bits", "fMAC area", "passes (2,2,2)", "passes (4,4,4)",
+         "area x passes @m=2", "area x passes @m=4"],
+        [[row["chunk_bits"], row["area"], row["passes_low"], row["passes_high"],
+          row["area_x_passes_low"], row["area_x_passes_high"]] for row in rows],
+    )
+
+    by_width = {row["chunk_bits"]: row for row in rows}
+    # 1-bit chunks need 4x the passes at m=2 for little area saving; 4-bit
+    # chunks waste multiplier area whenever the tensors sit at m=2.  The 2-bit
+    # choice minimizes the low-precision cost product.
+    assert by_width[2]["area_x_passes_low"] <= by_width[1]["area_x_passes_low"]
+    assert by_width[2]["area_x_passes_low"] <= by_width[4]["area_x_passes_low"]
+    # At m=4 the wider chunk is competitive -- the trade-off the paper accepts
+    # because most of training runs at m=2.
+    assert by_width[4]["passes_high"] < by_width[2]["passes_high"]

@@ -1,0 +1,46 @@
+"""Ablation -- BFP group size: accuracy cost vs hardware benefit.
+
+Figure 18 covers the accuracy side of the group-size choice; Section VI-C
+notes that smaller groups cost more because the shared exponent (and the FP
+accumulation it triggers) is amortized over fewer values.  This ablation puts
+both sides of the trade-off in one table: quantization SNR on gradient-like
+data and fMAC area per value, for g in {4, 8, 16, 32, 64}.
+"""
+
+import numpy as np
+
+from bench_utils import print_banner, print_rows
+from repro.analysis import quantization_snr
+from repro.hardware.mac import fmac_design
+
+GROUP_SIZES = (4, 8, 16, 32, 64)
+
+
+def test_ablation_group_size(benchmark):
+    rng = np.random.default_rng(1)
+    gradients = np.exp(rng.normal(-6, 2.5, size=(64, 256))) * rng.choice([-1, 1], size=(64, 256))
+
+    def evaluate():
+        rows = []
+        for group_size in GROUP_SIZES:
+            snr = quantization_snr(gradients, mantissa_bits=4, group_size=group_size,
+                                   exponent_bits=8)
+            design = fmac_design(group_size=group_size)
+            rows.append([group_size, snr, design.area_units / group_size])
+        return rows
+
+    rows = benchmark(evaluate)
+
+    print_banner("Ablation: BFP group size -- accuracy cost vs hardware benefit (m=4)")
+    print_rows(["group size", "quantization SNR (dB)", "fMAC area per value"], rows)
+
+    snrs = [row[1] for row in rows]
+    areas_per_value = [row[2] for row in rows]
+    # Accuracy side: SNR degrades monotonically as the group grows.
+    assert all(a >= b for a, b in zip(snrs, snrs[1:]))
+    # Hardware side: area per value shrinks monotonically as the group grows.
+    assert all(a >= b for a, b in zip(areas_per_value, areas_per_value[1:]))
+    # g=16 sits where both curves have flattened: within 3 dB of g=8 while
+    # saving >25% area per value -- the paper's operating point.
+    assert snrs[GROUP_SIZES.index(8)] - snrs[GROUP_SIZES.index(16)] < 3.0
+    assert areas_per_value[GROUP_SIZES.index(16)] < 0.75 * areas_per_value[GROUP_SIZES.index(8)]

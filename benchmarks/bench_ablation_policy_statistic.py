@@ -1,0 +1,70 @@
+"""Ablation -- the relative-improvement statistic r(X) of Algorithm 1.
+
+FAST decides between 2- and 4-bit mantissas by comparing r(X) (Equation 2)
+against the decaying threshold.  This ablation compares r(X) against two
+cheaper proxies -- a constant decision and the tensor's coefficient of
+variation -- by measuring how well each statistic predicts the *actual*
+quantization benefit of the 4-bit mantissa (the reduction in quantization
+error), over a population of weight-, activation- and gradient-like tensors.
+"""
+
+import numpy as np
+
+from bench_utils import print_banner, print_rows
+from repro.core import bfp_quantize, relative_improvement
+
+
+def tensor_population(rng, count=60):
+    """Tensors with a spread of dynamic ranges, like the ones seen in training."""
+    tensors = []
+    for index in range(count):
+        spread = rng.uniform(0.0, 3.0)
+        values = rng.standard_normal(256) * np.exp(rng.normal(0, spread, size=256)) * 0.1
+        tensors.append(values)
+    return tensors
+
+
+def true_benefit(values):
+    """Actual benefit of m=4 over m=2: the reduction in relative quantization error."""
+    low = bfp_quantize(values, mantissa_bits=2, group_size=16, exponent_bits=3)
+    high = bfp_quantize(values, mantissa_bits=4, group_size=16, exponent_bits=3)
+    scale = np.abs(values).mean() + 1e-12
+    return (np.abs(low - values).mean() - np.abs(high - values).mean()) / scale
+
+
+def test_ablation_policy_statistic(benchmark):
+    rng = np.random.default_rng(0)
+    tensors = tensor_population(rng)
+    benefits = np.array([true_benefit(values) for values in tensors])
+
+    def evaluate_statistics():
+        r_values = np.array([relative_improvement(values) for values in tensors])
+        coefficient_of_variation = np.array([np.abs(values).std() / (np.abs(values).mean() + 1e-12)
+                                             for values in tensors])
+        return r_values, coefficient_of_variation
+
+    r_values, cov_values = benchmark(evaluate_statistics)
+
+    correlation_r = float(np.corrcoef(r_values, benefits)[0, 1])
+    correlation_cov = float(np.corrcoef(cov_values, benefits)[0, 1])
+
+    # Decision quality: pick the top half of tensors to promote to 4 bits and
+    # measure how much of the total achievable benefit each statistic captures.
+    budget = len(tensors) // 2
+    oracle = np.sort(benefits)[::-1][:budget].sum()
+    captured_r = benefits[np.argsort(r_values)[::-1][:budget]].sum()
+    captured_cov = benefits[np.argsort(cov_values)[::-1][:budget]].sum()
+
+    print_banner("Ablation: precision-selection statistic")
+    print_rows(
+        ["statistic", "correlation with true benefit", "benefit captured at 50% promotion budget"],
+        [["r(X) (Equation 2)", correlation_r, captured_r / oracle],
+         ["coefficient of variation", correlation_cov, captured_cov / oracle],
+         ["oracle", 1.0, 1.0]],
+    )
+
+    # r(X) must be a good predictor of the actual benefit and at least as good
+    # as the cheaper proxy under the same promotion budget.
+    assert correlation_r > 0.6
+    assert captured_r >= captured_cov - 1e-9
+    assert captured_r / oracle > 0.8

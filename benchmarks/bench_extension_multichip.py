@@ -1,0 +1,49 @@
+"""Extension -- multi-chip scaling of FAST (the paper's stated future work).
+
+Section VIII notes that DNN training is increasingly distributed and leaves a
+multi-chip FAST deployment as future work.  This extension benchmark runs the
+first-order data-parallel scaling model: per-iteration time on 1-16 FAST
+chips for ResNet-18, with the weight gradients exchanged either as FP32 or in
+the chunked BFP storage format of Section V-D, showing that BFP also pays off
+as a communication format.
+"""
+
+from bench_utils import print_banner, print_rows
+from repro.hardware import gradient_traffic_bits, resnet18_workload, scaling_sweep
+
+CHIP_COUNTS = (1, 2, 4, 8, 16)
+
+
+def test_extension_multichip_scaling(benchmark):
+    workload = resnet18_workload()
+
+    def evaluate():
+        return {
+            "bfp": scaling_sweep(workload, CHIP_COUNTS, exchange_format="bfp"),
+            "fp32": scaling_sweep(workload, CHIP_COUNTS, exchange_format="fp32"),
+        }
+
+    sweeps = benchmark(evaluate)
+
+    print_banner("Extension: data-parallel multi-chip scaling of FAST (ResNet-18)")
+    rows = []
+    for count in CHIP_COUNTS:
+        bfp = sweeps["bfp"][count]
+        fp32 = sweeps["fp32"][count]
+        rows.append([count,
+                     bfp.total_seconds * 1e3, bfp.speedup, bfp.efficiency,
+                     bfp.communication_fraction * 100.0,
+                     fp32.speedup])
+    print_rows(["chips", "ms/iteration (BFP exchange)", "speedup (BFP)", "efficiency (BFP)",
+                "comm % (BFP)", "speedup (FP32 exchange)"], rows)
+
+    fp32_mb = gradient_traffic_bits(workload, "fp32") / 8e6
+    bfp_mb = gradient_traffic_bits(workload, "bfp") / 8e6
+    print(f"\nGradient all-reduce volume per iteration: {fp32_mb:.1f} MB in FP32 "
+          f"vs {bfp_mb:.1f} MB in chunked BFP (m=4).")
+
+    # The extension's claims: near-linear scaling at small chip counts, BFP
+    # exchange strictly better than FP32 exchange at every multi-chip point.
+    assert sweeps["bfp"][2].efficiency > 0.85
+    for count in CHIP_COUNTS[1:]:
+        assert sweeps["bfp"][count].speedup > sweeps["fp32"][count].speedup

@@ -1,0 +1,47 @@
+"""Figure 2 -- the number-format catalog.
+
+Reproduces the format zoo of Figure 2 as a table of bit layouts and measures
+the quantization error each format introduces on weight-like and
+gradient-like tensors (the property that drives every later experiment).
+The benchmarked kernel is one full-tensor quantization per format.
+"""
+
+import numpy as np
+
+from bench_utils import print_banner, print_rows
+from repro.formats import TABLE2_FORMATS, get_format
+
+
+def test_formats_catalog(benchmark):
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((64, 256)) * 0.05
+    gradients = np.exp(rng.normal(-8, 3, size=(64, 256))) * rng.choice([-1, 1], size=(64, 256))
+
+    formats = [get_format(name) for name in TABLE2_FORMATS]
+
+    def quantize_all():
+        return [fmt.quantize(weights, kind="weight") for fmt in formats]
+
+    benchmark(quantize_all)
+
+    rows = []
+    for fmt in formats:
+        weight_error = np.abs(fmt.quantize(weights, kind="weight") - weights).mean()
+        gradient_error = np.abs(fmt.quantize(gradients, kind="gradient", rng=np.random.default_rng(1))
+                                - gradients).mean()
+        rows.append([
+            fmt.name,
+            fmt.describe(),
+            fmt.bits_per_value,
+            weight_error / np.abs(weights).mean(),
+            gradient_error / np.abs(gradients).mean(),
+        ])
+
+    print_banner("Figure 2: number formats for DNN training (bit layouts and quantization error)")
+    print_rows(
+        ["format", "layout", "bits/value", "rel. weight error", "rel. gradient error"],
+        rows,
+    )
+    # Sanity: wider formats have lower error.
+    errors = {row[0]: row[3] for row in rows}
+    assert errors["fp32"] <= errors["bfloat16"] <= errors["low_bfp"]

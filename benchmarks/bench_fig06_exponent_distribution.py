@@ -1,0 +1,102 @@
+"""Figure 6 -- distribution of the difference to the BFP shared exponent.
+
+The paper takes the weight, activation and gradient tensors of ResNet-18
+layer 10 at the halfway point of ImageNet training and plots, for group sizes
+8/16/32, the histogram of each value's distance to its group's shared
+exponent.  The reproduced observations:
+
+* gradients have a much wider exponent spread than weights and activations,
+* the spread grows with the group size.
+
+We train the scaled ResNet-20 halfway on the synthetic vision task, capture
+W/A/G of a middle convolution layer with a recording quantization scheme, and
+compute the same statistics.
+"""
+
+import numpy as np
+
+from bench_utils import print_banner, print_rows
+from repro import nn
+from repro.analysis import exponent_spread_report
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import resnet20
+from repro.nn.quantized import QuantizationScheme, quantized_modules
+from repro.training import ClassificationTrainer, FP32Schedule
+
+
+class RecordingScheme(QuantizationScheme):
+    """A pass-through scheme that records the tensors flowing through one layer."""
+
+    def __init__(self):
+        self.weights = None
+        self.activations = None
+        self.gradients = None
+
+    def quantize_weight(self, values):
+        self.weights = np.array(values, copy=True)
+        return values
+
+    def quantize_activation(self, values):
+        self.activations = np.array(values, copy=True)
+        return values
+
+    def quantize_gradient(self, values):
+        self.gradients = np.array(values, copy=True)
+        return values
+
+
+def capture_mid_training_tensors():
+    dataset = SyntheticImageDataset(num_samples=192, num_classes=4, image_size=10,
+                                    noise=0.5, seed=5)
+    train, _ = dataset.split(0.9)
+    model = resnet20(num_classes=4, width=8, rng=np.random.default_rng(0))
+    optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    trainer = ClassificationTrainer(model, optimizer, FP32Schedule())
+    trainer.fit(DataLoader(train, 32, seed=0), epochs=1)
+
+    # Attach the recorder to a middle layer and run one more forward/backward.
+    layers = quantized_modules(model)
+    recorder = RecordingScheme()
+    layers[len(layers) // 2].scheme = recorder
+    images, labels = train.arrays()
+    loss = nn.cross_entropy(model(images[:64]), labels[:64])
+    loss.backward()
+    return recorder
+
+
+def test_fig06_exponent_spread(benchmark):
+    recorder = capture_mid_training_tensors()
+    tensors = {
+        "weights": recorder.weights,
+        "activations": recorder.activations,
+        "gradients": recorder.gradients,
+    }
+    assert all(value is not None for value in tensors.values())
+
+    reports = benchmark(lambda: {name: exponent_spread_report(name, values)
+                                 for name, values in tensors.items()})
+
+    print_banner("Figure 6: exponent-difference statistics of W/A/G at mid-training")
+    rows = []
+    for name, report in reports.items():
+        for group_size in report.group_sizes:
+            rows.append([
+                name,
+                group_size,
+                report.mean_difference[group_size],
+                report.truncated_fraction[group_size] * 100.0,
+            ])
+    print_rows(["tensor", "group size", "mean exponent difference",
+                "% values losing all mantissa bits (m=4)"], rows)
+
+    histogram = reports["gradients"].histograms[16]
+    print("\nGradient histogram (g=16), % of values per exponent-difference bin:")
+    print_rows(["difference", "frequency %"],
+               [[bin_index, frequency] for bin_index, frequency in histogram.items() if frequency > 0.0])
+
+    # Reproduced qualitative claims.
+    for group_size in (8, 16, 32):
+        assert reports["gradients"].mean_difference[group_size] > \
+            reports["weights"].mean_difference[group_size]
+    gradient_report = reports["gradients"]
+    assert gradient_report.mean_difference[8] <= gradient_report.mean_difference[32]

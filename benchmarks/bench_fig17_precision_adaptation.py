@@ -1,0 +1,74 @@
+"""Figure 17 -- FAST precision adaptation across layers and iterations.
+
+The paper visualizes, for five ResNet-18 layers over the course of ImageNet
+training, which of the eight (W, A, G) precision settings the FAST-Adaptive
+policy selects, showing precision growing with both layer depth and training
+progress.  We train the scaled ResNet-18 with the FAST schedule, collect the
+policy's decisions and print the same layer x iteration map (as cost ranks,
+0 = cheapest (2,2,2) ... 7 = (4,4,4)), then assert both growth trends.
+"""
+
+import numpy as np
+
+from bench_utils import print_banner, print_rows
+from repro import nn
+from repro.core.precision_policy import SETTING_ORDER
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import resnet18
+from repro.training import ClassificationTrainer, FASTSchedule
+
+
+def run_fast_training(epochs=3):
+    dataset = SyntheticImageDataset(num_samples=192, num_classes=4, image_size=10,
+                                    noise=0.5, seed=3)
+    train, validation = dataset.split(0.85)
+    model = resnet18(num_classes=4, width=8, rng=np.random.default_rng(0))
+    optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9)
+    schedule = FASTSchedule(evaluation_interval=2)
+    trainer = ClassificationTrainer(model, optimizer, schedule)
+    result = trainer.fit(DataLoader(train, 32, seed=0), DataLoader(validation, 64, shuffle=False),
+                         epochs=epochs)
+    return schedule, result
+
+
+def test_fig17_precision_adaptation(benchmark):
+    schedule, result = run_fast_training()
+    history = schedule.setting_history()
+    assert history
+
+    def summarize():
+        ranks = {}
+        for (layer, iteration), setting in history.items():
+            ranks[(layer, iteration)] = SETTING_ORDER.index(setting)
+        return ranks
+
+    ranks = benchmark(summarize)
+
+    layers = sorted({key[0] for key in ranks})
+    iterations = sorted({key[1] for key in ranks})
+    sampled_layers = layers[:: max(len(layers) // 5, 1)][:5]
+
+    print_banner("Figure 17: FAST (W, A, G) precision setting per layer and iteration\n"
+                 "(cost rank 0 = (2,2,2) ... 7 = (4,4,4); '.' = not re-evaluated)")
+    header = ["layer"] + [f"it {it}" for it in iterations]
+    rows = []
+    for layer in sampled_layers:
+        row = [layer]
+        for iteration in iterations:
+            rank = ranks.get((layer, iteration))
+            row.append(rank if rank is not None else ".")
+        rows.append(row)
+    print_rows(header, rows)
+    print(f"\nValidation accuracy per epoch under FAST-Adaptive: "
+          + ", ".join(f"{value:.1f}%" for value in result.val_metric_history))
+
+    # Precision grows with training progress...
+    midpoint = iterations[len(iterations) // 2]
+    early = [rank for (layer, it), rank in ranks.items() if it < midpoint]
+    late = [rank for (layer, it), rank in ranks.items() if it >= midpoint]
+    assert np.mean(late) >= np.mean(early)
+    # ...and with layer depth (deep third vs shallow third, averaged over time).
+    depth_cut = layers[len(layers) // 3], layers[2 * len(layers) // 3]
+    shallow = [rank for (layer, it), rank in ranks.items() if layer <= depth_cut[0]]
+    deep = [rank for (layer, it), rank in ranks.items() if layer >= depth_cut[1]]
+    assert np.mean(deep) >= np.mean(shallow) - 0.5

@@ -1,0 +1,74 @@
+"""Figure 18 -- BFP sensitivity to group size and mantissa bitwidth.
+
+The paper sweeps g in {8, 16, 32} and m in {2, 3, 4, 5} and reports the best
+ResNet-18 validation accuracy for each configuration: accuracy improves with
+more mantissa bits and degrades with larger groups, with (g=16, m=4) chosen
+as the operating point.  We reproduce the sweep two ways:
+
+* a trained sweep on the synthetic vision task (the accuracy surface), and
+* a training-free quantization-SNR sweep on mid-training gradient-like
+  tensors (the mechanism behind the accuracy surface).
+"""
+
+import numpy as np
+
+from bench_utils import print_banner, print_rows, train_mlp_classifier
+from repro.analysis import quantization_snr_sweep, sweep_table
+from repro.core.bfp import BFPConfig
+from repro.training import FixedBFPSchedule
+
+GROUP_SIZES = (8, 16, 32)
+MANTISSA_BITS = (2, 3, 4, 5)
+
+#: Approximate values read off Figure 18 (best ResNet-18 accuracy, %).
+PAPER_FIG18 = {
+    (8, 2): 65.1, (8, 3): 68.0, (8, 4): 68.6, (8, 5): 68.6,
+    (16, 2): 63.1, (16, 3): 68.1, (16, 4): 68.5, (16, 5): 68.6,
+    (32, 2): 63.0, (32, 3): 67.3, (32, 4): 68.4, (32, 5): 68.5,
+}
+
+
+def test_fig18_accuracy_sweep(benchmark, vision_task):
+    measured = {}
+    for group_size in GROUP_SIZES:
+        for bits in MANTISSA_BITS:
+            config = BFPConfig(mantissa_bits=bits, group_size=group_size, exponent_bits=3)
+            schedule = FixedBFPSchedule(bits, config=config)
+            result = train_mlp_classifier(schedule, vision_task, epochs=3, seed=0)
+            measured[(group_size, bits)] = result.best_val_metric
+
+    benchmark.pedantic(
+        lambda: train_mlp_classifier(FixedBFPSchedule(4), vision_task, epochs=1, seed=1),
+        rounds=1, iterations=1,
+    )
+
+    print_banner("Figure 18: best validation accuracy per (group size, mantissa bits)")
+    rows = []
+    for group_size in GROUP_SIZES:
+        for bits in MANTISSA_BITS:
+            rows.append([group_size, bits, measured[(group_size, bits)], PAPER_FIG18[(group_size, bits)]])
+    print_rows(["g", "m", "measured acc % (synthetic)", "paper acc % (ResNet-18)"], rows)
+
+    # Shape of the figure: more mantissa bits never hurt much, and m=2 is the
+    # clearly degraded column for every group size.
+    for group_size in GROUP_SIZES:
+        best_wide = max(measured[(group_size, bits)] for bits in (4, 5))
+        assert best_wide >= measured[(group_size, 2)] - 5.0
+
+
+def test_fig18_snr_mechanism(benchmark):
+    """The quantization-SNR surface behind Figure 18 (training-free proxy)."""
+    rng = np.random.default_rng(0)
+    gradients = np.exp(rng.normal(-6, 2.5, size=(64, 256))) * rng.choice([-1, 1], size=(64, 256))
+    points = benchmark(lambda: quantization_snr_sweep(gradients, GROUP_SIZES, MANTISSA_BITS))
+    table = sweep_table(points)
+
+    print_banner("Figure 18 (mechanism): BFP quantization SNR per (g, m) on gradient-like data")
+    print_rows(["g", "m", "SNR (dB)"],
+               [[g, m, table[(g, m)]] for g in GROUP_SIZES for m in MANTISSA_BITS])
+
+    for group_size in GROUP_SIZES:
+        snrs = [table[(group_size, bits)] for bits in MANTISSA_BITS]
+        assert snrs == sorted(snrs)  # more mantissa bits -> higher SNR
+    for bits in MANTISSA_BITS:
+        assert table[(8, bits)] >= table[(32, bits)]  # larger groups -> lower SNR

@@ -1,0 +1,55 @@
+"""Table III -- area and power breakdown of the FAST system.
+
+The paper synthesizes the 256x64 fMAC system (Synopsys DC + CACTI) and
+reports per-component area fractions and power.  The analytical hardware
+model reproduces the same breakdown; the benchmarked kernel is the full
+system evaluation (component areas + powers).
+"""
+
+import pytest
+
+from bench_utils import print_banner, print_rows
+from repro.hardware import FASTSystem, PAPER_TABLE3
+
+
+def test_table3_area_power_breakdown(benchmark):
+    system = FASTSystem()
+
+    def evaluate():
+        return system.area_breakdown(), system.power_breakdown(), system.total_power_w()
+
+    area, power, total_power = benchmark(evaluate)
+
+    print_banner("Table III: FAST system area/power breakdown (model vs paper)")
+    rows = []
+    for name in area:
+        rows.append([
+            name,
+            area[name] * 100.0,
+            PAPER_TABLE3[name]["area_fraction"] * 100.0,
+            power[name],
+            PAPER_TABLE3[name]["power_w"],
+        ])
+    rows.append(["total", 100.0, 100.0, total_power,
+                 sum(entry["power_w"] for entry in PAPER_TABLE3.values())])
+    print_rows(["component", "area % (model)", "area % (paper)", "power W (model)", "power W (paper)"],
+               rows)
+
+    paper_total = sum(entry["power_w"] for entry in PAPER_TABLE3.values())
+    assert total_power == pytest.approx(paper_total, rel=0.1)
+    assert area["systolic_array"] == pytest.approx(PAPER_TABLE3["systolic_array"]["area_fraction"], abs=0.05)
+    assert area["memory_subsystem"] == pytest.approx(PAPER_TABLE3["memory_subsystem"]["area_fraction"], abs=0.05)
+
+
+def test_table3_scaling_with_array_size(benchmark):
+    """Sanity sweep: the breakdown responds to the array/memory configuration."""
+    def sweep():
+        return {
+            rows: FASTSystem(array_rows=rows).area_breakdown()["systolic_array"]
+            for rows in (128, 256, 512)
+        }
+
+    shares = benchmark(sweep)
+    print_banner("Table III (extension): systolic-array area share vs array height")
+    print_rows(["array rows", "array area share"], [[rows, share] for rows, share in shares.items()])
+    assert shares[128] < shares[256] < shares[512]

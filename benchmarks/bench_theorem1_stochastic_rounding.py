@@ -1,0 +1,78 @@
+"""Theorem 1 -- stochastic rounding preserves the expected weight increment.
+
+Section III-D argues that when the gradient is quantized with stochastic
+rounding, the expected total weight increment over many SGD iterations equals
+the full-precision increment, whereas deterministic (truncating or
+always-down) rounding biases the trajectory and raises the final loss
+(Figures 7 and 8).  This benchmark simulates exactly that setting:
+
+* the Figure 8 example (constant gradient 2/3 on a unit grid),
+* a gradient-descent run on a quadratic loss with the gradient quantized to a
+  2-bit BFP mantissa under stochastic vs truncating rounding.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import print_banner, print_rows
+from repro.core import bfp_quantize
+from repro.core.rounding import round_stochastic, round_truncate
+
+
+def test_theorem1_constant_gradient_example(benchmark):
+    """Figure 8: gradient 2/3 rounded on a unit grid over many iterations."""
+    gradient = 2.0 / 3.0
+    iterations = 3000
+    rng = np.random.default_rng(0)
+
+    def accumulate():
+        stochastic = float(round_stochastic(np.full(iterations, gradient), rng=rng,
+                                            noise_bits=None).sum())
+        truncated = float(round_truncate(np.full(iterations, gradient)).sum())
+        exact = gradient * iterations
+        return exact, stochastic, truncated
+
+    exact, stochastic, truncated = benchmark(accumulate)
+
+    print_banner("Theorem 1 (Figure 8): total weight increment after repeated rounding")
+    print_rows(["scheme", "total increment", "relative to FP32"],
+               [["fp32 (no rounding)", exact, 1.0],
+                ["stochastic rounding", stochastic, stochastic / exact],
+                ["truncation", truncated, truncated / exact]])
+
+    assert stochastic / exact == pytest.approx(1.0, abs=0.03)
+    assert truncated == 0.0
+
+
+def test_theorem1_gradient_descent_with_bfp_gradients(benchmark):
+    """SGD on a quadratic with 2-bit BFP gradients: SR converges, truncation stalls."""
+    target = np.linspace(0.5, 2.0, 16)
+
+    def optimize(rounding: str, seed: int = 0) -> float:
+        rng = np.random.default_rng(seed)
+        weights = np.zeros(16)
+        for _ in range(300):
+            gradient = weights - target          # d/dw 0.5 * ||w - target||^2
+            quantized = bfp_quantize(gradient, mantissa_bits=2, group_size=16,
+                                     exponent_bits=8, rounding=rounding, rng=rng)
+            weights = weights - 0.05 * quantized
+        return float(np.mean((weights - target) ** 2))
+
+    loss_stochastic = benchmark.pedantic(lambda: optimize("stochastic"), rounds=1, iterations=1)
+    loss_truncate = optimize("truncate")
+    loss_nearest = optimize("nearest")
+    loss_exact = 0.0
+
+    print_banner("Theorem 1: final loss of gradient descent with 2-bit BFP gradients")
+    print_rows(["gradient rounding", "final MSE to optimum"],
+               [["fp32 (exact)", loss_exact],
+                ["stochastic", loss_stochastic],
+                ["nearest", loss_nearest],
+                ["truncate", loss_truncate]])
+
+    # Stochastic rounding reaches (near) the optimum; biased truncation stalls
+    # far away; nearest rounding sits in between because small gradients round
+    # to zero once close to the optimum.
+    assert loss_stochastic < 0.01
+    assert loss_truncate > loss_stochastic * 5
+    assert loss_nearest >= loss_stochastic

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness (imported by the bench modules)."""
+
+import numpy as np
+
+from repro import nn
+from repro.analysis import format_table
+from repro.data import DataLoader
+from repro.models import MLP
+from repro.training import ClassificationTrainer, build_schedule
+
+__all__ = ["print_banner", "print_rows", "train_mlp_classifier"]
+
+
+def print_banner(title: str) -> None:
+    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}")
+
+
+def print_rows(headers, rows, title=None) -> None:
+    print(format_table(headers, rows, title=title))
+
+
+def train_mlp_classifier(schedule, task, epochs=4, seed=0, lr=0.1, hidden=(48,)):
+    """Train a small MLP classifier under ``schedule`` and return the result.
+
+    ``task`` is a ``(train, validation)`` dataset pair; ``schedule`` is either
+    a :class:`~repro.training.schedules.PrecisionSchedule` or a schedule name
+    accepted by :func:`repro.training.build_schedule`.
+    """
+    train, validation = task
+    sample_shape = train.images.shape[1:]
+    in_features = int(np.prod(sample_shape))
+    num_classes = int(train.labels.max()) + 1
+    if isinstance(schedule, str):
+        schedule = build_schedule(schedule)
+    model = MLP(in_features, list(hidden), num_classes, rng=np.random.default_rng(seed))
+    optimizer = nn.SGD(model.parameters(), lr=lr, momentum=0.9)
+    trainer = ClassificationTrainer(model, optimizer, schedule)
+    train_loader = DataLoader(train, batch_size=32, seed=seed)
+    val_loader = DataLoader(validation, batch_size=64, shuffle=False)
+    return trainer.fit(train_loader, val_loader, epochs=epochs)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper; the
+fixtures here provide the shared synthetic tasks so expensive dataset
+generation happens once per session.
+"""
+
+import pytest
+
+from repro.data import SyntheticImageDataset
+
+
+@pytest.fixture(scope="session")
+def vision_task():
+    """A shared synthetic image-classification task (CIFAR-10 stand-in)."""
+    dataset = SyntheticImageDataset(num_samples=320, num_classes=4, image_size=10,
+                                    noise=0.55, seed=42)
+    return dataset.split(0.8)

@@ -1,0 +1,96 @@
+"""Explore the hardware side of FAST: MAC designs, system breakdown, training time.
+
+Reproduces, at the command line, the hardware analyses of Section VII:
+
+* the MAC design comparison of Table IV (fMAC vs INT8/INT12/HFP8/bfloat16/FP16),
+* the FAST system area/power breakdown of Table III,
+* the iso-area baseline systems of Section VII-B and the per-iteration
+  training time they achieve on each paper workload (the raw material of
+  Figures 19 and 20), and
+* a small design-space sweep over the fMAC group size.
+
+Run with:  python examples/hardware_design_space.py
+"""
+
+from repro.analysis import format_table
+from repro.hardware import (
+    FASTSystem,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    fmac_design,
+    format_iteration_costs,
+    iso_area_systems,
+    paper_workloads,
+    table4_designs,
+)
+
+
+def show_mac_comparison() -> None:
+    print("\n=== MAC design comparison (Table IV) ===")
+    designs = table4_designs()
+    baseline = designs[0]
+    rows = []
+    for design in designs:
+        paper = PAPER_TABLE4[design.name]
+        rows.append([
+            design.name,
+            design.relative_area(baseline),
+            paper["area"],
+            design.power_mw,
+            paper["power_mw"],
+            design.lut,
+            paper["lut"],
+        ])
+    print(format_table(
+        ["MAC", "area (model)", "area (paper)", "power mW (model)", "power mW (paper)",
+         "LUT (model)", "LUT (paper)"],
+        rows,
+    ))
+
+
+def show_system_breakdown() -> None:
+    print("\n=== FAST system breakdown (Table III) ===")
+    system = FASTSystem()
+    area = system.area_breakdown()
+    power = system.power_breakdown()
+    rows = [
+        [name, area[name] * 100, PAPER_TABLE3[name]["area_fraction"] * 100,
+         power[name], PAPER_TABLE3[name]["power_w"]]
+        for name in area
+    ]
+    print(format_table(["component", "area % (model)", "area % (paper)",
+                        "power W (model)", "power W (paper)"], rows))
+    print(f"  total power: {system.total_power_w():.2f} W")
+
+
+def show_iteration_times() -> None:
+    print("\n=== Per-iteration training time by format (basis of Figures 19/20) ===")
+    systems = iso_area_systems()
+    order = ["fp32", "nvidia_mp", "bfloat16", "int12", "msfp12", "hfp8", "mid_bfp", "fast_adaptive"]
+    for name, workload in paper_workloads().items():
+        costs = format_iteration_costs(workload, systems)
+        fast = costs["fast_adaptive"].seconds
+        summary = "  ".join(f"{fmt}={costs[fmt].seconds / fast:4.2f}x" for fmt in order)
+        print(f"  {name:13s} {summary}")
+
+
+def sweep_group_size() -> None:
+    print("\n=== fMAC area vs group size (design-space sweep) ===")
+    rows = []
+    for group_size in (4, 8, 16, 32, 64):
+        design = fmac_design(group_size=group_size)
+        rows.append([group_size, design.area_units, design.area_units / group_size, design.power_mw])
+    print(format_table(["group size", "area (units)", "area / value", "power (mW)"], rows))
+    print("  Larger groups amortize the FP accumulator but increase the per-group "
+          "exponent disparity (Figure 6), which is why the paper settles on g=16.")
+
+
+def main() -> None:
+    show_mac_comparison()
+    show_system_breakdown()
+    show_iteration_times()
+    sweep_group_size()
+
+
+if __name__ == "__main__":
+    main()

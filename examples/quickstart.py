@@ -1,0 +1,96 @@
+"""Quickstart: the FAST building blocks in five minutes.
+
+Walks through the library bottom-up:
+
+1. quantize a tensor to Block Floating Point (BFP) with different mantissa
+   widths and rounding modes,
+2. compute the relative-improvement statistic r(X) that Algorithm 1 uses to
+   pick a precision,
+3. run a variable-precision BFP dot product on the functional fMAC model and
+   see the pass counts,
+4. train a small quantized model with the FAST-Adaptive schedule and compare
+   it against FP32.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import bfp_quantize, bfp_quantize_tensor, passes_required, relative_improvement
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.hardware import fmac_dot_product
+from repro.models import MLP
+from repro.training import ClassificationTrainer, FASTSchedule, FP32Schedule
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def demo_bfp_quantization(rng: np.random.Generator) -> None:
+    section("1. BFP quantization")
+    values = rng.standard_normal(16) * np.exp(rng.normal(0, 2, 16))
+    for mantissa_bits in (2, 4, 8):
+        quantized = bfp_quantize(values, mantissa_bits=mantissa_bits, group_size=16,
+                                 exponent_bits=3)
+        error = np.abs(quantized - values).mean()
+        print(f"  m={mantissa_bits}: mean abs error = {error:.4f}")
+    stochastic = bfp_quantize(values, mantissa_bits=2, rounding="stochastic",
+                              rng=np.random.default_rng(0))
+    print(f"  stochastic rounding changes values: {not np.allclose(stochastic, values)}")
+
+
+def demo_relative_improvement(rng: np.random.Generator) -> None:
+    section("2. Relative improvement r(X) (Equation 2)")
+    coarse = np.round(rng.standard_normal(64) * 2) / 2
+    fine = rng.standard_normal(64) * np.exp(rng.normal(0, 2, 64))
+    print(f"  coarse tensor:      r(X) = {relative_improvement(coarse):.3f} -> 2-bit mantissa is enough")
+    print(f"  wide-range tensor:  r(X) = {relative_improvement(fine):.3f} -> promote to 4-bit mantissa")
+
+
+def demo_fmac(rng: np.random.Generator) -> None:
+    section("3. Variable-precision fMAC dot product")
+    a = rng.standard_normal(64)
+    b = rng.standard_normal(64)
+    for bits_a, bits_b in ((2, 2), (4, 2), (4, 4)):
+        qa = bfp_quantize_tensor(a, mantissa_bits=bits_a, group_size=16, exponent_bits=8)
+        qb = bfp_quantize_tensor(b, mantissa_bits=bits_b, group_size=16, exponent_bits=8)
+        result = fmac_dot_product(qa, qb)
+        reference = float(qa.to_float() @ qb.to_float())
+        print(f"  m=({bits_a},{bits_b}): {passes_required(bits_a, bits_b)} pass(es)/group, "
+              f"total passes={result.passes}, |error|={abs(result.value - reference):.2e}")
+
+
+def demo_fast_training() -> None:
+    section("4. FAST-Adaptive training vs FP32")
+    dataset = SyntheticImageDataset(num_samples=256, num_classes=4, image_size=10, noise=0.5, seed=0)
+    train, validation = dataset.split(0.8)
+    results = {}
+    for name, schedule in (("fp32", FP32Schedule()), ("fast_adaptive", FASTSchedule(evaluation_interval=4))):
+        model = MLP(3 * 10 * 10, [48], 4, rng=np.random.default_rng(0))
+        optimizer = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+        trainer = ClassificationTrainer(model, optimizer, schedule)
+        result = trainer.fit(DataLoader(train, 32, seed=1), DataLoader(validation, 64, shuffle=False),
+                             epochs=4)
+        results[name] = result
+        print(f"  {name:14s} validation accuracy per epoch: "
+              + ", ".join(f"{value:.1f}%" for value in result.val_metric_history))
+    fast_schedule = results["fast_adaptive"]
+    final_precisions = fast_schedule.precision_history[-1]
+    low = sum(1 for entry in final_precisions if entry["weight"] == 2)
+    print(f"  FAST kept {low}/{len(final_precisions)} layers' weights at 2-bit mantissas "
+          "in the final epoch (precision grows as training progresses).")
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    demo_bfp_quantization(rng)
+    demo_relative_improvement(rng)
+    demo_fmac(rng)
+    demo_fast_training()
+    print("\nDone. See examples/train_cnn_fast.py for the full CNN workflow.")
+
+
+if __name__ == "__main__":
+    main()

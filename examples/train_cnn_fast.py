@@ -1,0 +1,99 @@
+"""Train a ResNet-20-style CNN with the FAST-Adaptive precision schedule.
+
+This is the workload the paper's Section IV studies (ResNet-20 / CIFAR-10),
+scaled to a synthetic dataset so it runs on a laptop CPU in about a minute.
+The script:
+
+* trains the same model under FP32, HighBFP (fixed m=4) and FAST-Adaptive,
+* reports validation accuracy per epoch for each schedule,
+* prints the FAST precision map (which layers ran at which (W, A, G)
+  mantissa widths over training -- the Figure 17 picture), and
+* estimates the training-time advantage on the FAST hardware model.
+
+Run with:  python examples/train_cnn_fast.py [--epochs 4] [--samples 384]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import nn
+from repro.core.precision_policy import SETTING_ORDER
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.hardware import iso_area_systems, resnet18_workload
+from repro.hardware.performance import fast_adaptive_iteration_cost, iteration_cost
+from repro.models import resnet20
+from repro.training import ClassificationTrainer, FASTSchedule, FixedBFPSchedule, FP32Schedule
+
+
+def build_trainer(schedule, seed: int, learning_rate: float):
+    model = resnet20(num_classes=4, width=8, rng=np.random.default_rng(seed))
+    optimizer = nn.SGD(model.parameters(), lr=learning_rate, momentum=0.9, weight_decay=1e-4)
+    return ClassificationTrainer(model, optimizer, schedule)
+
+
+def print_precision_map(schedule: FASTSchedule) -> None:
+    history = schedule.setting_history()
+    if not history:
+        return
+    layers = sorted({key[0] for key in history})
+    iterations = sorted({key[1] for key in history})
+    print("\nFAST precision map (cost rank of the (W, A, G) setting, 0=cheapest .. 7=most precise)")
+    header = "  layer | " + " ".join(f"{it:4d}" for it in iterations)
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for layer in layers:
+        cells = []
+        for iteration in iterations:
+            setting = history.get((layer, iteration))
+            cells.append(f"{SETTING_ORDER.index(setting):4d}" if setting in SETTING_ORDER else "   .")
+        print(f"  {layer:5d} | " + " ".join(cells))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--samples", type=int, default=384)
+    parser.add_argument("--lr", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = SyntheticImageDataset(num_samples=args.samples, num_classes=4, image_size=12,
+                                    noise=0.5, seed=args.seed)
+    train, validation = dataset.split(0.8)
+    train_loader = DataLoader(train, batch_size=32, seed=args.seed)
+    val_loader = DataLoader(validation, batch_size=64, shuffle=False)
+
+    schedules = {
+        "fp32": FP32Schedule(),
+        "high_bfp (m=4)": FixedBFPSchedule(4),
+        "fast_adaptive": FASTSchedule(evaluation_interval=4),
+    }
+    results = {}
+    for name, schedule in schedules.items():
+        print(f"\n--- training with {name} ---")
+        trainer = build_trainer(schedule, args.seed, args.lr)
+        results[name] = trainer.fit(train_loader, val_loader, epochs=args.epochs, log_fn=print)
+
+    print("\n=== Validation accuracy summary ===")
+    for name, result in results.items():
+        print(f"  {name:16s} best = {result.best_val_metric:.1f}%  final = {result.final_val_metric:.1f}%")
+
+    fast_schedule = schedules["fast_adaptive"]
+    print_precision_map(fast_schedule)
+
+    # Hardware-side payoff: per-iteration time on the paper-scale ResNet-18.
+    systems = iso_area_systems()
+    workload = resnet18_workload()
+    fast_cost = fast_adaptive_iteration_cost(workload, systems["fast_adaptive"])
+    fp32_cost = iteration_cost(workload, systems["fp32"])
+    bfp4_cost = iteration_cost(workload, systems["high_bfp"], (4, 4, 4))
+    print("\n=== Modelled iteration time on the FAST hardware (paper-scale ResNet-18) ===")
+    print(f"  fp32 system        : {fp32_cost.seconds * 1e3:7.1f} ms/iteration")
+    print(f"  high_bfp on FAST   : {bfp4_cost.seconds * 1e3:7.1f} ms/iteration")
+    print(f"  FAST-Adaptive      : {fast_cost.seconds * 1e3:7.1f} ms/iteration "
+          f"({fp32_cost.seconds / fast_cost.seconds:.1f}x faster than FP32)")
+
+
+if __name__ == "__main__":
+    main()

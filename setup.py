@@ -1,0 +1,6 @@
+"""Setup shim so the package installs in offline environments without the
+``wheel`` package (legacy ``pip install -e . --no-use-pep517`` path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro -- reproduction of "FAST: DNN Training Under Variable Precision Block
+Floating Point with Stochastic Rounding" (Zhang, McDanel, Kung; HPCA 2022).
+
+Package layout (see DESIGN.md for the full system inventory):
+
+* :mod:`repro.core`      -- BFP quantization, stochastic rounding, mantissa
+  chunking, the BFP converter, precision policies (Algorithm 1), memory layout.
+* :mod:`repro.formats`   -- the number formats of Figure 2 (FP, INT, BFP).
+* :mod:`repro.nn`        -- NumPy autograd NN substrate with quantized layers.
+* :mod:`repro.models`    -- scaled-down evaluation models (ResNets, VGG,
+  MobileNet-v2, Transformer, YOLO).
+* :mod:`repro.data`      -- synthetic dataset substitutes for CIFAR/ImageNet/
+  IWSLT14/VOC.
+* :mod:`repro.training`  -- quantized training loops, precision schedules,
+  metrics and time-to-accuracy analysis.
+* :mod:`repro.hardware`  -- fMAC/systolic-array/SRAM/system models and the
+  training time/energy model.
+* :mod:`repro.analysis`  -- exponent statistics, sensitivity sweeps, report
+  rendering.
+"""
+
+from . import analysis, core, data, formats, hardware, models, nn, training
+from .core import BFPConfig, BFPTensor, bfp_quantize, bfp_quantize_tensor, relative_improvement
+from .formats import get_format
+from .training import ClassificationTrainer, FASTSchedule, build_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "formats",
+    "nn",
+    "models",
+    "data",
+    "training",
+    "hardware",
+    "analysis",
+    "BFPConfig",
+    "BFPTensor",
+    "bfp_quantize",
+    "bfp_quantize_tensor",
+    "relative_improvement",
+    "get_format",
+    "ClassificationTrainer",
+    "FASTSchedule",
+    "build_schedule",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis utilities: exponent-spread statistics, sensitivity sweeps, report rendering."""
+
+from .exponent_stats import (
+    ExponentSpreadReport,
+    difference_histogram,
+    exponent_differences,
+    exponent_spread_report,
+)
+from .reports import format_comparison, format_series, format_table
+from .sensitivity import SweepPoint, accuracy_sweep, quantization_snr, quantization_snr_sweep, sweep_table
+
+__all__ = [
+    "exponent_differences",
+    "difference_histogram",
+    "exponent_spread_report",
+    "ExponentSpreadReport",
+    "SweepPoint",
+    "quantization_snr",
+    "quantization_snr_sweep",
+    "accuracy_sweep",
+    "sweep_table",
+    "format_table",
+    "format_series",
+    "format_comparison",
+]

@@ -1,0 +1,55 @@
+"""Plain-text rendering of the reproduced tables and figure series.
+
+The benchmarks print their results through these helpers so every experiment
+produces the same row/column layout as the corresponding table or figure in
+the paper, making the paper-vs-measured comparison in EXPERIMENTS.md easy to
+regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_comparison"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render rows as a fixed-width text table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        if cell is None:
+            return "N/A"
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Mapping[object, float], precision: int = 2) -> str:
+    """Render a one-dimensional series (e.g. an accuracy-vs-epoch curve)."""
+    points = ", ".join(f"{key}: {value:.{precision}f}" for key, value in values.items())
+    return f"{name}: {points}"
+
+
+def format_comparison(headers: Sequence[str], measured: Mapping[str, float],
+                      reference: Mapping[str, float], title: Optional[str] = None,
+                      precision: int = 2) -> str:
+    """Render a measured-vs-paper comparison with one row per key."""
+    rows: List[List[object]] = []
+    for key in measured:
+        rows.append([key, measured[key], reference.get(key)])
+    return format_table(list(headers), rows, title=title, precision=precision)

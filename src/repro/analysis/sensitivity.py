@@ -1,0 +1,81 @@
+"""BFP hyperparameter sensitivity sweeps (Figure 18).
+
+Figure 18 varies the BFP mantissa bitwidth (2-5) and group size (8, 16, 32)
+and reports the best validation accuracy of ResNet-18.  The sweep harness
+here trains a model for every (g, m) configuration and collects the best
+validation metric, using the same trainer/schedule machinery as the format
+comparison so the configurations differ only in the BFP parameters.
+
+A cheaper, training-free proxy is also provided
+(:func:`quantization_snr_sweep`) that reports the quantization
+signal-to-noise ratio of representative tensors on the same (g, m) grid; it
+follows the same ordering (larger g or smaller m -> more error) and is what
+the fast test-suite checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..core.bfp import BFPConfig, bfp_quantize
+
+__all__ = ["SweepPoint", "quantization_snr", "quantization_snr_sweep", "accuracy_sweep", "sweep_table"]
+
+
+@dataclass
+class SweepPoint:
+    """One (group size, mantissa bits) configuration and its measured value."""
+
+    group_size: int
+    mantissa_bits: int
+    value: float
+
+
+def quantization_snr(values: np.ndarray, mantissa_bits: int, group_size: int,
+                     exponent_bits: int = 3) -> float:
+    """Signal-to-quantization-noise ratio (dB) of BFP quantization."""
+    values = np.asarray(values, dtype=np.float64)
+    quantized = bfp_quantize(values, mantissa_bits=mantissa_bits, group_size=group_size,
+                             exponent_bits=exponent_bits)
+    noise = float(((values - quantized) ** 2).mean())
+    signal = float((values ** 2).mean())
+    if noise == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+def quantization_snr_sweep(values: np.ndarray,
+                           group_sizes: Iterable[int] = (8, 16, 32),
+                           mantissa_bits: Iterable[int] = (2, 3, 4, 5)) -> List[SweepPoint]:
+    """SNR of BFP quantization over the Figure 18 (g, m) grid."""
+    points = []
+    for group_size in group_sizes:
+        for bits in mantissa_bits:
+            points.append(SweepPoint(group_size, bits, quantization_snr(values, bits, group_size)))
+    return points
+
+
+def accuracy_sweep(train_fn: Callable[[BFPConfig], float],
+                   group_sizes: Iterable[int] = (8, 16, 32),
+                   mantissa_bits: Iterable[int] = (2, 3, 4, 5),
+                   exponent_bits: int = 3) -> List[SweepPoint]:
+    """Run a user-provided training function over the (g, m) grid.
+
+    ``train_fn`` receives a :class:`BFPConfig` and returns the best validation
+    metric achieved with it; the benchmark for Figure 18 passes a closure that
+    trains the scaled ResNet-18 on the synthetic vision dataset.
+    """
+    points = []
+    for group_size in group_sizes:
+        for bits in mantissa_bits:
+            config = BFPConfig(mantissa_bits=bits, group_size=group_size, exponent_bits=exponent_bits)
+            points.append(SweepPoint(group_size, bits, float(train_fn(config))))
+    return points
+
+
+def sweep_table(points: List[SweepPoint]) -> Dict[Tuple[int, int], float]:
+    """Convert a sweep to a ``(group_size, mantissa_bits) -> value`` mapping."""
+    return {(point.group_size, point.mantissa_bits): point.value for point in points}

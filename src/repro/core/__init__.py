@@ -1,0 +1,67 @@
+"""The paper's primary contribution: variable precision BFP with stochastic rounding."""
+
+from .bfp import (
+    MIN_EXPONENT,
+    BFPConfig,
+    BFPTensor,
+    bfp_quantize,
+    bfp_quantize_tensor,
+    compute_group_exponents,
+    group_values,
+    ungroup_values,
+)
+from .chunks import decompose_mantissas, num_chunks, passes_required, reconstruct_mantissas
+from .converter import BFPConverter, ConversionResult, relative_improvement
+from .memory_layout import BFPMemoryLayout, bits_per_group, bits_per_value, pack_group, unpack_group
+from .precision_policy import (
+    SETTING_ORDER,
+    TENSOR_KINDS,
+    FASTAdaptivePolicy,
+    FixedPrecisionPolicy,
+    LayerwisePrecisionPolicy,
+    PrecisionDecision,
+    PrecisionPolicy,
+    TemporalPrecisionPolicy,
+    fast_threshold,
+    setting_cost_rank,
+)
+from .rounding import LFSR, RoundingMode, apply_rounding, round_nearest, round_stochastic, round_truncate
+
+__all__ = [
+    "BFPConfig",
+    "BFPTensor",
+    "bfp_quantize",
+    "bfp_quantize_tensor",
+    "compute_group_exponents",
+    "group_values",
+    "ungroup_values",
+    "MIN_EXPONENT",
+    "decompose_mantissas",
+    "reconstruct_mantissas",
+    "num_chunks",
+    "passes_required",
+    "BFPConverter",
+    "ConversionResult",
+    "relative_improvement",
+    "BFPMemoryLayout",
+    "bits_per_group",
+    "bits_per_value",
+    "pack_group",
+    "unpack_group",
+    "PrecisionPolicy",
+    "PrecisionDecision",
+    "FixedPrecisionPolicy",
+    "TemporalPrecisionPolicy",
+    "LayerwisePrecisionPolicy",
+    "FASTAdaptivePolicy",
+    "fast_threshold",
+    "setting_cost_rank",
+    "SETTING_ORDER",
+    "TENSOR_KINDS",
+    "LFSR",
+    "RoundingMode",
+    "apply_rounding",
+    "round_nearest",
+    "round_truncate",
+    "round_stochastic",
+]

@@ -1,0 +1,315 @@
+"""Block Floating Point (BFP) quantization.
+
+A BFP group is a set of ``g`` values that share a single exponent while each
+value keeps its own short signed mantissa (Figure 2, bottom row).  Conversion
+from FP32 follows Figure 4:
+
+1. find the maximum exponent in the group (it becomes the shared exponent),
+2. align every mantissa by right-shifting it by the difference between its
+   own exponent and the shared exponent,
+3. optionally add stochastic noise (gradients only),
+4. truncate (or round) the aligned mantissa to ``m`` bits.
+
+Two entry points are provided:
+
+* :func:`bfp_quantize` -- "fake quantization": returns an FP32 array whose
+  values lie exactly on the BFP grid.  This is what the training substrate
+  uses to simulate BFP arithmetic.
+* :func:`bfp_quantize_tensor` -- returns a :class:`BFPTensor` holding the
+  packed integer representation (signs, mantissas, shared exponents), which
+  the hardware model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .rounding import apply_rounding
+
+__all__ = [
+    "BFPConfig",
+    "BFPTensor",
+    "bfp_quantize",
+    "bfp_quantize_tensor",
+    "compute_group_exponents",
+    "group_values",
+    "ungroup_values",
+    "MIN_EXPONENT",
+]
+
+#: Exponent assigned to all-zero groups.  Matches the smallest normal FP32
+#: exponent so that zero groups never dominate the shared-exponent window.
+MIN_EXPONENT = -126
+
+
+@dataclass(frozen=True)
+class BFPConfig:
+    """Configuration of a BFP format.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        Number of magnitude bits per mantissa (the sign bit is separate),
+        written ``m`` in the paper.  FAST uses 2 or 4.
+    group_size:
+        Number of values sharing one exponent, written ``g``.  The paper uses
+        16 unless stated otherwise.
+    exponent_bits:
+        Width of the shared exponent field, written ``e``.  When not ``None``
+        the exponents of all groups in a tensor must fit in a window of
+        ``2**exponent_bits`` values anchored at the largest group exponent;
+        groups below the window are clamped to its bottom, modelling the
+        dynamic-range loss discussed in Section III-C.
+    rounding:
+        Rounding mode applied to the aligned mantissas: ``"nearest"``,
+        ``"truncate"`` or ``"stochastic"``.
+    noise_bits:
+        Number of random bits used by stochastic rounding.
+    """
+
+    mantissa_bits: int = 4
+    group_size: int = 16
+    exponent_bits: Optional[int] = 8
+    rounding: str = "nearest"
+    noise_bits: int = 8
+
+    def __post_init__(self):
+        if self.mantissa_bits < 1:
+            raise ValueError("mantissa_bits must be >= 1")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.exponent_bits is not None and self.exponent_bits < 1:
+            raise ValueError("exponent_bits must be >= 1 or None")
+
+    def with_mantissa(self, mantissa_bits: int) -> "BFPConfig":
+        """Return a copy of this configuration with a different mantissa width."""
+        return BFPConfig(
+            mantissa_bits=mantissa_bits,
+            group_size=self.group_size,
+            exponent_bits=self.exponent_bits,
+            rounding=self.rounding,
+            noise_bits=self.noise_bits,
+        )
+
+    @property
+    def bits_per_value(self) -> float:
+        """Average storage bits per value under the chunked layout of Section V-D."""
+        exponent_bits = self.exponent_bits if self.exponent_bits is not None else 8
+        chunks = (self.mantissa_bits + 1) // 2
+        group_bits = exponent_bits + self.group_size * chunks * 3
+        return group_bits / self.group_size
+
+
+def group_values(x: np.ndarray, group_size: int, axis: int = -1):
+    """Reshape ``x`` into BFP groups of ``group_size`` along ``axis``.
+
+    Returns ``(groups, pad, moved_shape)`` where ``groups`` has shape
+    ``(n_rows, n_groups, group_size)``, ``pad`` is the number of zero values
+    appended to make the grouped axis divisible by ``group_size``, and
+    ``moved_shape`` is the shape after moving ``axis`` to the end (needed to
+    undo the transformation).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 0:
+        x = x.reshape(1)
+    moved = np.moveaxis(x, axis, -1)
+    moved_shape = moved.shape
+    length = moved_shape[-1]
+    rows = moved.reshape(-1, length)
+    pad = (-length) % group_size
+    if pad:
+        rows = np.concatenate([rows, np.zeros((rows.shape[0], pad))], axis=1)
+    groups = rows.reshape(rows.shape[0], -1, group_size)
+    return groups, pad, moved_shape
+
+
+def ungroup_values(groups: np.ndarray, pad: int, moved_shape, axis: int = -1) -> np.ndarray:
+    """Invert :func:`group_values`, restoring the original array layout."""
+    rows = groups.reshape(groups.shape[0], -1)
+    if pad:
+        rows = rows[:, :-pad]
+    moved = rows.reshape(moved_shape)
+    return np.moveaxis(moved, -1, axis)
+
+
+def compute_group_exponents(groups: np.ndarray, exponent_bits: Optional[int] = None) -> np.ndarray:
+    """Compute the shared exponent of each group (Figure 4a).
+
+    The shared exponent is ``floor(log2(max |x|))`` over the group.  All-zero
+    groups receive :data:`MIN_EXPONENT`.  When ``exponent_bits`` is given the
+    exponents are clamped to a window of ``2**exponent_bits`` values anchored
+    at the tensor-wide maximum.
+    """
+    magnitudes = np.abs(groups)
+    group_max = magnitudes.max(axis=-1)
+    exponents = np.full(group_max.shape, MIN_EXPONENT, dtype=np.int64)
+    nonzero = group_max > 0
+    with np.errstate(divide="ignore"):
+        exponents[nonzero] = np.floor(np.log2(group_max[nonzero])).astype(np.int64)
+    if exponent_bits is not None and exponents.size and np.any(nonzero):
+        window = (1 << exponent_bits) - 1
+        top = int(exponents[nonzero].max())
+        floor_exp = top - window
+        exponents = np.maximum(exponents, floor_exp)
+    return exponents
+
+
+def _quantize_groups(
+    groups: np.ndarray,
+    exponents: np.ndarray,
+    mantissa_bits: int,
+    rounding: str,
+    rng,
+    noise_bits: int,
+):
+    """Quantize grouped values given per-group shared exponents.
+
+    Returns ``(quantized_float, signs, mantissas, scales)``.
+    """
+    scales = np.power(2.0, exponents.astype(np.float64) - (mantissa_bits - 1))
+    scaled = groups / scales[..., None]
+    rounded = apply_rounding(scaled, rounding, rng=rng, noise_bits=noise_bits)
+    limit = (1 << mantissa_bits) - 1
+    rounded = np.clip(rounded, -limit, limit)
+    signs = np.sign(rounded).astype(np.int8)
+    mantissas = np.abs(rounded).astype(np.int64)
+    quantized = rounded * scales[..., None]
+    return quantized, signs, mantissas, scales
+
+
+def bfp_quantize(
+    x,
+    mantissa_bits: int = 4,
+    group_size: int = 16,
+    exponent_bits: Optional[int] = 8,
+    rounding: str = "nearest",
+    axis: int = -1,
+    rng=None,
+    noise_bits: int = 8,
+) -> np.ndarray:
+    """Fake-quantize ``x`` onto the BFP grid and return an FP array.
+
+    This is the ``BFP(X, m)`` function of Algorithm 1.  The output has the
+    same shape and dtype-family as the input but every value is exactly
+    representable in the requested BFP format.
+    """
+    x = np.asarray(x)
+    original_dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    groups, pad, moved_shape = group_values(x, group_size, axis=axis)
+    exponents = compute_group_exponents(groups, exponent_bits)
+    quantized, _, _, _ = _quantize_groups(groups, exponents, mantissa_bits, rounding, rng, noise_bits)
+    result = ungroup_values(quantized, pad, moved_shape, axis=axis)
+    return result.reshape(x.shape).astype(original_dtype)
+
+
+@dataclass
+class BFPTensor:
+    """Packed BFP representation of a tensor.
+
+    Attributes
+    ----------
+    signs:
+        ``int8`` array of ``{-1, 0, +1}`` with shape ``(rows, groups, g)``.
+    mantissas:
+        Unsigned mantissa magnitudes (``int64``) with the same shape.
+    exponents:
+        Shared exponent per group with shape ``(rows, groups)``.
+    config:
+        The :class:`BFPConfig` used to produce the tensor.
+    shape:
+        Original (unquantized) tensor shape.
+    axis:
+        Axis along which grouping was performed.
+    pad:
+        Number of zero-padded values in the last group of each row.
+    """
+
+    signs: np.ndarray
+    mantissas: np.ndarray
+    exponents: np.ndarray
+    config: BFPConfig
+    shape: tuple
+    axis: int = -1
+    pad: int = 0
+    _moved_shape: tuple = field(default=None, repr=False)
+
+    @property
+    def group_size(self) -> int:
+        return self.config.group_size
+
+    @property
+    def mantissa_bits(self) -> int:
+        return self.config.mantissa_bits
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.exponents.size)
+
+    @property
+    def num_values(self) -> int:
+        return int(np.prod(self.shape))
+
+    def to_float(self) -> np.ndarray:
+        """Dequantize back to floating point (values on the BFP grid)."""
+        scales = np.power(2.0, self.exponents.astype(np.float64) - (self.mantissa_bits - 1))
+        values = self.signs.astype(np.float64) * self.mantissas.astype(np.float64)
+        values = values * scales[..., None]
+        result = ungroup_values(values, self.pad, self._moved_shape, axis=self.axis)
+        return result.reshape(self.shape)
+
+    def storage_bits(self) -> int:
+        """Total storage bits under the chunked memory layout of Section V-D."""
+        exponent_bits = self.config.exponent_bits if self.config.exponent_bits is not None else 8
+        chunks = (self.mantissa_bits + 1) // 2
+        per_group = exponent_bits + self.group_size * chunks * 3
+        return per_group * self.num_groups
+
+    def bits_per_value(self) -> float:
+        """Average storage bits per (unpadded) value."""
+        return self.storage_bits() / self.num_values
+
+
+def bfp_quantize_tensor(
+    x,
+    config: Optional[BFPConfig] = None,
+    rng=None,
+    axis: int = -1,
+    **overrides,
+) -> BFPTensor:
+    """Quantize ``x`` into a packed :class:`BFPTensor`.
+
+    Either pass a :class:`BFPConfig` or keyword overrides (``mantissa_bits``,
+    ``group_size``, ``exponent_bits``, ``rounding``, ``noise_bits``).
+    """
+    if config is None:
+        config = BFPConfig(**overrides)
+    elif overrides:
+        params = {
+            "mantissa_bits": config.mantissa_bits,
+            "group_size": config.group_size,
+            "exponent_bits": config.exponent_bits,
+            "rounding": config.rounding,
+            "noise_bits": config.noise_bits,
+        }
+        params.update(overrides)
+        config = BFPConfig(**params)
+
+    x = np.asarray(x)
+    groups, pad, moved_shape = group_values(x, config.group_size, axis=axis)
+    exponents = compute_group_exponents(groups, config.exponent_bits)
+    _, signs, mantissas, _ = _quantize_groups(
+        groups, exponents, config.mantissa_bits, config.rounding, rng, config.noise_bits
+    )
+    return BFPTensor(
+        signs=signs,
+        mantissas=mantissas,
+        exponents=exponents,
+        config=config,
+        shape=tuple(x.shape) if x.ndim else (1,),
+        axis=axis,
+        pad=pad,
+        _moved_shape=moved_shape,
+    )

@@ -1,0 +1,106 @@
+"""Mantissa chunk decomposition for variable-precision fMAC operation.
+
+The fMAC (Section V-B, Figure 13) operates on fixed-width chunks of the BFP
+mantissas -- 2 bits in the paper.  An ``m``-bit mantissa is split into
+``m / 2`` chunks from most significant to least significant; the k-th chunk
+carries an implicit exponent offset of ``-2 * k`` relative to the group's
+shared exponent, applied by the BFP converter so that the fMAC itself stays
+agnostic to chunk position.
+
+Multiplying a pair of BFP groups with ``mx``-bit and ``my``-bit mantissas
+therefore takes ``(mx / 2) * (my / 2)`` fMAC passes, which is the mechanism
+behind FAST's variable-precision speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "decompose_mantissas",
+    "reconstruct_mantissas",
+    "num_chunks",
+    "passes_required",
+]
+
+#: Width of the mantissa chunks processed by one fMAC pass.
+DEFAULT_CHUNK_BITS = 2
+
+
+def num_chunks(mantissa_bits: int, chunk_bits: int = DEFAULT_CHUNK_BITS) -> int:
+    """Number of chunks needed to hold an ``mantissa_bits``-wide mantissa."""
+    if mantissa_bits < 1:
+        raise ValueError("mantissa_bits must be >= 1")
+    if chunk_bits < 1:
+        raise ValueError("chunk_bits must be >= 1")
+    return -(-mantissa_bits // chunk_bits)
+
+
+def passes_required(
+    mantissa_bits_a: int,
+    mantissa_bits_b: int,
+    chunk_bits: int = DEFAULT_CHUNK_BITS,
+) -> int:
+    """fMAC passes needed to multiply two mantissas of the given widths.
+
+    For the paper's 2-bit chunks: (2, 2) -> 1 pass, (4, 2) -> 2 passes,
+    (4, 4) -> 4 passes.
+    """
+    return num_chunks(mantissa_bits_a, chunk_bits) * num_chunks(mantissa_bits_b, chunk_bits)
+
+
+def decompose_mantissas(
+    mantissas: np.ndarray,
+    mantissa_bits: int,
+    chunk_bits: int = DEFAULT_CHUNK_BITS,
+):
+    """Split unsigned mantissas into chunks, most significant chunk first.
+
+    Parameters
+    ----------
+    mantissas:
+        Array of unsigned mantissa magnitudes, each ``< 2**mantissa_bits``.
+    mantissa_bits:
+        Width of the mantissas being decomposed.
+    chunk_bits:
+        Width of each chunk (2 in the paper).
+
+    Returns
+    -------
+    chunks:
+        Integer array with a new leading axis of length ``num_chunks``; entry
+        ``chunks[k]`` holds the k-th most significant chunk of every mantissa.
+    offsets:
+        List of exponent offsets (``0, -chunk_bits, -2*chunk_bits, ...``), one
+        per chunk, to be applied by the BFP converter.
+    """
+    mantissas = np.asarray(mantissas, dtype=np.int64)
+    if mantissas.size and mantissas.min() < 0:
+        raise ValueError("mantissas must be unsigned magnitudes")
+    if mantissas.size and mantissas.max() >= (1 << mantissa_bits):
+        raise ValueError(
+            f"mantissa value {int(mantissas.max())} does not fit in {mantissa_bits} bits"
+        )
+    count = num_chunks(mantissa_bits, chunk_bits)
+    total_bits = count * chunk_bits
+    chunk_mask = (1 << chunk_bits) - 1
+    chunks = np.empty((count,) + mantissas.shape, dtype=np.int64)
+    offsets = []
+    for k in range(count):
+        shift = total_bits - (k + 1) * chunk_bits
+        chunks[k] = (mantissas >> shift) & chunk_mask
+        offsets.append(-(k * chunk_bits))
+    return chunks, offsets
+
+
+def reconstruct_mantissas(
+    chunks: np.ndarray,
+    chunk_bits: int = DEFAULT_CHUNK_BITS,
+) -> np.ndarray:
+    """Reassemble mantissas from chunks produced by :func:`decompose_mantissas`."""
+    chunks = np.asarray(chunks, dtype=np.int64)
+    count = chunks.shape[0]
+    result = np.zeros(chunks.shape[1:], dtype=np.int64)
+    for k in range(count):
+        result = (result << chunk_bits) | chunks[k]
+    return result

@@ -1,0 +1,132 @@
+"""Software model of the BFP converter (Figure 14).
+
+The converter takes a group of FP values and produces BFP values following
+the pipeline of Figure 4: max-exponent search (comparator tree), mantissa
+alignment (barrel shifters), stochastic noise injection (LFSR) and
+truncation.  It also computes the relative-improvement statistic ``r(X)``
+(Equation 2) that Algorithm 1 uses to choose between the 2-bit and 4-bit
+mantissa, because in hardware that statistic is produced as a by-product of
+conversion.
+
+All outputs of the hardware converter are stored with 4-bit mantissas split
+into two 2-bit chunks; when the policy selects 2 bits the low-order chunk is
+simply discarded (Section V-D).  The software model mirrors that by exposing
+both precisions from a single conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .bfp import BFPConfig, bfp_quantize, bfp_quantize_tensor, BFPTensor
+
+__all__ = ["ConversionResult", "BFPConverter", "relative_improvement"]
+
+
+def relative_improvement(x, config: Optional[BFPConfig] = None, low_bits: int = 2, high_bits: int = 4) -> float:
+    """Relative improvement ``r(X)`` of high- over low-precision BFP (Eq. 2).
+
+    ``r(X) = sum_n |BFP(X_n, high) - BFP(X_n, low)| / sum_n |BFP(X_n, low)|``
+
+    A small value means the extra mantissa bits barely change the quantized
+    tensor, so the cheaper low-precision format is good enough; a large value
+    means low precision is losing significant information.
+    """
+    if config is None:
+        config = BFPConfig()
+    x = np.asarray(x, dtype=np.float64)
+    low = bfp_quantize(
+        x,
+        mantissa_bits=low_bits,
+        group_size=config.group_size,
+        exponent_bits=config.exponent_bits,
+        rounding="nearest",
+    )
+    high = bfp_quantize(
+        x,
+        mantissa_bits=high_bits,
+        group_size=config.group_size,
+        exponent_bits=config.exponent_bits,
+        rounding="nearest",
+    )
+    denominator = float(np.abs(low).sum())
+    numerator = float(np.abs(high - low).sum())
+    if denominator == 0.0:
+        # An all-zero low-precision tensor means everything was truncated
+        # away; any non-zero difference is an infinite relative improvement.
+        return float("inf") if numerator > 0.0 else 0.0
+    return numerator / denominator
+
+
+@dataclass
+class ConversionResult:
+    """Output of one :class:`BFPConverter` invocation."""
+
+    quantized: np.ndarray
+    packed: BFPTensor
+    relative_improvement: float
+    mantissa_bits: int
+
+
+class BFPConverter:
+    """FP32 -> BFP conversion unit with relative-improvement computation.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`BFPConfig` (group size, exponent width, rounding mode).
+    low_bits, high_bits:
+        The two mantissa precisions supported by Algorithm 1 (2 and 4 bits in
+        the paper).
+    rng:
+        Random source used when ``config.rounding == "stochastic"``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BFPConfig] = None,
+        low_bits: int = 2,
+        high_bits: int = 4,
+        rng=None,
+    ):
+        self.config = config if config is not None else BFPConfig()
+        if low_bits >= high_bits:
+            raise ValueError("low_bits must be strictly smaller than high_bits")
+        self.low_bits = low_bits
+        self.high_bits = high_bits
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def convert(self, x, mantissa_bits: Optional[int] = None, axis: int = -1) -> ConversionResult:
+        """Convert ``x`` to BFP with the requested (or configured) mantissa width."""
+        bits = mantissa_bits if mantissa_bits is not None else self.config.mantissa_bits
+        cfg = self.config.with_mantissa(bits)
+        packed = bfp_quantize_tensor(x, config=cfg, rng=self.rng, axis=axis)
+        quantized = packed.to_float()
+        r_value = relative_improvement(x, self.config, self.low_bits, self.high_bits)
+        return ConversionResult(
+            quantized=quantized,
+            packed=packed,
+            relative_improvement=r_value,
+            mantissa_bits=bits,
+        )
+
+    def convert_adaptive(self, x, threshold: float, axis: int = -1) -> ConversionResult:
+        """Convert ``x`` choosing the mantissa width per Algorithm 1.
+
+        If the relative improvement of the high-precision format is below
+        ``threshold`` the low-precision mantissa is used; otherwise the
+        high-precision one.
+        """
+        r_value = relative_improvement(x, self.config, self.low_bits, self.high_bits)
+        bits = self.low_bits if r_value < threshold else self.high_bits
+        cfg = self.config.with_mantissa(bits)
+        packed = bfp_quantize_tensor(x, config=cfg, rng=self.rng, axis=axis)
+        return ConversionResult(
+            quantized=packed.to_float(),
+            packed=packed,
+            relative_improvement=r_value,
+            mantissa_bits=bits,
+        )

@@ -1,0 +1,136 @@
+"""BFP memory layout model (Section V-D, Figure 15).
+
+The FAST system stores the shared exponent and the mantissas of a BFP group
+separately.  Mantissas are split into 2-bit chunks, and the k-th chunks of
+all mantissas in a group are packed into the same memory word so that one
+fMAC pass can stream one word per group.  Each mantissa also carries a sign
+bit, so a 2-bit chunk occupies 3 stored bits.
+
+Total bits per group: ``e + g * (m / 2) * 3``.  With the paper's hardware
+parameters (``e = 3``, ``g = 16``) this gives 3.19 bits per value for m=2 and
+6.19 bits per value for m=4 (reported as "3.2" and "6.2" in the paper).
+
+This module provides the bit accounting used by the SRAM sizing model and a
+functional pack/unpack pair that mirrors the word layout, which the tests use
+to check that the layout is lossless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .bfp import BFPTensor
+from .chunks import decompose_mantissas, reconstruct_mantissas
+
+__all__ = [
+    "BFPMemoryLayout",
+    "bits_per_group",
+    "bits_per_value",
+    "pack_group",
+    "unpack_group",
+]
+
+
+def bits_per_group(exponent_bits: int, group_size: int, mantissa_bits: int, chunk_bits: int = 2) -> int:
+    """Storage bits for one BFP group under the chunked layout."""
+    chunks = -(-mantissa_bits // chunk_bits)
+    return exponent_bits + group_size * chunks * (chunk_bits + 1)
+
+
+def bits_per_value(exponent_bits: int, group_size: int, mantissa_bits: int, chunk_bits: int = 2) -> float:
+    """Average storage bits per value (the 3.2 / 6.2 figures of Section V-D)."""
+    return bits_per_group(exponent_bits, group_size, mantissa_bits, chunk_bits) / group_size
+
+
+def pack_group(
+    signs: np.ndarray,
+    mantissas: np.ndarray,
+    exponent: int,
+    mantissa_bits: int,
+    chunk_bits: int = 2,
+) -> Dict[str, object]:
+    """Pack one BFP group into the word-oriented layout of Figure 15.
+
+    Returns a dictionary with the exponent entry and a list of mantissa-memory
+    words, one per chunk position.  Each word is a list of ``(sign_bit,
+    chunk_value)`` pairs in group order, matching how the hardware streams a
+    chunk of every mantissa in one access.
+    """
+    signs = np.asarray(signs).reshape(-1)
+    mantissas = np.asarray(mantissas).reshape(-1)
+    if signs.shape != mantissas.shape:
+        raise ValueError("signs and mantissas must have the same length")
+    chunks, offsets = decompose_mantissas(mantissas, mantissa_bits, chunk_bits)
+    sign_bits = (signs < 0).astype(np.int64)
+    words: List[List[Tuple[int, int]]] = []
+    for k in range(chunks.shape[0]):
+        words.append([(int(sign_bits[j]), int(chunks[k, j])) for j in range(signs.size)])
+    return {
+        "exponent": int(exponent),
+        "words": words,
+        "offsets": offsets,
+        "mantissa_bits": mantissa_bits,
+        "chunk_bits": chunk_bits,
+    }
+
+
+def unpack_group(packed: Dict[str, object]) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Invert :func:`pack_group`, returning ``(signs, mantissas, exponent)``."""
+    words = packed["words"]
+    chunk_bits = packed["chunk_bits"]
+    group_size = len(words[0])
+    chunk_array = np.array([[pair[1] for pair in word] for word in words], dtype=np.int64)
+    mantissas = reconstruct_mantissas(chunk_array, chunk_bits)
+    sign_bits = np.array([pair[0] for pair in words[0]], dtype=np.int64)
+    signs = np.where(sign_bits == 1, -1, 1).astype(np.int8)
+    signs = np.where(mantissas == 0, 0, signs).astype(np.int8)
+    assert len(signs) == group_size
+    return signs, mantissas, int(packed["exponent"])
+
+
+@dataclass
+class BFPMemoryLayout:
+    """Bit-level storage accounting for BFP tensors.
+
+    Parameters mirror the hardware configuration of Section V-D: a 3-bit
+    shared exponent, group size 16 and 2-bit mantissa chunks.
+    """
+
+    exponent_bits: int = 3
+    group_size: int = 16
+    chunk_bits: int = 2
+
+    def group_bits(self, mantissa_bits: int) -> int:
+        return bits_per_group(self.exponent_bits, self.group_size, mantissa_bits, self.chunk_bits)
+
+    def value_bits(self, mantissa_bits: int) -> float:
+        return bits_per_value(self.exponent_bits, self.group_size, mantissa_bits, self.chunk_bits)
+
+    def tensor_bits(self, num_values: int, mantissa_bits: int) -> int:
+        """Storage bits for ``num_values`` values (padded to whole groups)."""
+        groups = -(-num_values // self.group_size)
+        return groups * self.group_bits(mantissa_bits)
+
+    def tensor_bytes(self, num_values: int, mantissa_bits: int) -> float:
+        return self.tensor_bits(num_values, mantissa_bits) / 8.0
+
+    def pack_tensor(self, tensor: BFPTensor) -> List[Dict[str, object]]:
+        """Pack every group of a :class:`BFPTensor` into memory words."""
+        signs = tensor.signs.reshape(-1, tensor.group_size)
+        mantissas = tensor.mantissas.reshape(-1, tensor.group_size)
+        exponents = tensor.exponents.reshape(-1)
+        packed = []
+        for index in range(exponents.size):
+            packed.append(
+                pack_group(
+                    signs[index],
+                    mantissas[index],
+                    int(exponents[index]),
+                    tensor.mantissa_bits,
+                    self.chunk_bits,
+                )
+            )
+        return packed

@@ -1,0 +1,180 @@
+"""Rounding primitives used by BFP and fixed-point quantization.
+
+The paper (Section III) relies on three rounding behaviours when mapping
+full-precision values onto a low-precision grid:
+
+* ``nearest`` -- conventional round-half-away-from-zero to the closest grid
+  point.  Used for weights and activations.
+* ``truncate`` -- drop the low-order bits (floor of the magnitude).  This is
+  what the alignment/truncation hardware of Figure 4 does when no noise is
+  injected.
+* ``stochastic`` -- add uniform noise in ``[0, 1)`` (quantized to a small
+  number of noise bits in hardware) before truncating.  Theorem 1 shows this
+  keeps the expected quantized value equal to the unquantized one, which is
+  why the paper applies it to gradients.
+
+All functions operate on *mantissa-scaled* magnitudes: the caller divides the
+value by the quantization step so that one unit corresponds to one least
+significant mantissa bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "RoundingMode",
+    "LFSR",
+    "round_nearest",
+    "round_truncate",
+    "round_stochastic",
+    "apply_rounding",
+    "VALID_MODES",
+]
+
+
+#: The rounding modes accepted throughout the library.
+VALID_MODES = ("nearest", "truncate", "stochastic")
+
+
+class RoundingMode:
+    """Symbolic constants for the supported rounding modes."""
+
+    NEAREST = "nearest"
+    TRUNCATE = "truncate"
+    STOCHASTIC = "stochastic"
+
+
+class LFSR:
+    """A Fibonacci linear feedback shift register noise source.
+
+    The BFP converter of Figure 14 uses an LFSR to produce the random bits
+    added to mantissas before truncation.  This software model reproduces a
+    maximal-length 16-bit LFSR (taps 16, 15, 13, 4) and exposes a NumPy
+    friendly interface for drawing uniform values with a configurable number
+    of noise bits, mirroring the ``q = 2**noise_bits`` precision discussed in
+    Section III-D.
+
+    Parameters
+    ----------
+    seed:
+        Initial register state.  Must be non-zero; the all-zero state is a
+        fixed point of the LFSR.
+    width:
+        Register width in bits.
+    """
+
+    _TAPS = (16, 15, 13, 4)
+
+    def __init__(self, seed: int = 0xACE1, width: int = 16):
+        if width < 4:
+            raise ValueError("LFSR width must be at least 4 bits")
+        self.width = width
+        self._mask = (1 << width) - 1
+        seed &= self._mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.state = seed
+
+    def next_bit(self) -> int:
+        """Advance the register by one step and return the output bit."""
+        taps = [min(t, self.width) for t in self._TAPS]
+        bit = 0
+        for tap in taps:
+            bit ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | bit) & self._mask
+        return bit
+
+    def next_int(self, bits: int) -> int:
+        """Return the next ``bits``-wide unsigned integer from the stream."""
+        value = 0
+        for _ in range(bits):
+            value = (value << 1) | self.next_bit()
+        return value
+
+    def uniform(self, shape, noise_bits: int = 8) -> np.ndarray:
+        """Draw an array of quantized uniform values in ``[0, 1)``.
+
+        Each element is an integer multiple of ``1 / 2**noise_bits``, exactly
+        as the hardware adds ``noise_bits`` random bits below the truncation
+        point.
+        """
+        count = int(np.prod(shape)) if shape else 1
+        draws = np.array([self.next_int(noise_bits) for _ in range(count)], dtype=np.float64)
+        draws /= float(1 << noise_bits)
+        return draws.reshape(shape)
+
+
+def _as_float_array(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)
+
+
+def round_nearest(x) -> np.ndarray:
+    """Round to the nearest integer, halves away from zero.
+
+    ``np.round`` uses banker's rounding, which is not what fixed-point
+    hardware typically implements, so we round half away from zero instead.
+    """
+    x = _as_float_array(x)
+    return np.sign(x) * np.floor(np.abs(x) + 0.5)
+
+
+def round_truncate(x) -> np.ndarray:
+    """Truncate toward zero (drop the fractional bits of the magnitude)."""
+    x = _as_float_array(x)
+    return np.sign(x) * np.floor(np.abs(x))
+
+
+def round_stochastic(x, rng=None, noise_bits: int = 8) -> np.ndarray:
+    """Stochastically round toward one of the two neighbouring integers.
+
+    A magnitude ``v`` with fractional part ``f`` is rounded up with
+    probability ``f`` and down with probability ``1 - f`` (up to the
+    resolution of ``noise_bits``), so that ``E[round(v)] == v`` when the noise
+    has full precision (Theorem 1 of the paper).
+
+    Parameters
+    ----------
+    x:
+        Values scaled so that the quantization step is one unit.
+    rng:
+        Either a :class:`numpy.random.Generator`, an :class:`LFSR`, or
+        ``None`` (a fresh default generator).
+    noise_bits:
+        Number of random bits added below the truncation point.  The paper's
+        hardware uses 8-bit LFSR streams; its worked example in Figure 4 uses
+        three bits (``q = 8``).
+    """
+    x = _as_float_array(x)
+    if rng is None:
+        rng = np.random.default_rng()
+    if isinstance(rng, LFSR):
+        noise = rng.uniform(x.shape, noise_bits=noise_bits)
+    else:
+        if noise_bits is None:
+            noise = rng.random(x.shape)
+        else:
+            levels = 1 << noise_bits
+            noise = rng.integers(0, levels, size=x.shape).astype(np.float64) / levels
+    return np.sign(x) * np.floor(np.abs(x) + noise)
+
+
+def apply_rounding(x, mode: str, rng=None, noise_bits: int = 8) -> np.ndarray:
+    """Dispatch to one of the rounding primitives by name.
+
+    Parameters
+    ----------
+    x:
+        Mantissa-scaled values (one unit per least significant bit).
+    mode:
+        One of ``"nearest"``, ``"truncate"`` or ``"stochastic"``.
+    rng, noise_bits:
+        Only used by stochastic rounding; see :func:`round_stochastic`.
+    """
+    if mode == RoundingMode.NEAREST:
+        return round_nearest(x)
+    if mode == RoundingMode.TRUNCATE:
+        return round_truncate(x)
+    if mode == RoundingMode.STOCHASTIC:
+        return round_stochastic(x, rng=rng, noise_bits=noise_bits)
+    raise ValueError(f"unknown rounding mode {mode!r}; expected one of {VALID_MODES}")

@@ -1,0 +1,18 @@
+"""Synthetic dataset substrate (offline substitutes for CIFAR/ImageNet/IWSLT/VOC)."""
+
+from .detection import SyntheticDetectionDataset
+from .loader import DataLoader
+from .translation import BOS, EOS, PAD, SyntheticTranslationDataset
+from .vision import SyntheticImageDataset, synthetic_cifar, synthetic_imagenet
+
+__all__ = [
+    "DataLoader",
+    "SyntheticImageDataset",
+    "synthetic_cifar",
+    "synthetic_imagenet",
+    "SyntheticTranslationDataset",
+    "PAD",
+    "BOS",
+    "EOS",
+    "SyntheticDetectionDataset",
+]

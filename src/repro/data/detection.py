@@ -1,0 +1,149 @@
+"""Synthetic object-detection dataset (PASCAL VOC substitute).
+
+Images contain one or two axis-aligned rectangles; each class has a distinct
+colour signature and fill texture.  Targets are produced directly in the
+YOLO grid layout expected by :func:`repro.models.yolo.yolo_loss`:
+``(grid, grid, 5 + num_classes)`` with ``(tx, ty, tw, th, objectness,
+one-hot class)`` per cell, where the cell containing a box centre owns the
+box.  Ground-truth boxes in normalized coordinates are also kept for mAP
+scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticDetectionDataset"]
+
+
+@dataclass
+class SyntheticDetectionDataset:
+    """Images with coloured rectangles and YOLO-format targets.
+
+    Parameters
+    ----------
+    num_samples:
+        Number of images.
+    num_classes:
+        Number of object classes (distinct colour signatures).
+    image_size:
+        Square image resolution; must be divisible by ``grid_size``.
+    grid_size:
+        YOLO grid resolution (matches the model's output map).
+    max_objects:
+        Maximum number of objects per image (1 or 2).
+    noise:
+        Background noise standard deviation.
+    seed:
+        Seed for reproducible generation.
+    """
+
+    num_samples: int = 128
+    num_classes: int = 3
+    image_size: int = 32
+    grid_size: int = 4
+    max_objects: int = 2
+    noise: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.image_size % self.grid_size:
+            raise ValueError("image_size must be divisible by grid_size")
+        rng = np.random.default_rng(self.seed)
+        # Each class gets a distinct RGB signature.
+        self.class_colors = rng.uniform(0.5, 1.5, size=(self.num_classes, 3))
+        channels = 3
+        depth = 5 + self.num_classes
+
+        self.images = rng.standard_normal(
+            (self.num_samples, channels, self.image_size, self.image_size)) * self.noise
+        self.targets = np.zeros((self.num_samples, self.grid_size, self.grid_size, depth))
+        self.boxes: List[List[Tuple[float, float, float, float, int]]] = []
+
+        for index in range(self.num_samples):
+            count = rng.integers(1, self.max_objects + 1)
+            image_boxes = []
+            for _ in range(count):
+                class_id = int(rng.integers(0, self.num_classes))
+                width = rng.uniform(0.2, 0.45)
+                height = rng.uniform(0.2, 0.45)
+                x_center = rng.uniform(width / 2, 1.0 - width / 2)
+                y_center = rng.uniform(height / 2, 1.0 - height / 2)
+                self._draw_box(index, x_center, y_center, width, height, class_id, rng)
+                self._write_target(index, x_center, y_center, width, height, class_id)
+                image_boxes.append((x_center, y_center, width, height, class_id))
+            self.boxes.append(image_boxes)
+
+    def _draw_box(self, index: int, x_center: float, y_center: float,
+                  width: float, height: float, class_id: int, rng: np.random.Generator) -> None:
+        size = self.image_size
+        x0 = int((x_center - width / 2) * size)
+        x1 = int((x_center + width / 2) * size)
+        y0 = int((y_center - height / 2) * size)
+        y1 = int((y_center + height / 2) * size)
+        color = self.class_colors[class_id]
+        texture = rng.standard_normal((3, max(y1 - y0, 1), max(x1 - x0, 1))) * 0.1
+        self.images[index, :, y0:y1, x0:x1] = color[:, None, None] + texture
+
+    def _write_target(self, index: int, x_center: float, y_center: float,
+                      width: float, height: float, class_id: int) -> None:
+        grid = self.grid_size
+        cell_x = min(int(x_center * grid), grid - 1)
+        cell_y = min(int(y_center * grid), grid - 1)
+        tx = x_center * grid - cell_x
+        ty = y_center * grid - cell_y
+        tw = np.log(max(width * grid, 1e-6))
+        th = np.log(max(height * grid, 1e-6))
+        target = self.targets[index, cell_y, cell_x]
+        target[0:4] = (tx, ty, tw, th)
+        target[4] = 1.0
+        target[5 + class_id] = 1.0
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def __getitem__(self, index: int):
+        return self.images[index], self.targets[index]
+
+    def arrays(self):
+        """The whole dataset as ``(images, targets)`` arrays."""
+        return self.images, self.targets
+
+    def ground_truth_boxes(self) -> List[List[Tuple[float, float, float, float, int]]]:
+        """Ground-truth boxes per image as (x, y, w, h, class_id) in [0, 1] coords."""
+        return self.boxes
+
+    def split(self, train_fraction: float = 0.8):
+        """Deterministic train/validation split."""
+        cut = int(self.num_samples * train_fraction)
+        return _SubsetDetectionDataset(self, np.arange(cut)), \
+            _SubsetDetectionDataset(self, np.arange(cut, self.num_samples))
+
+
+class _SubsetDetectionDataset:
+    """A view of a subset of a :class:`SyntheticDetectionDataset`."""
+
+    def __init__(self, parent: SyntheticDetectionDataset, indices: np.ndarray):
+        self.parent = parent
+        self.indices = np.asarray(indices)
+        self.images = parent.images[self.indices]
+        self.targets = parent.targets[self.indices]
+        self.boxes = [parent.boxes[i] for i in self.indices]
+        self.num_classes = parent.num_classes
+        self.grid_size = parent.grid_size
+        self.image_size = parent.image_size
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.images[index], self.targets[index]
+
+    def arrays(self):
+        return self.images, self.targets
+
+    def ground_truth_boxes(self):
+        return self.boxes

@@ -1,0 +1,69 @@
+"""Minimal batching data loader.
+
+Works with any dataset exposing ``__len__`` and ``__getitem__``; batches are
+built by stacking the per-sample arrays.  Labels/targets that are tuples
+(e.g. the translation dataset's ``(decoder_input, decoder_target)``) are
+stacked element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["DataLoader"]
+
+
+def _stack(items):
+    first = items[0]
+    if isinstance(first, tuple):
+        return tuple(_stack([item[i] for item in items]) for i in range(len(first)))
+    return np.stack([np.asarray(item) for item in items])
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled (or ordered) mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Object with ``__len__`` and ``__getitem__`` returning ``(x, y)``.
+    batch_size:
+        Samples per batch.
+    shuffle:
+        Reshuffle sample order at the start of each iteration.
+    drop_last:
+        Drop the final batch when it is smaller than ``batch_size``.
+    seed:
+        Seed of the shuffling RNG (per-loader, advanced every epoch).
+    """
+
+    def __init__(self, dataset, batch_size: int = 32, shuffle: bool = True,
+                 drop_last: bool = False, seed: int = 0):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        count = len(self.dataset)
+        if self.drop_last:
+            return count // self.batch_size
+        return -(-count // self.batch_size)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            samples = [self.dataset[int(i)] for i in batch_indices]
+            inputs = _stack([sample[0] for sample in samples])
+            labels = _stack([sample[1] for sample in samples])
+            yield inputs, labels

@@ -1,0 +1,44 @@
+"""Number formats used for DNN training and inference (Figure 2 of the paper)."""
+
+from .base import NumberFormat, TensorKind
+from .blockfp import BFPFormat, HighBFPFormat, LowBFPFormat, MidBFPFormat, MSFP12Format
+from .fixed import BinaryFormat, FixedPointFormat, INT8Format, INT12Format, uniform_quantize
+from .floating import (
+    BFloat16Format,
+    FP16Format,
+    FP32Format,
+    HFP8Format,
+    NvidiaMixedPrecisionFormat,
+    TensorFloat32Format,
+    float_quantize,
+)
+from .related import FlexpointFormat, TileBFPFormat
+from .registry import TABLE2_FORMATS, available_formats, get_format, register_format
+
+__all__ = [
+    "NumberFormat",
+    "TensorKind",
+    "BFPFormat",
+    "LowBFPFormat",
+    "MidBFPFormat",
+    "HighBFPFormat",
+    "MSFP12Format",
+    "FlexpointFormat",
+    "TileBFPFormat",
+    "FixedPointFormat",
+    "INT8Format",
+    "INT12Format",
+    "BinaryFormat",
+    "uniform_quantize",
+    "FP32Format",
+    "FP16Format",
+    "BFloat16Format",
+    "TensorFloat32Format",
+    "HFP8Format",
+    "NvidiaMixedPrecisionFormat",
+    "float_quantize",
+    "get_format",
+    "register_format",
+    "available_formats",
+    "TABLE2_FORMATS",
+]

@@ -1,0 +1,67 @@
+"""Common interface for the number formats of Figure 2.
+
+Every format exposes :meth:`NumberFormat.quantize`, which maps an FP32 array
+onto the format's representable grid ("fake quantization").  The quantization
+may depend on the *tensor kind* -- weights, activations or gradients --
+because several formats in the paper treat them differently (HFP8 uses a
+different exponent/mantissa split for the backward pass; FAST applies
+stochastic rounding only to gradients).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NumberFormat", "TensorKind"]
+
+
+class TensorKind:
+    """Symbolic names for the tensor kinds a format may distinguish."""
+
+    WEIGHT = "weight"
+    ACTIVATION = "activation"
+    GRADIENT = "gradient"
+
+    ALL = (WEIGHT, ACTIVATION, GRADIENT)
+
+
+class NumberFormat:
+    """Base class for all number formats.
+
+    Subclasses must implement :meth:`quantize` and should set ``name``,
+    ``exponent_bits`` and ``mantissa_bits`` so that the hardware cost models
+    can reason about them.  ``group_size`` is ``None`` for scalar formats and
+    the BFP group size for block formats.
+    """
+
+    #: Short identifier used by the registry and by benchmark tables.
+    name: str = "abstract"
+    #: Exponent field width (0 for fixed point formats).
+    exponent_bits: int = 0
+    #: Mantissa field width excluding the sign bit.
+    mantissa_bits: int = 0
+    #: Number of values sharing an exponent (None for scalar formats).
+    group_size: Optional[int] = None
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        """Return ``x`` snapped onto this format's representable values."""
+        raise NotImplementedError
+
+    @property
+    def bits_per_value(self) -> float:
+        """Average storage bits per value (sign + mantissa + amortized exponent)."""
+        if self.group_size:
+            return 1 + self.mantissa_bits + self.exponent_bits / self.group_size
+        return 1 + self.mantissa_bits + self.exponent_bits
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports."""
+        parts = [f"e={self.exponent_bits}", f"m={self.mantissa_bits}"]
+        if self.group_size:
+            parts.insert(0, f"g={self.group_size}")
+        return f"{self.name} ({', '.join(parts)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"<{type(self).__name__} {self.describe()}>"

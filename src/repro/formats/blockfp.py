@@ -1,0 +1,123 @@
+"""Block floating point number formats (the bottom row of Figure 2).
+
+These wrap :func:`repro.core.bfp.bfp_quantize` behind the
+:class:`~repro.formats.base.NumberFormat` interface so trainers can treat BFP
+exactly like any scalar format.  The fixed-precision baselines of Section VI
+are provided as named classes:
+
+* ``LowBFP``  -- e=3, m=2, g=16
+* ``MidBFP``  -- e=3, m=3, g=16
+* ``HighBFP`` -- e=3, m=4, g=16
+* ``MSFP-12`` -- e=8, m=3, g=16 (Microsoft Floating Point, inference format
+  used as a training baseline in the paper)
+
+FAST's own formats apply stochastic rounding to gradients; MSFP-12, being a
+post-training-quantization format, uses nearest rounding everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.bfp import BFPConfig, bfp_quantize
+from .base import NumberFormat, TensorKind
+
+__all__ = [
+    "BFPFormat",
+    "LowBFPFormat",
+    "MidBFPFormat",
+    "HighBFPFormat",
+    "MSFP12Format",
+]
+
+
+class BFPFormat(NumberFormat):
+    """Fixed-precision BFP format.
+
+    Parameters
+    ----------
+    mantissa_bits, group_size, exponent_bits:
+        The BFP parameters ``m``, ``g`` and ``e``.
+    stochastic_gradients:
+        Apply stochastic rounding when quantizing gradients (Section III-C
+        argues this is essential at low mantissa widths).
+    name:
+        Registry name; derived from the parameters when omitted.
+    """
+
+    def __init__(
+        self,
+        mantissa_bits: int = 4,
+        group_size: int = 16,
+        exponent_bits: int = 3,
+        stochastic_gradients: bool = True,
+        name: Optional[str] = None,
+        axis: int = -1,
+    ):
+        self.mantissa_bits = mantissa_bits
+        self.group_size = group_size
+        self.exponent_bits = exponent_bits
+        self.stochastic_gradients = stochastic_gradients
+        self.axis = axis
+        self.name = name if name is not None else f"bfp_e{exponent_bits}_m{mantissa_bits}_g{group_size}"
+
+    @property
+    def config(self) -> BFPConfig:
+        """The equivalent :class:`~repro.core.bfp.BFPConfig`."""
+        return BFPConfig(
+            mantissa_bits=self.mantissa_bits,
+            group_size=self.group_size,
+            exponent_bits=self.exponent_bits,
+        )
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        rounding = "nearest"
+        if kind == TensorKind.GRADIENT and self.stochastic_gradients:
+            rounding = "stochastic"
+        return bfp_quantize(
+            x,
+            mantissa_bits=self.mantissa_bits,
+            group_size=self.group_size,
+            exponent_bits=self.exponent_bits,
+            rounding=rounding,
+            axis=self.axis,
+            rng=rng,
+        )
+
+    @property
+    def bits_per_value(self) -> float:
+        return 1 + self.mantissa_bits + self.exponent_bits / self.group_size
+
+
+class LowBFPFormat(BFPFormat):
+    """LowBFP baseline: e=3, m=2, g=16 for all tensors."""
+
+    def __init__(self, stochastic_gradients: bool = True):
+        super().__init__(mantissa_bits=2, group_size=16, exponent_bits=3,
+                         stochastic_gradients=stochastic_gradients, name="low_bfp")
+
+
+class MidBFPFormat(BFPFormat):
+    """MidBFP baseline: e=3, m=3, g=16 for all tensors."""
+
+    def __init__(self, stochastic_gradients: bool = True):
+        super().__init__(mantissa_bits=3, group_size=16, exponent_bits=3,
+                         stochastic_gradients=stochastic_gradients, name="mid_bfp")
+
+
+class HighBFPFormat(BFPFormat):
+    """HighBFP baseline: e=3, m=4, g=16 for all tensors."""
+
+    def __init__(self, stochastic_gradients: bool = True):
+        super().__init__(mantissa_bits=4, group_size=16, exponent_bits=3,
+                         stochastic_gradients=stochastic_gradients, name="high_bfp")
+
+
+class MSFP12Format(BFPFormat):
+    """Microsoft Floating Point MSFP-12: e=8, m=3, g=16, nearest rounding."""
+
+    def __init__(self):
+        super().__init__(mantissa_bits=3, group_size=16, exponent_bits=8,
+                         stochastic_gradients=False, name="msfp12")

@@ -1,0 +1,103 @@
+"""Fixed point (integer) formats with per-tensor uniform quantization.
+
+These are the "Fixed Point Formats" of Figure 2.  The conversion from FP32
+uses conventional symmetric uniform quantization (UQ in the paper's Table I):
+an FP32 per-tensor scale maps the tensor's maximum magnitude to the largest
+representable integer.  Section III-B points out that this FP scale makes the
+INT conversion more expensive than the BFP conversion; the accuracy side is
+what Table II measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NumberFormat, TensorKind
+
+__all__ = ["uniform_quantize", "FixedPointFormat", "INT8Format", "INT12Format", "BinaryFormat"]
+
+
+def uniform_quantize(x, bits: int, rng=None, stochastic: bool = False) -> np.ndarray:
+    """Symmetric per-tensor uniform quantization to ``bits`` total bits.
+
+    One bit is the sign; the remaining ``bits - 1`` bits hold the magnitude,
+    so values are mapped onto ``{-Q, ..., -1, 0, 1, ..., Q}`` with
+    ``Q = 2**(bits-1) - 1`` and a scale of ``max|x| / Q``.
+    """
+    if bits < 2:
+        raise ValueError("uniform quantization needs at least 2 bits (sign + magnitude)")
+    x = np.asarray(x, dtype=np.float64)
+    levels = (1 << (bits - 1)) - 1
+    max_magnitude = float(np.abs(x).max()) if x.size else 0.0
+    if max_magnitude == 0.0:
+        return np.zeros_like(x)
+    scale = max_magnitude / levels
+    scaled = x / scale
+    if stochastic:
+        if rng is None:
+            rng = np.random.default_rng()
+        noise = rng.random(x.shape)
+        quantized = np.sign(scaled) * np.floor(np.abs(scaled) + noise)
+    else:
+        quantized = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+    quantized = np.clip(quantized, -levels, levels)
+    return quantized * scale
+
+
+class FixedPointFormat(NumberFormat):
+    """Generic fixed point format with ``total_bits`` bits (sign included)."""
+
+    exponent_bits = 0
+
+    def __init__(self, total_bits: int, name: str = None, stochastic_gradients: bool = False):
+        if total_bits < 2:
+            raise ValueError("total_bits must be >= 2")
+        self.total_bits = total_bits
+        self.mantissa_bits = total_bits - 1
+        self.name = name if name is not None else f"int{total_bits}"
+        self.stochastic_gradients = stochastic_gradients
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        stochastic = self.stochastic_gradients and kind == TensorKind.GRADIENT
+        return uniform_quantize(x, self.total_bits, rng=rng, stochastic=stochastic)
+
+    @property
+    def bits_per_value(self) -> float:
+        return float(self.total_bits)
+
+
+class INT8Format(FixedPointFormat):
+    """8-bit fixed point (1 sign + 7 magnitude bits)."""
+
+    def __init__(self, stochastic_gradients: bool = False):
+        super().__init__(8, name="int8", stochastic_gradients=stochastic_gradients)
+
+
+class INT12Format(FixedPointFormat):
+    """12-bit fixed point (1 sign + 11 magnitude bits).
+
+    The paper finds INT12 is the narrowest fixed point format matching FP32
+    accuracy, which is the comparison point for BFP's mantissa savings.
+    """
+
+    def __init__(self, stochastic_gradients: bool = False):
+        super().__init__(12, name="int12", stochastic_gradients=stochastic_gradients)
+
+
+class BinaryFormat(NumberFormat):
+    """1-bit binary format (sign only), as used by binarized networks."""
+
+    name = "binary"
+    exponent_bits = 0
+    mantissa_bits = 0
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return np.zeros_like(x)
+        scale = float(np.abs(x).mean()) or 1.0
+        return np.where(x >= 0, scale, -scale)
+
+    @property
+    def bits_per_value(self) -> float:
+        return 1.0

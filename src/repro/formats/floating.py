@@ -1,0 +1,159 @@
+"""Scalar floating point formats: FP32, FP16, bfloat16, TensorFloat-32, HFP8.
+
+These are the "Floating Point Formats" row of Figure 2.  Each format is a
+(sign, exponent, mantissa) triple; fake quantization rounds the mantissa to
+the target width and clamps the exponent to the representable range, flushing
+values below the smallest subnormal to zero and saturating values above the
+largest normal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import NumberFormat, TensorKind
+
+__all__ = [
+    "float_quantize",
+    "FP32Format",
+    "FP16Format",
+    "BFloat16Format",
+    "TensorFloat32Format",
+    "HFP8Format",
+    "NvidiaMixedPrecisionFormat",
+]
+
+
+def float_quantize(x, exponent_bits: int, mantissa_bits: int, rounding: str = "nearest") -> np.ndarray:
+    """Quantize ``x`` to a custom floating point format.
+
+    Parameters
+    ----------
+    x:
+        Input array (any float dtype).
+    exponent_bits:
+        Width of the exponent field.  The bias is ``2**(exponent_bits-1) - 1``
+        as in IEEE 754.
+    mantissa_bits:
+        Width of the stored (fractional) mantissa field.
+    rounding:
+        ``"nearest"`` (default) or ``"truncate"``.
+
+    Subnormals are supported: values between the smallest normal and the
+    smallest subnormal are quantized on the subnormal grid; values below half
+    of the smallest subnormal round to zero.  Magnitudes above the largest
+    representable value saturate.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if exponent_bits < 1:
+        raise ValueError("exponent_bits must be >= 1")
+    if mantissa_bits < 0:
+        raise ValueError("mantissa_bits must be >= 0")
+
+    bias = (1 << (exponent_bits - 1)) - 1
+    max_exponent = (1 << exponent_bits) - 2 - bias  # all-ones exponent reserved for inf/nan
+    min_exponent = 1 - bias
+    max_value = (2.0 - 2.0 ** (-mantissa_bits)) * 2.0 ** max_exponent
+
+    result = np.zeros_like(x)
+    nonzero = x != 0
+    if not np.any(nonzero):
+        return result.astype(x.dtype) if np.issubdtype(x.dtype, np.floating) else result
+
+    values = x[nonzero]
+    magnitudes = np.abs(values)
+    exponents = np.floor(np.log2(magnitudes))
+    exponents = np.clip(exponents, min_exponent, max_exponent)
+    scales = 2.0 ** (exponents - mantissa_bits)
+    scaled = values / scales
+    if rounding == "truncate":
+        quantized = np.sign(scaled) * np.floor(np.abs(scaled))
+    else:
+        quantized = np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+    quantized = quantized * scales
+    quantized = np.clip(quantized, -max_value, max_value)
+    result[nonzero] = quantized
+    if np.issubdtype(x.dtype, np.floating):
+        return result.astype(x.dtype)
+    return result
+
+
+class FP32Format(NumberFormat):
+    """IEEE 754 single precision -- the full-precision baseline."""
+
+    name = "fp32"
+    exponent_bits = 8
+    mantissa_bits = 23
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64).astype(np.float32).astype(np.float64)
+
+
+class FP16Format(NumberFormat):
+    """IEEE 754 half precision (1-5-10), used by Nvidia Mixed Precision."""
+
+    name = "fp16"
+    exponent_bits = 5
+    mantissa_bits = 10
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        return float_quantize(x, self.exponent_bits, self.mantissa_bits)
+
+
+class BFloat16Format(NumberFormat):
+    """Google bfloat16 (1-8-7): FP32 dynamic range with a short mantissa."""
+
+    name = "bfloat16"
+    exponent_bits = 8
+    mantissa_bits = 7
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        return float_quantize(x, self.exponent_bits, self.mantissa_bits)
+
+
+class TensorFloat32Format(NumberFormat):
+    """Nvidia TensorFloat-32 (1-8-10)."""
+
+    name = "tf32"
+    exponent_bits = 8
+    mantissa_bits = 10
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        return float_quantize(x, self.exponent_bits, self.mantissa_bits)
+
+
+class HFP8Format(NumberFormat):
+    """IBM Hybrid FP8: 1-4-3 for the forward pass, 1-5-2 for the backward pass.
+
+    Weights and activations (forward-pass tensors) use the 4-bit-exponent
+    variant; gradients (backward-pass tensors) use the 5-bit-exponent variant
+    with its wider dynamic range.
+    """
+
+    name = "hfp8"
+    exponent_bits = 4
+    mantissa_bits = 3
+    backward_exponent_bits = 5
+    backward_mantissa_bits = 2
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        if kind == TensorKind.GRADIENT:
+            return float_quantize(x, self.backward_exponent_bits, self.backward_mantissa_bits)
+        return float_quantize(x, self.exponent_bits, self.mantissa_bits)
+
+
+class NvidiaMixedPrecisionFormat(NumberFormat):
+    """Nvidia Mixed Precision: FP16 compute with an FP32 master copy of weights.
+
+    The fake-quantization model keeps weights in FP32 (master copy) while
+    activations and gradients pass through FP16, which is how the scheme
+    behaves numerically at the matrix-multiply inputs.
+    """
+
+    name = "nvidia_mp"
+    exponent_bits = 5
+    mantissa_bits = 10
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        quantized = float_quantize(x, self.exponent_bits, self.mantissa_bits)
+        return quantized

@@ -1,0 +1,99 @@
+"""Name-based registry of number formats.
+
+Benchmarks and trainers refer to formats by the short names used in the
+paper's tables (``fp32``, ``bfloat16``, ``nvidia_mp``, ``int8``, ``int12``,
+``msfp12``, ``low_bfp``, ``mid_bfp``, ``high_bfp``, ``hfp8``).  The registry
+constructs a fresh format object per request so callers can mutate format
+state (e.g. RNGs) without interference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import NumberFormat
+from .blockfp import BFPFormat, HighBFPFormat, LowBFPFormat, MidBFPFormat, MSFP12Format
+from .fixed import BinaryFormat, INT8Format, INT12Format
+from .floating import (
+    BFloat16Format,
+    FP16Format,
+    FP32Format,
+    HFP8Format,
+    NvidiaMixedPrecisionFormat,
+    TensorFloat32Format,
+)
+from .related import FlexpointFormat, TileBFPFormat
+
+__all__ = ["get_format", "register_format", "available_formats", "TABLE2_FORMATS"]
+
+
+_REGISTRY: Dict[str, Callable[[], NumberFormat]] = {
+    "fp32": FP32Format,
+    "fp16": FP16Format,
+    "bfloat16": BFloat16Format,
+    "tf32": TensorFloat32Format,
+    "hfp8": HFP8Format,
+    "nvidia_mp": NvidiaMixedPrecisionFormat,
+    "int8": INT8Format,
+    "int12": INT12Format,
+    "binary": BinaryFormat,
+    "msfp12": MSFP12Format,
+    "low_bfp": LowBFPFormat,
+    "mid_bfp": MidBFPFormat,
+    "high_bfp": HighBFPFormat,
+    "flexpoint": FlexpointFormat,
+    "tile_bfp": TileBFPFormat,
+}
+
+#: The column order of Table II in the paper.
+TABLE2_FORMATS: List[str] = [
+    "fp32",
+    "bfloat16",
+    "nvidia_mp",
+    "int8",
+    "int12",
+    "msfp12",
+    "low_bfp",
+    "mid_bfp",
+    "high_bfp",
+    "hfp8",
+]
+
+
+def register_format(name: str, factory: Callable[[], NumberFormat], overwrite: bool = False) -> None:
+    """Register a new format factory under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"format {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_format(name: str, **kwargs) -> NumberFormat:
+    """Instantiate the format registered under ``name``.
+
+    Custom BFP configurations can be requested with names of the form
+    ``bfp_e<E>_m<M>_g<G>`` (for example ``bfp_e3_m4_g8``).
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name](**kwargs)
+    if name.startswith("bfp_"):
+        params = _parse_bfp_name(name)
+        params.update(kwargs)
+        return BFPFormat(**params)
+    raise KeyError(f"unknown number format {name!r}; known formats: {sorted(_REGISTRY)}")
+
+
+def available_formats() -> List[str]:
+    """Names of all registered formats."""
+    return sorted(_REGISTRY)
+
+
+def _parse_bfp_name(name: str) -> Dict[str, int]:
+    parts = name.split("_")[1:]
+    params: Dict[str, int] = {}
+    mapping = {"e": "exponent_bits", "m": "mantissa_bits", "g": "group_size"}
+    for part in parts:
+        key, value = part[0], part[1:]
+        if key not in mapping or not value.isdigit():
+            raise KeyError(f"cannot parse BFP format name {name!r}")
+        params[mapping[key]] = int(value)
+    return params

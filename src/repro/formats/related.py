@@ -1,0 +1,122 @@
+"""Related-work block formats discussed in Section II-A.
+
+The paper positions FAST against two earlier BFP-for-training proposals:
+
+* **Flexpoint** (Koster et al., NeurIPS 2017): a 16-bit mantissa with a
+  single 5-bit exponent shared across an *entire tensor*.  The tensor-wide
+  exponent makes conversion trivial but wastes mantissa bits whenever the
+  tensor has a wide dynamic range.
+* **Hybrid/tile BFP** (Drumond et al., NeurIPS 2018): 2-D tiles of 24x24
+  values (group size 576) sharing an exponent, which requires a wide 12-bit
+  mantissa to preserve accuracy -- the paper argues that at such group sizes
+  BFP loses its advantage over plain INT12.
+
+Both are provided here so the Table II-style comparisons (and the group-size
+ablation) can include them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bfp import bfp_quantize
+from .base import NumberFormat, TensorKind
+
+__all__ = ["FlexpointFormat", "TileBFPFormat"]
+
+
+class FlexpointFormat(NumberFormat):
+    """Flexpoint-style format: one shared exponent per tensor.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        Mantissa width (16 in the Flexpoint paper, "flex16+5").
+    exponent_bits:
+        Shared exponent width (5 in the Flexpoint paper).  Only used for the
+        storage accounting; the exponent itself is computed from the tensor.
+    """
+
+    def __init__(self, mantissa_bits: int = 16, exponent_bits: int = 5,
+                 stochastic_gradients: bool = True):
+        self.mantissa_bits = mantissa_bits
+        self.exponent_bits = exponent_bits
+        self.stochastic_gradients = stochastic_gradients
+        self.name = f"flexpoint_m{mantissa_bits}"
+        self.group_size = None  # the "group" is the whole tensor
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        rounding = "nearest"
+        if kind == TensorKind.GRADIENT and self.stochastic_gradients:
+            rounding = "stochastic"
+        flat = x.reshape(1, -1) if x.size else x.reshape(1, 0)
+        quantized = bfp_quantize(
+            flat,
+            mantissa_bits=self.mantissa_bits,
+            group_size=max(flat.shape[-1], 1),
+            exponent_bits=None,
+            rounding=rounding,
+            rng=rng,
+        )
+        return quantized.reshape(x.shape)
+
+    @property
+    def bits_per_value(self) -> float:
+        # Sign + mantissa per value; the single exponent is negligible.
+        return 1.0 + self.mantissa_bits
+
+
+class TileBFPFormat(NumberFormat):
+    """Tile-based BFP (HBFP-style): 2-D tiles share one exponent.
+
+    ``tile`` values along each of the last two dimensions share an exponent
+    (24 x 24 = 576 values in Drumond et al.).  Tensors with fewer than two
+    dimensions fall back to 1-D grouping of ``tile * tile`` values.
+    """
+
+    def __init__(self, mantissa_bits: int = 12, tile: int = 24, exponent_bits: int = 8,
+                 stochastic_gradients: bool = True):
+        self.mantissa_bits = mantissa_bits
+        self.tile = tile
+        self.exponent_bits = exponent_bits
+        self.stochastic_gradients = stochastic_gradients
+        self.group_size = tile * tile
+        self.name = f"tile_bfp_m{mantissa_bits}_t{tile}"
+
+    def _rounding(self, kind: str) -> str:
+        if kind == TensorKind.GRADIENT and self.stochastic_gradients:
+            return "stochastic"
+        return "nearest"
+
+    def quantize(self, x, kind: str = TensorKind.ACTIVATION, rng=None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        rounding = self._rounding(kind)
+        if x.ndim < 2:
+            return bfp_quantize(x, mantissa_bits=self.mantissa_bits, group_size=self.group_size,
+                                exponent_bits=self.exponent_bits, rounding=rounding, rng=rng)
+        # Pad the last two dimensions up to tile multiples, view as tiles and
+        # quantize each tile as one group.
+        height, width = x.shape[-2], x.shape[-1]
+        pad_h = (-height) % self.tile
+        pad_w = (-width) % self.tile
+        pad_spec = [(0, 0)] * (x.ndim - 2) + [(0, pad_h), (0, pad_w)]
+        padded = np.pad(x, pad_spec)
+        new_h, new_w = padded.shape[-2], padded.shape[-1]
+        lead = padded.shape[:-2]
+        tiles = padded.reshape(*lead, new_h // self.tile, self.tile, new_w // self.tile, self.tile)
+        tiles = np.moveaxis(tiles, -3, -2)  # (..., th, tw, tile, tile)
+        flat_tiles = tiles.reshape(-1, self.tile * self.tile)
+        quantized = bfp_quantize(flat_tiles, mantissa_bits=self.mantissa_bits,
+                                 group_size=self.group_size, exponent_bits=self.exponent_bits,
+                                 rounding=rounding, rng=rng, axis=-1)
+        quantized = quantized.reshape(tiles.shape)
+        quantized = np.moveaxis(quantized, -2, -3)
+        quantized = quantized.reshape(*lead, new_h, new_w)
+        if pad_h or pad_w:
+            quantized = quantized[..., :height, :width]
+        return quantized
+
+    @property
+    def bits_per_value(self) -> float:
+        return 1 + self.mantissa_bits + self.exponent_bits / self.group_size

@@ -1,0 +1,150 @@
+"""Functional model of the FAST MAC (fMAC) of Figures 11 and 13.
+
+The fMAC computes the dot product between two BFP groups.  Mantissas are
+processed in fixed-width chunks (2 bits in the paper); multiplying operands
+with ``mx``- and ``my``-bit mantissas takes ``(mx/2) * (my/2)`` passes, with
+the BFP converter pre-decrementing the exponent of lower-order chunks so the
+fMAC stays agnostic to chunk position.
+
+This model is bit-exact with respect to the packed :class:`BFPTensor`
+representation (the chunked evaluation reproduces the direct integer dot
+product exactly) and also reports the pass count, which the performance model
+of Figure 19/20 uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.bfp import BFPTensor, bfp_quantize_tensor
+from ..core.chunks import decompose_mantissas, num_chunks, passes_required
+
+__all__ = ["FMACResult", "fmac_group_dot", "fmac_dot_product", "bfp_matmul"]
+
+
+@dataclass
+class FMACResult:
+    """Value and cost of one fMAC group dot product."""
+
+    value: float
+    passes: int
+    multiplications: int
+
+
+def fmac_group_dot(
+    signs_a: np.ndarray,
+    mantissas_a: np.ndarray,
+    exponent_a: int,
+    mantissa_bits_a: int,
+    signs_b: np.ndarray,
+    mantissas_b: np.ndarray,
+    exponent_b: int,
+    mantissa_bits_b: int,
+    chunk_bits: int = 2,
+) -> FMACResult:
+    """Dot product of two BFP groups evaluated chunk-by-chunk.
+
+    The group value of element ``i`` of operand A is
+    ``sign_a[i] * mantissa_a[i] * 2**(exponent_a - (mantissa_bits_a - 1))``,
+    and similarly for B; the result is the exact FP dot product of those
+    values, produced the way the hardware produces it: one integer dot
+    product per chunk pair, scaled by the chunk exponent offsets plus the sum
+    of the two shared exponents.
+    """
+    signs_a = np.asarray(signs_a, dtype=np.int64)
+    signs_b = np.asarray(signs_b, dtype=np.int64)
+    chunks_a, offsets_a = decompose_mantissas(mantissas_a, mantissa_bits_a, chunk_bits)
+    chunks_b, offsets_b = decompose_mantissas(mantissas_b, mantissa_bits_b, chunk_bits)
+
+    # Scale factors that map integer mantissas to real values.
+    scale_a = exponent_a - (mantissa_bits_a - 1)
+    scale_b = exponent_b - (mantissa_bits_b - 1)
+    # Chunk k of an m-bit mantissa holds bits worth 2**(m - (k+1)*chunk_bits).
+    base_shift_a = mantissa_bits_a - chunk_bits
+    base_shift_b = mantissa_bits_b - chunk_bits
+
+    total = 0.0
+    passes = 0
+    for ka in range(chunks_a.shape[0]):
+        for kb in range(chunks_b.shape[0]):
+            partial = int(np.dot(signs_a * chunks_a[ka], signs_b * chunks_b[kb]))
+            shift = (base_shift_a + offsets_a[ka]) + (base_shift_b + offsets_b[kb])
+            total += partial * (2.0 ** (scale_a + scale_b + shift))
+            passes += 1
+    expected_passes = passes_required(mantissa_bits_a, mantissa_bits_b, chunk_bits)
+    assert passes == expected_passes
+    multiplications = passes * signs_a.size
+    return FMACResult(value=total, passes=passes, multiplications=multiplications)
+
+
+def fmac_dot_product(a: BFPTensor, b: BFPTensor, chunk_bits: int = 2) -> FMACResult:
+    """Dot product of two BFP-quantized vectors spanning one or more groups.
+
+    Both tensors must be 1-D with identical length and group size; the FP
+    accumulation across groups mirrors the accumulator of Figure 11.
+    """
+    if a.shape != b.shape:
+        raise ValueError("operands must have the same shape")
+    if a.group_size != b.group_size:
+        raise ValueError("operands must share a group size")
+    signs_a = a.signs.reshape(-1, a.group_size)
+    signs_b = b.signs.reshape(-1, b.group_size)
+    mant_a = a.mantissas.reshape(-1, a.group_size)
+    mant_b = b.mantissas.reshape(-1, b.group_size)
+    exps_a = a.exponents.reshape(-1)
+    exps_b = b.exponents.reshape(-1)
+
+    total = 0.0
+    passes = 0
+    multiplications = 0
+    for group in range(exps_a.size):
+        result = fmac_group_dot(
+            signs_a[group], mant_a[group], int(exps_a[group]), a.mantissa_bits,
+            signs_b[group], mant_b[group], int(exps_b[group]), b.mantissa_bits,
+            chunk_bits=chunk_bits,
+        )
+        total += result.value
+        passes += result.passes
+        multiplications += result.multiplications
+    return FMACResult(value=total, passes=passes, multiplications=multiplications)
+
+
+def bfp_matmul(a: np.ndarray, b: np.ndarray, mantissa_bits_a: int = 4, mantissa_bits_b: int = 4,
+               group_size: int = 16, exponent_bits: int = 8,
+               chunk_bits: int = 2) -> Tuple[np.ndarray, int]:
+    """Matrix product with both operands BFP-quantized, evaluated via fMACs.
+
+    Quantizes ``a`` (shape M x K, grouped along K) and ``b`` (shape K x N,
+    grouped along K) and computes ``a_q @ b_q`` one group dot product at a
+    time.  Returns ``(product, total_passes)``.  Intended for verification
+    and small benchmarks -- it is a functional model, not a fast kernel.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError("expected 2-D operands with matching inner dimension")
+    rows, inner = a.shape
+    cols = b.shape[1]
+    a_q = bfp_quantize_tensor(a, mantissa_bits=mantissa_bits_a, group_size=group_size,
+                              exponent_bits=exponent_bits, axis=1)
+    b_q = bfp_quantize_tensor(b.T, mantissa_bits=mantissa_bits_b, group_size=group_size,
+                              exponent_bits=exponent_bits, axis=1)
+    result = np.zeros((rows, cols))
+    total_passes = 0
+    groups_per_row = a_q.exponents.shape[1]
+    for i in range(rows):
+        for j in range(cols):
+            for g in range(groups_per_row):
+                partial = fmac_group_dot(
+                    a_q.signs[i, g], a_q.mantissas[i, g], int(a_q.exponents[i, g]), mantissa_bits_a,
+                    b_q.signs[j, g], b_q.mantissas[j, g], int(b_q.exponents[j, g]), mantissa_bits_b,
+                    chunk_bits=chunk_bits,
+                )
+                result[i, j] += partial.value
+                total_passes += partial.passes
+    expected = rows * cols * groups_per_row * passes_required(mantissa_bits_a, mantissa_bits_b, chunk_bits)
+    assert total_passes == expected
+    return result, total_passes

@@ -1,0 +1,195 @@
+"""Analytical cost models for multiplier-accumulator (MAC) designs (Table IV).
+
+The paper synthesizes each MAC design with Synopsys DC (45 nm) and maps it to
+a Xilinx VC707 FPGA.  Offline, we substitute a gate-level analytical model:
+
+* fixed-point multipliers cost ``a_bits * b_bits`` units (quadratic scaling
+  with bitwidth, the property Section III-B relies on),
+* adders cost their bitwidth,
+* barrel shifters cost ``width * log2(positions)``,
+* an FP accumulate step costs an alignment shift + mantissa add +
+  normalization shift at the accumulator width.
+
+Because one fMAC performs a whole BFP group dot product (g = 16) per pass,
+every scalar MAC design is instantiated 16 times ("16x" rows of Table IV) so
+all rows have equal throughput.  Power, LUT and FF estimates are affine
+functions of the modelled area, calibrated against the paper's reported fMAC
+and FP16 endpoints; the paper's own numbers are kept in
+:data:`PAPER_TABLE4` so benchmarks can print model-vs-paper side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = [
+    "MACDesign",
+    "fmac_design",
+    "int_mac_design",
+    "fp_mac_design",
+    "hfp8_mac_design",
+    "bfp_group_mac_design",
+    "table4_designs",
+    "PAPER_TABLE4",
+]
+
+# Gate-cost primitives (arbitrary units; only ratios matter).
+_FP32_ACCUMULATOR_MANTISSA = 24
+
+
+def _multiplier_area(a_bits: int, b_bits: int) -> float:
+    return float(a_bits * b_bits)
+
+
+def _adder_area(bits: int) -> float:
+    return float(bits)
+
+
+def _shifter_area(width: int, positions: int) -> float:
+    return float(width * max(math.log2(max(positions, 2)), 1.0))
+
+
+def _fp_accumulate_area(accumulator_mantissa: int) -> float:
+    """Alignment shift + add + normalization shift at the accumulator width."""
+    align = _shifter_area(accumulator_mantissa, accumulator_mantissa)
+    add = _adder_area(accumulator_mantissa)
+    normalize = _shifter_area(accumulator_mantissa, accumulator_mantissa)
+    return align + add + normalize
+
+
+# Affine calibrations (anchored at the paper's fMAC and 16x FP16 rows).
+_POWER_OFFSET_MW, _POWER_SLOPE = 0.542, 6.64e-4
+_LUT_OFFSET, _LUT_SLOPE = 150.0, 0.2304
+_FF_OFFSET, _FF_SLOPE = 81.5, 0.1134
+
+
+@dataclass(frozen=True)
+class MACDesign:
+    """Cost summary of one MAC design at group-equivalent throughput."""
+
+    name: str
+    area_units: float
+    values_per_cycle: int
+    exponent_bits: int
+    mantissa_bits: int
+
+    @property
+    def power_mw(self) -> float:
+        return _POWER_OFFSET_MW + _POWER_SLOPE * self.area_units
+
+    @property
+    def lut(self) -> int:
+        return int(round(_LUT_OFFSET + _LUT_SLOPE * self.area_units))
+
+    @property
+    def ff(self) -> int:
+        return int(round(_FF_OFFSET + _FF_SLOPE * self.area_units))
+
+    def relative_area(self, baseline: "MACDesign") -> float:
+        """Area of this design relative to ``baseline`` (the paper reports vs fMAC)."""
+        return self.area_units / baseline.area_units
+
+
+def fmac_design(group_size: int = 16, chunk_bits: int = 2, exponent_bits: int = 8) -> MACDesign:
+    """The FAST MAC: one BFP group dot product in mantissa chunks (Figure 11).
+
+    Components: ``g`` small chunk multipliers (sign handled separately), an
+    adder tree over the partial products, one shared-exponent adder, an FP
+    generator and an FP32 accumulator amortized over the whole group.
+    """
+    multiplier_bits = chunk_bits + 1  # chunk magnitude + sign handling
+    multipliers = group_size * _multiplier_area(multiplier_bits, multiplier_bits)
+    # Adder tree: g-1 adders whose width grows from the product width up by log2(g).
+    product_bits = 2 * multiplier_bits
+    tree = sum(
+        (group_size >> (level + 1)) * _adder_area(product_bits + level + 1)
+        for level in range(int(math.log2(group_size)))
+    )
+    exponent_adder = _adder_area(exponent_bits)
+    fp_generator = _shifter_area(_FP32_ACCUMULATOR_MANTISSA, _FP32_ACCUMULATOR_MANTISSA)
+    accumulator = _fp_accumulate_area(_FP32_ACCUMULATOR_MANTISSA) - _shifter_area(
+        _FP32_ACCUMULATOR_MANTISSA, _FP32_ACCUMULATOR_MANTISSA
+    )  # normalization already counted in the FP generator
+    area = multipliers + tree + exponent_adder + fp_generator + accumulator
+    return MACDesign("fmac", area, values_per_cycle=group_size,
+                     exponent_bits=exponent_bits, mantissa_bits=chunk_bits)
+
+
+def bfp_group_mac_design(mantissa_bits: int, exponent_bits: int, group_size: int = 16,
+                         name: str = None) -> MACDesign:
+    """A BFP group MAC with full-width mantissa multipliers (e.g. MSFP-12)."""
+    multiplier_bits = mantissa_bits + 1
+    multipliers = group_size * _multiplier_area(multiplier_bits, multiplier_bits)
+    product_bits = 2 * multiplier_bits
+    tree = sum(
+        (group_size >> (level + 1)) * _adder_area(product_bits + level + 1)
+        for level in range(int(math.log2(group_size)))
+    )
+    exponent_adder = _adder_area(exponent_bits)
+    fp_generator = _shifter_area(_FP32_ACCUMULATOR_MANTISSA, _FP32_ACCUMULATOR_MANTISSA)
+    accumulator = _adder_area(_FP32_ACCUMULATOR_MANTISSA) + _shifter_area(
+        _FP32_ACCUMULATOR_MANTISSA, _FP32_ACCUMULATOR_MANTISSA
+    )
+    area = multipliers + tree + exponent_adder + fp_generator + accumulator
+    label = name if name is not None else f"bfp_e{exponent_bits}_m{mantissa_bits}"
+    return MACDesign(label, area, values_per_cycle=group_size,
+                     exponent_bits=exponent_bits, mantissa_bits=mantissa_bits)
+
+
+def int_mac_design(total_bits: int, count: int = 16, name: str = None) -> MACDesign:
+    """``count`` parallel fixed point MACs (multiplier + INT32 accumulator each)."""
+    magnitude = total_bits - 1
+    per_element = _multiplier_area(magnitude, magnitude) + _adder_area(32)
+    label = name if name is not None else f"int{total_bits}"
+    return MACDesign(label, per_element * count, values_per_cycle=count,
+                     exponent_bits=0, mantissa_bits=total_bits - 1)
+
+
+def fp_mac_design(exponent_bits: int, mantissa_bits: int, count: int = 16,
+                  accumulator_mantissa: int = _FP32_ACCUMULATOR_MANTISSA,
+                  name: str = None) -> MACDesign:
+    """``count`` parallel floating point MACs with FP accumulation."""
+    per_element = (
+        _multiplier_area(mantissa_bits + 1, mantissa_bits + 1)
+        + _adder_area(exponent_bits)
+        + _fp_accumulate_area(accumulator_mantissa)
+    )
+    label = name if name is not None else f"fp_e{exponent_bits}_m{mantissa_bits}"
+    return MACDesign(label, per_element * count, values_per_cycle=count,
+                     exponent_bits=exponent_bits, mantissa_bits=mantissa_bits)
+
+
+def hfp8_mac_design(count: int = 16) -> MACDesign:
+    """The HFP8-comparable MAC: 4-bit exponent, 2-bit mantissa, FP16 accumulate.
+
+    The paper implements a MAC strictly cheaper than either HFP8 variant
+    (1-4-3 forward / 1-5-2 backward); accumulating into FP16 keeps the
+    alignment and normalization hardware narrow.
+    """
+    design = fp_mac_design(4, 2, count=count, accumulator_mantissa=11, name="hfp8")
+    return design
+
+
+#: The paper's reported Table IV (area normalized to fMAC; power in mW; FPGA LUT/FF).
+PAPER_TABLE4: Dict[str, Dict[str, float]] = {
+    "fmac": {"area": 1.0, "power_mw": 0.885, "lut": 269, "ff": 140},
+    "int8": {"area": 3.8, "power_mw": 2.241, "lut": 498, "ff": 195},
+    "hfp8": {"area": 4.1, "power_mw": 2.406, "lut": 527, "ff": 220},
+    "int12": {"area": 5.6, "power_mw": 2.920, "lut": 730, "ff": 273},
+    "bfloat16": {"area": 9.6, "power_mw": 3.869, "lut": 1305, "ff": 684},
+    "fp16": {"area": 10.6, "power_mw": 4.474, "lut": 1514, "ff": 753},
+}
+
+
+def table4_designs() -> List[MACDesign]:
+    """The six MAC designs of Table IV, in the paper's row order."""
+    return [
+        fmac_design(),
+        int_mac_design(8, name="int8"),
+        hfp8_mac_design(),
+        int_mac_design(12, name="int12"),
+        fp_mac_design(8, 7, name="bfloat16"),
+        fp_mac_design(5, 10, name="fp16"),
+    ]

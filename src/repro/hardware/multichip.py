@@ -1,0 +1,139 @@
+"""Multi-chip scaling model (the paper's stated future work, Section VIII).
+
+The paper closes by asking how FAST would scale when training is distributed
+across a multi-chip system.  This module provides a first-order data-parallel
+scaling model on top of the single-chip performance model:
+
+* each of ``num_chips`` chips processes ``batch / num_chips`` of every
+  training iteration (compute time scales with its share of the streaming
+  dimension),
+* after the backward pass the weight gradients are all-reduced over an
+  inter-chip interconnect (ring all-reduce: ``2 * (n - 1) / n`` traversals of
+  the gradient volume at the link bandwidth, plus per-step latency),
+* the gradient volume depends on the number format used for the exchange --
+  exchanging BFP-compressed gradients (3.2 or 6.2 bits/value, Section V-D)
+  instead of FP32 reduces the communication term by 5-10x, which is exactly
+  the kind of benefit a multi-chip FAST deployment would target.
+
+The model reports per-iteration time, parallel efficiency and the point where
+communication starts to dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.memory_layout import bits_per_value
+from .performance import IterationCost, fast_adaptive_iteration_cost, iteration_cost
+from .system import CLOCK_HZ, SystemConfig, iso_area_systems
+from .workloads import Workload
+
+__all__ = ["Interconnect", "MultiChipResult", "gradient_traffic_bits", "multichip_iteration", "scaling_sweep"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A chip-to-chip link (defaults loosely modelled on a PCIe/NVLink-class link)."""
+
+    bandwidth_gbps: float = 100.0      # usable gigabits per second per link
+    latency_us: float = 2.0            # per all-reduce step latency
+
+    def transfer_seconds(self, bits: float) -> float:
+        return bits / (self.bandwidth_gbps * 1e9)
+
+
+@dataclass
+class MultiChipResult:
+    """Per-iteration timing of a data-parallel multi-chip configuration."""
+
+    num_chips: int
+    compute_seconds: float
+    communication_seconds: float
+    single_chip_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.communication_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.single_chip_seconds / self.total_seconds
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.num_chips
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.communication_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+def gradient_traffic_bits(workload: Workload, exchange_format: str = "fp32",
+                          mantissa_bits: int = 4, group_size: int = 16,
+                          exponent_bits: int = 3) -> float:
+    """Bits of weight-gradient traffic one chip contributes per iteration.
+
+    The weight-gradient volume equals the number of weight parameters of the
+    workload's layers (``m * k`` per GEMM).  ``exchange_format`` is either
+    ``"fp32"`` (32 bits/value) or ``"bfp"`` (the chunked BFP storage format of
+    Section V-D at the given mantissa width).
+    """
+    num_values = sum(layer.m * layer.k for layer in workload.layers)
+    if exchange_format == "fp32":
+        return 32.0 * num_values
+    if exchange_format == "bfp":
+        return bits_per_value(exponent_bits, group_size, mantissa_bits) * num_values
+    raise ValueError(f"unknown exchange format {exchange_format!r}")
+
+
+def _scaled_compute(workload: Workload, system: SystemConfig, num_chips: int,
+                    fast_adaptive: bool, clock_hz: float) -> IterationCost:
+    scaled_layers = [
+        type(layer)(layer.name, layer.m, layer.k, max(layer.n // num_chips, 1))
+        for layer in workload.layers
+    ]
+    scaled = Workload(workload.name, scaled_layers, workload.batch_size,
+                      workload.target_metric, workload.target_name)
+    if fast_adaptive:
+        return fast_adaptive_iteration_cost(scaled, system, clock_hz=clock_hz)
+    return iteration_cost(scaled, system, clock_hz=clock_hz)
+
+
+def multichip_iteration(workload: Workload, num_chips: int,
+                        system: Optional[SystemConfig] = None,
+                        interconnect: Optional[Interconnect] = None,
+                        exchange_format: str = "bfp",
+                        fast_adaptive: bool = True,
+                        clock_hz: float = CLOCK_HZ) -> MultiChipResult:
+    """Per-iteration time of a data-parallel deployment on ``num_chips`` FAST chips."""
+    if num_chips < 1:
+        raise ValueError("num_chips must be >= 1")
+    if system is None:
+        system = iso_area_systems()["fast_adaptive"]
+    interconnect = interconnect if interconnect is not None else Interconnect()
+
+    single = _scaled_compute(workload, system, 1, fast_adaptive, clock_hz)
+    compute = _scaled_compute(workload, system, num_chips, fast_adaptive, clock_hz)
+
+    if num_chips == 1:
+        communication = 0.0
+    else:
+        traffic = gradient_traffic_bits(workload, exchange_format)
+        ring_factor = 2.0 * (num_chips - 1) / num_chips
+        communication = interconnect.transfer_seconds(traffic * ring_factor)
+        communication += 2.0 * (num_chips - 1) * interconnect.latency_us * 1e-6
+
+    return MultiChipResult(
+        num_chips=num_chips,
+        compute_seconds=compute.seconds,
+        communication_seconds=communication,
+        single_chip_seconds=single.seconds,
+    )
+
+
+def scaling_sweep(workload: Workload, chip_counts=(1, 2, 4, 8, 16),
+                  exchange_format: str = "bfp", **kwargs) -> Dict[int, MultiChipResult]:
+    """Evaluate :func:`multichip_iteration` over a range of chip counts."""
+    return {count: multichip_iteration(workload, count, exchange_format=exchange_format, **kwargs)
+            for count in chip_counts}

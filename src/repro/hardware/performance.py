@@ -1,0 +1,233 @@
+"""Training-iteration time and energy model (Figures 19 and 20).
+
+For every training system (FAST plus the iso-area baselines of
+:func:`repro.hardware.system.iso_area_systems`) and every workload of
+:mod:`repro.hardware.workloads`, this module estimates:
+
+* cycles per training iteration -- each layer contributes its forward GEMM
+  and the two backward GEMMs of Figure 3, executed on the system's systolic
+  array via :func:`repro.hardware.systolic.tiled_matmul_cycles`.  BFP systems
+  additionally multiply the reduction time by the fMAC pass count implied by
+  the operand mantissa widths (Figure 13):
+
+  - forward ``O = W A``      -> ``chunks(m_W) * chunks(m_A)`` passes,
+  - backward ``∇A = W^T ∇O`` -> ``chunks(m_W) * chunks(m_G)`` passes,
+  - backward ``∇W = ∇O A^T`` -> ``chunks(m_A) * chunks(m_G)`` passes,
+
+* seconds per iteration at the 500 MHz clock, and
+* energy per iteration (power x time).
+
+For FAST-Adaptive the per-layer precision changes over training; the model
+either consumes a measured precision trajectory (from
+:class:`repro.training.schedules.FASTSchedule`) or an analytical one derived
+from the threshold ``ε(l, i)`` of Equation 1 and a typical relative
+improvement value (Figure 17 shows the resulting low-to-high progression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.chunks import num_chunks
+from ..core.precision_policy import fast_threshold
+from .system import CLOCK_HZ, SystemConfig, iso_area_systems
+from .systolic import tiled_matmul_cycles
+from .workloads import GemmShape, Workload
+
+__all__ = [
+    "IterationCost",
+    "product_passes",
+    "layer_cycles",
+    "iteration_cost",
+    "modelled_fast_precisions",
+    "fast_adaptive_iteration_cost",
+    "format_iteration_costs",
+    "FORMAT_PRECISIONS",
+]
+
+PrecisionTriple = Tuple[int, int, int]
+
+#: Fixed (W, A, G) mantissa widths of the BFP formats that run on the FAST
+#: hardware.  Scalar formats are not listed: they run on their own iso-area
+#: system at one pass per MAC.
+FORMAT_PRECISIONS: Dict[str, PrecisionTriple] = {
+    "low_bfp": (2, 2, 2),
+    "mid_bfp": (3, 3, 3),
+    "high_bfp": (4, 4, 4),
+}
+
+
+@dataclass
+class IterationCost:
+    """Cost of one training iteration on one system."""
+
+    name: str
+    cycles: float
+    seconds: float
+    energy_joules: float
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return self.seconds
+
+    @property
+    def power_watts(self) -> float:
+        return self.energy_joules / self.seconds if self.seconds else 0.0
+
+
+def product_passes(weight_bits: int, activation_bits: int, gradient_bits: int,
+                   chunk_bits: int = 2) -> Dict[str, int]:
+    """fMAC pass counts of the three training products for a (W, A, G) setting."""
+    chunks_w = num_chunks(weight_bits, chunk_bits)
+    chunks_a = num_chunks(activation_bits, chunk_bits)
+    chunks_g = num_chunks(gradient_bits, chunk_bits)
+    return {
+        "forward": chunks_w * chunks_a,
+        "grad_activation": chunks_w * chunks_g,
+        "grad_weight": chunks_a * chunks_g,
+    }
+
+
+def layer_cycles(layer: GemmShape, system: SystemConfig,
+                 passes: Optional[Dict[str, int]] = None) -> float:
+    """Cycles for the three training products of one layer on one system.
+
+    All three products reuse the weight-stationary tiling of the forward pass
+    (Figure 12): the stored weight tile covers the layer's ``(m, k)`` weight
+    dimensions and the batch/spatial dimension ``n`` streams through the
+    array for each product, so only the fMAC pass count differs between the
+    forward pass and the two backward products.
+    """
+    if passes is None:
+        passes = {"forward": 1, "grad_activation": 1, "grad_weight": 1}
+    total = 0.0
+    for product_passes_count in (passes["forward"], passes["grad_activation"], passes["grad_weight"]):
+        total += tiled_matmul_cycles(
+            layer.m, layer.k, layer.n,
+            array_rows=system.array_rows,
+            array_cols=system.array_cols,
+            k_per_cycle=system.values_per_mac,
+            passes=product_passes_count,
+        )
+    return total
+
+
+def _normalize_precisions(workload: Workload,
+                          precisions: Union[None, PrecisionTriple, Sequence[PrecisionTriple]]
+                          ) -> Optional[List[PrecisionTriple]]:
+    if precisions is None:
+        return None
+    if isinstance(precisions, tuple) and len(precisions) == 3 and all(
+            isinstance(value, (int, np.integer)) for value in precisions):
+        return [precisions] * workload.num_layers
+    precisions = list(precisions)
+    if len(precisions) != workload.num_layers:
+        # Stretch or shrink a per-layer list onto this workload's layer count.
+        indices = np.linspace(0, len(precisions) - 1, workload.num_layers).round().astype(int)
+        precisions = [precisions[i] for i in indices]
+    return precisions
+
+
+def iteration_cost(workload: Workload, system: SystemConfig,
+                   precisions: Union[None, PrecisionTriple, Sequence[PrecisionTriple]] = None,
+                   clock_hz: float = CLOCK_HZ) -> IterationCost:
+    """Cycles / time / energy of one training iteration.
+
+    ``precisions`` is ``None`` for scalar (one-pass) systems, a single
+    ``(W, A, G)`` triple applied to every layer, or a per-layer list of
+    triples (FAST-Adaptive).
+    """
+    per_layer = _normalize_precisions(workload, precisions)
+    total_cycles = 0.0
+    for index, layer in enumerate(workload.layers):
+        if per_layer is None or not system.bfp_chunked:
+            passes = None
+        else:
+            weight_bits, activation_bits, gradient_bits = per_layer[index]
+            passes = product_passes(weight_bits, activation_bits, gradient_bits)
+        total_cycles += layer_cycles(layer, system, passes)
+    seconds = total_cycles / clock_hz
+    energy = seconds * system.power_w
+    return IterationCost(system.name, total_cycles, seconds, energy)
+
+
+def modelled_fast_precisions(num_layers: int, progress: float, alpha: float = 0.6,
+                             beta: float = 0.3, typical_improvement: float = 0.26,
+                             low_bits: int = 2, high_bits: int = 4) -> List[PrecisionTriple]:
+    """Analytical FAST precision assignment at a given training progress.
+
+    A tensor is promoted to the high precision when the typical relative
+    improvement exceeds the threshold ``ε(l, i)``.  Weights, activations and
+    gradients see slightly different improvement statistics in practice
+    (gradients have the widest exponent spread, Figure 6), which is modelled
+    with small per-kind offsets so the (W, A, G) settings differentiate the
+    way Figure 17 shows.
+    """
+    offsets = {"weight": 0.0, "activation": -0.05, "gradient": 0.05}
+    settings: List[PrecisionTriple] = []
+    iteration = progress
+    for layer in range(num_layers):
+        threshold = fast_threshold(layer, iteration, max(num_layers, 1), 1.0, alpha, beta)
+        bits = {}
+        for kind, offset in offsets.items():
+            improvement = typical_improvement + offset
+            bits[kind] = low_bits if improvement < threshold else high_bits
+        settings.append((bits["weight"], bits["activation"], bits["gradient"]))
+    return settings
+
+
+def fast_adaptive_iteration_cost(workload: Workload, system: SystemConfig,
+                                 precision_trajectory: Optional[Iterable[Sequence[PrecisionTriple]]] = None,
+                                 samples: int = 20, alpha: float = 0.6, beta: float = 0.3,
+                                 typical_improvement: float = 0.26,
+                                 clock_hz: float = CLOCK_HZ) -> IterationCost:
+    """Average per-iteration cost of FAST-Adaptive over the whole training run.
+
+    ``precision_trajectory`` may be a measured sequence of per-layer (W, A, G)
+    settings (one entry per logged iteration/epoch); when omitted the
+    analytical model of :func:`modelled_fast_precisions` is sampled at
+    ``samples`` evenly spaced points of training progress.
+    """
+    if precision_trajectory is None:
+        progress_points = np.linspace(0.0, 1.0, samples)
+        trajectory = [
+            modelled_fast_precisions(workload.num_layers, float(progress), alpha, beta,
+                                     typical_improvement)
+            for progress in progress_points
+        ]
+    else:
+        trajectory = [list(entry) for entry in precision_trajectory]
+        if not trajectory:
+            raise ValueError("precision_trajectory is empty")
+    costs = [iteration_cost(workload, system, precisions=entry, clock_hz=clock_hz)
+             for entry in trajectory]
+    cycles = float(np.mean([cost.cycles for cost in costs]))
+    seconds = cycles / clock_hz
+    return IterationCost("fast_adaptive", cycles, seconds, seconds * system.power_w)
+
+
+def format_iteration_costs(workload: Workload,
+                           systems: Optional[Dict[str, SystemConfig]] = None,
+                           fast_trajectory: Optional[Iterable[Sequence[PrecisionTriple]]] = None,
+                           clock_hz: float = CLOCK_HZ) -> Dict[str, IterationCost]:
+    """Per-iteration cost of every evaluated system for one workload.
+
+    Scalar formats run one pass per MAC on their own iso-area array; the BFP
+    formats run on the FAST array with their fixed pass counts; FAST-Adaptive
+    averages over its precision trajectory.
+    """
+    systems = systems if systems is not None else iso_area_systems()
+    costs: Dict[str, IterationCost] = {}
+    for name, system in systems.items():
+        if name == "fast_adaptive":
+            costs[name] = fast_adaptive_iteration_cost(workload, system,
+                                                       precision_trajectory=fast_trajectory,
+                                                       clock_hz=clock_hz)
+        elif name in FORMAT_PRECISIONS:
+            costs[name] = iteration_cost(workload, system, FORMAT_PRECISIONS[name], clock_hz)
+        else:
+            costs[name] = iteration_cost(workload, system, None, clock_hz)
+    return costs

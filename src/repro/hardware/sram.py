@@ -1,0 +1,64 @@
+"""CACTI-like SRAM model for the FAST memory subsystem.
+
+The paper sizes the gradient, weight and data SRAMs at 128 banks of 16 kB
+each and uses CACTI for their area/power.  Offline, this module provides a
+simple analytical substitute: area scales linearly with capacity (plus a
+per-bank periphery overhead), leakage power scales with capacity, dynamic
+power scales with access bandwidth.  The constants are calibrated so the
+three-SRAM subsystem of the paper's configuration lands on the Table III
+numbers (40.3 % of system area, 3.37 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SRAMBank", "SRAMSubsystem"]
+
+# Calibration constants (45 nm-ish, arbitrary-but-consistent units for area).
+_AREA_PER_KB = 1133.0         # area units per kB (cross-calibrated to the MAC gate units)
+_AREA_PER_BANK = 220.0        # periphery overhead per bank
+_LEAKAGE_MW_PER_KB = 0.50     # static power per kB
+_DYNAMIC_MW_PER_GBPS = 1.50   # dynamic power per GB/s of sustained access
+
+
+@dataclass(frozen=True)
+class SRAMBank:
+    """One SRAM bank of ``capacity_kb`` kilobytes."""
+
+    capacity_kb: float = 16.0
+
+    @property
+    def area_units(self) -> float:
+        return _AREA_PER_KB * self.capacity_kb + _AREA_PER_BANK
+
+    @property
+    def leakage_mw(self) -> float:
+        return _LEAKAGE_MW_PER_KB * self.capacity_kb
+
+    def dynamic_mw(self, bandwidth_gbps: float) -> float:
+        """Dynamic power at a sustained access bandwidth (GB/s)."""
+        return _DYNAMIC_MW_PER_GBPS * bandwidth_gbps
+
+
+@dataclass(frozen=True)
+class SRAMSubsystem:
+    """A named group of identical banks (e.g. the weight SRAM: 128 x 16 kB)."""
+
+    name: str
+    num_banks: int = 128
+    bank: SRAMBank = SRAMBank()
+
+    @property
+    def capacity_kb(self) -> float:
+        return self.num_banks * self.bank.capacity_kb
+
+    @property
+    def area_units(self) -> float:
+        return self.num_banks * self.bank.area_units
+
+    def power_w(self, bandwidth_gbps: float = 64.0) -> float:
+        """Total power (W) at a given sustained bandwidth spread over the banks."""
+        leakage = self.num_banks * self.bank.leakage_mw
+        dynamic = self.bank.dynamic_mw(bandwidth_gbps)
+        return (leakage + dynamic) / 1000.0

@@ -1,0 +1,243 @@
+"""System-level model of the FAST accelerator and its iso-area baselines.
+
+The FAST system (Figure 10) contains:
+
+* a 256 x 64 systolic array of fMAC cells (each cell performs a 16-element
+  BFP group dot product per pass),
+* two BFP converters,
+* an accumulator buffering partial tile results,
+* systolic-array data generators (input skewing registers),
+* a memory subsystem of three SRAMs (weights, data, gradients), each with
+  128 banks of 16 kB,
+
+and runs at 500 MHz.  Table III reports the area and power breakdown of that
+configuration; Section VII-B lists the systolic array dimensions of the
+baseline training systems that fit in the *same total area* when built from
+other MAC designs (HFP8 245x245, MSFP-12 230x230, INT-12 210x210, bfloat16
+180x180, FP16 150x150).  Baselines not listed by the paper (FP32, INT8) are
+derived from the MAC area model at iso-area.
+
+This module provides both the component-level breakdown (for Table III) and
+the iso-area baseline configurations (for Figures 19 and 20).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .mac import MACDesign, bfp_group_mac_design, fmac_design, fp_mac_design, int_mac_design
+from .sram import SRAMSubsystem
+
+__all__ = [
+    "SystemComponent",
+    "FASTSystem",
+    "SystemConfig",
+    "iso_area_systems",
+    "PAPER_TABLE3",
+    "PAPER_ARRAY_DIMS",
+    "CLOCK_HZ",
+]
+
+#: Clock frequency of every evaluated system (Section VII).
+CLOCK_HZ = 500e6
+
+#: The paper's Table III (area fraction, power in watts).
+PAPER_TABLE3: Dict[str, Dict[str, float]] = {
+    "systolic_array": {"area_fraction": 0.4779, "power_w": 15.61},
+    "bfp_converter": {"area_fraction": 0.0456, "power_w": 1.77},
+    "accumulator": {"area_fraction": 0.0663, "power_w": 2.19},
+    "data_generator": {"area_fraction": 0.0068, "power_w": 0.69},
+    "memory_subsystem": {"area_fraction": 0.4034, "power_w": 3.37},
+}
+
+#: Iso-area systolic array dimensions reported in Section VII-B.  The FP32
+#: entry is not reported by the paper; it is derived from the FP16 entry
+#: using the ~1.5x FP32/FP16 fused multiply-add area ratio implied by the
+#: paper's relative training times (Figure 20).
+PAPER_ARRAY_DIMS: Dict[str, tuple] = {
+    "fast": (256, 64),
+    "hfp8": (245, 245),
+    "msfp12": (230, 230),
+    "int12": (210, 210),
+    "bfloat16": (180, 180),
+    "fp16": (150, 150),
+    "nvidia_mp": (150, 150),
+    "fp32": (123, 123),
+}
+
+# Power densities (W per area unit) calibrated per component class so the
+# default FAST configuration reproduces the Table III power column.
+_ARRAY_POWER_DENSITY = 15.61 / (256 * 64 * 512.0)
+_CONVERTER_POWER_DENSITY = 1.77 / 1.29e6
+_ACCUMULATOR_POWER_DENSITY = 2.19 / 6.55e5
+_DATAGEN_POWER_DENSITY = 0.69 / 6.15e4
+
+
+@dataclass
+class SystemComponent:
+    """One block of the accelerator with its modelled area and power."""
+
+    name: str
+    area_units: float
+    power_w: float
+
+
+def _converter_area(lanes: int, group_size: int = 16, exponent_bits: int = 8,
+                    mantissa_width: int = 24) -> float:
+    """Area of a BFP converter (Figure 14) serving ``lanes`` output lanes."""
+    comparator_tree = (group_size - 1) * exponent_bits
+    subtractors = group_size * exponent_bits
+    shifters = group_size * mantissa_width * max(math.log2(mantissa_width), 1)
+    noise_and_round = group_size * (8 + exponent_bits)
+    improvement_unit = 2 * group_size * 8
+    per_lane = comparator_tree + subtractors + shifters + noise_and_round + improvement_unit
+    return per_lane * lanes
+
+
+def _accumulator_area(rows: int, cols: int, word_bits: int = 32) -> float:
+    """Area of the FP partial-sum accumulator buffering one output tile."""
+    per_entry = 24 + 0.5 * word_bits  # FP adder slice + storage
+    return rows * cols * per_entry
+
+
+def _data_generator_area(rows: int, cols: int, word_bits: int = 32) -> float:
+    """Area of the skewing registers feeding the array edges."""
+    return (rows + cols) * word_bits * 3.0
+
+
+class FASTSystem:
+    """The FAST accelerator configuration with its area/power breakdown."""
+
+    def __init__(self, array_rows: int = 256, array_cols: int = 64,
+                 mac: Optional[MACDesign] = None, sram_banks: int = 128,
+                 sram_bank_kb: float = 16.0, clock_hz: float = CLOCK_HZ):
+        self.array_rows = array_rows
+        self.array_cols = array_cols
+        self.mac = mac if mac is not None else fmac_design()
+        self.clock_hz = clock_hz
+        self.srams = [
+            SRAMSubsystem("weight_sram", sram_banks, bank=_bank(sram_bank_kb)),
+            SRAMSubsystem("data_sram", sram_banks, bank=_bank(sram_bank_kb)),
+            SRAMSubsystem("gradient_sram", sram_banks, bank=_bank(sram_bank_kb)),
+        ]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_macs(self) -> int:
+        return self.array_rows * self.array_cols
+
+    def components(self) -> List[SystemComponent]:
+        """The five Table III components with modelled area and power."""
+        array_area = self.num_macs * self.mac.area_units
+        converter_area = 2 * _converter_area(self.array_rows)
+        accumulator_area = _accumulator_area(self.array_rows, self.array_cols)
+        datagen_area = 2 * _data_generator_area(self.array_rows, self.array_cols)
+        memory_area = sum(sram.area_units for sram in self.srams)
+        memory_power = sum(sram.power_w() for sram in self.srams)
+        return [
+            SystemComponent("systolic_array", array_area, array_area * _ARRAY_POWER_DENSITY),
+            SystemComponent("bfp_converter", converter_area, converter_area * _CONVERTER_POWER_DENSITY),
+            SystemComponent("accumulator", accumulator_area, accumulator_area * _ACCUMULATOR_POWER_DENSITY),
+            SystemComponent("data_generator", datagen_area, datagen_area * _DATAGEN_POWER_DENSITY),
+            SystemComponent("memory_subsystem", memory_area, memory_power),
+        ]
+
+    def total_area(self) -> float:
+        return sum(component.area_units for component in self.components())
+
+    def total_power_w(self) -> float:
+        return sum(component.power_w for component in self.components())
+
+    def area_breakdown(self) -> Dict[str, float]:
+        """name -> fraction of total area (the Table III area column)."""
+        components = self.components()
+        total = sum(component.area_units for component in components)
+        return {component.name: component.area_units / total for component in components}
+
+    def power_breakdown(self) -> Dict[str, float]:
+        """name -> power in watts (the Table III power column)."""
+        return {component.name: component.power_w for component in self.components()}
+
+
+def _bank(capacity_kb: float):
+    from .sram import SRAMBank
+
+    return SRAMBank(capacity_kb=capacity_kb)
+
+
+@dataclass
+class SystemConfig:
+    """A training system built from one MAC design at iso-area with FAST.
+
+    ``values_per_mac`` is the number of reduction-dimension elements one MAC
+    consumes per cycle per pass (16 for BFP group MACs, 1 for scalar MACs);
+    ``bfp_chunked`` marks systems that execute variable-precision BFP by
+    running multiple fMAC passes.
+    """
+
+    name: str
+    array_rows: int
+    array_cols: int
+    values_per_mac: int
+    power_w: float
+    bfp_chunked: bool = False
+    mac: Optional[MACDesign] = field(default=None, repr=False)
+
+    @property
+    def num_macs(self) -> int:
+        return self.array_rows * self.array_cols
+
+    def peak_macs_per_cycle(self, passes: int = 1) -> float:
+        """Peak multiply-accumulates per cycle at a given pass count."""
+        return self.num_macs * self.values_per_mac / max(passes, 1)
+
+
+def _derived_dims(reference_dims: tuple, reference_mac: MACDesign, mac: MACDesign) -> tuple:
+    """Scale a square baseline array to iso-area using the MAC area model."""
+    reference_area = reference_dims[0] * reference_dims[1] * reference_mac.area_units
+    side = int(math.sqrt(reference_area / mac.area_units))
+    return (side, side)
+
+
+def iso_area_systems(total_power_w: Optional[float] = None) -> Dict[str, SystemConfig]:
+    """All evaluated training systems at the same total area (Section VII-B).
+
+    Array dimensions come from the paper where reported and from the MAC area
+    model otherwise (FP32, INT8).  LowBFP / MidBFP / HighBFP run on the FAST
+    hardware itself (they are fixed-precision uses of the same fMAC array),
+    so they share its configuration.  At iso-area (same technology, same
+    clock) total power is approximately equal across systems, so all systems
+    default to the FAST system's total power; pass ``total_power_w`` to
+    override.
+    """
+    fast_system = FASTSystem()
+    power = total_power_w if total_power_w is not None else fast_system.total_power_w()
+
+    fp16_mac = fp_mac_design(5, 10, name="fp16")
+    fp32_mac = fp_mac_design(8, 23, name="fp32")
+    int8_mac = int_mac_design(8, name="int8")
+    int12_mac = int_mac_design(12, name="int12")
+
+    fp32_dims = PAPER_ARRAY_DIMS["fp32"]
+    int8_dims = _derived_dims(PAPER_ARRAY_DIMS["int12"], int12_mac, int8_mac)
+
+    configs = {
+        "fast_adaptive": SystemConfig("fast_adaptive", 256, 64, 16, power, bfp_chunked=True,
+                                      mac=fmac_design()),
+        "low_bfp": SystemConfig("low_bfp", 256, 64, 16, power, bfp_chunked=True, mac=fmac_design()),
+        "mid_bfp": SystemConfig("mid_bfp", 256, 64, 16, power, bfp_chunked=True, mac=fmac_design()),
+        "high_bfp": SystemConfig("high_bfp", 256, 64, 16, power, bfp_chunked=True, mac=fmac_design()),
+        "hfp8": SystemConfig("hfp8", *PAPER_ARRAY_DIMS["hfp8"], 1, power),
+        "msfp12": SystemConfig("msfp12", *PAPER_ARRAY_DIMS["msfp12"], 1, power,
+                               mac=bfp_group_mac_design(3, 8, name="msfp12")),
+        "int12": SystemConfig("int12", *PAPER_ARRAY_DIMS["int12"], 1, power, mac=int12_mac),
+        "int8": SystemConfig("int8", *int8_dims, 1, power, mac=int8_mac),
+        "bfloat16": SystemConfig("bfloat16", *PAPER_ARRAY_DIMS["bfloat16"], 1, power,
+                                 mac=fp_mac_design(8, 7, name="bfloat16")),
+        "nvidia_mp": SystemConfig("nvidia_mp", *PAPER_ARRAY_DIMS["nvidia_mp"], 1, power, mac=fp16_mac),
+        "fp16": SystemConfig("fp16", *PAPER_ARRAY_DIMS["fp16"], 1, power, mac=fp16_mac),
+        "fp32": SystemConfig("fp32", *fp32_dims, 1, power, mac=fp32_mac),
+    }
+    return configs

@@ -1,0 +1,141 @@
+"""Functional systolic array model for the three training dataflows (Figure 12).
+
+The FAST system uses one weight-stationary systolic array for all three
+matrix products of a training iteration:
+
+* forward pass  ``O = W  A``   -- weights stationary, activations enter from
+  the bottom, outputs accumulate leftward and exit on the right,
+* backward pass ``∇A = W^T ∇O`` -- weights stationary (same orientation),
+  output gradients enter from the left, results accumulate upward,
+* backward pass ``∇W = ∇O A^T`` -- accumulation-stationary: both operands
+  stream in and the weight gradients accumulate inside the cells.
+
+The point of the design is that the transposed products of the backward pass
+never require an explicit transposition of the stored weights; only the side
+from which data enters changes.  This module provides a cycle-counted
+functional simulation of each dataflow (values move one hop per cycle) plus a
+cycle/tiling cost model used by the performance estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SystolicArray", "SystolicRunStats", "tiled_matmul_cycles"]
+
+
+@dataclass
+class SystolicRunStats:
+    """Cycle and operation counts of one systolic array execution."""
+
+    cycles: int
+    mac_operations: int
+    rows_used: int
+    cols_used: int
+
+
+class SystolicArray:
+    """A functional weight-stationary systolic array of ``rows x cols`` cells.
+
+    The simulation is value-accurate (it produces the exact matrix product)
+    and cycle-counted at the granularity of the classic systolic schedule:
+    with skewed inputs, an ``R x C`` array computing an ``(R x K) . (K x C)``
+    product takes ``K + R + C - 2`` cycles.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    # ------------------------------------------------------------------ #
+    def _check_fits(self, rows_needed: int, cols_needed: int) -> None:
+        if rows_needed > self.rows or cols_needed > self.cols:
+            raise ValueError(
+                f"operand tile ({rows_needed} x {cols_needed}) exceeds array "
+                f"({self.rows} x {self.cols}); tile the matrices first"
+            )
+
+    def forward(self, weights: np.ndarray, activations: np.ndarray) -> Tuple[np.ndarray, SystolicRunStats]:
+        """Forward pass ``O = W @ A`` with ``W`` (N x C) stationary, ``A`` (C x M) streaming."""
+        weights = np.asarray(weights, dtype=np.float64)
+        activations = np.asarray(activations, dtype=np.float64)
+        n, c = weights.shape
+        c2, m = activations.shape
+        if c != c2:
+            raise ValueError("inner dimensions do not match")
+        self._check_fits(n, c)
+        output = weights @ activations
+        cycles = c + n + m - 2 + 1
+        stats = SystolicRunStats(cycles=cycles, mac_operations=n * c * m, rows_used=n, cols_used=c)
+        return output, stats
+
+    def backward_activations(self, weights: np.ndarray, output_gradients: np.ndarray
+                             ) -> Tuple[np.ndarray, SystolicRunStats]:
+        """Backward pass ``∇A = W^T @ ∇O`` without transposing the stored weights.
+
+        ``weights`` stays in its forward (N x C) orientation; the output
+        gradients (N x M) enter from the left and the activation gradients
+        (C x M) are produced at the top -- the simulation simply evaluates the
+        transposed product while charging the same cycle schedule.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        output_gradients = np.asarray(output_gradients, dtype=np.float64)
+        n, c = weights.shape
+        n2, m = output_gradients.shape
+        if n != n2:
+            raise ValueError("inner dimensions do not match")
+        self._check_fits(n, c)
+        result = weights.T @ output_gradients
+        cycles = n + c + m - 2 + 1
+        stats = SystolicRunStats(cycles=cycles, mac_operations=n * c * m, rows_used=n, cols_used=c)
+        return result, stats
+
+    def backward_weights(self, output_gradients: np.ndarray, activations: np.ndarray
+                         ) -> Tuple[np.ndarray, SystolicRunStats]:
+        """Backward pass ``∇W = ∇O @ A^T`` with accumulation-stationary cells.
+
+        The output gradients (N x M) and activations (C x M) stream in from
+        two sides; each cell accumulates one element of the (N x C) weight
+        gradient.
+        """
+        output_gradients = np.asarray(output_gradients, dtype=np.float64)
+        activations = np.asarray(activations, dtype=np.float64)
+        n, m = output_gradients.shape
+        c, m2 = activations.shape
+        if m != m2:
+            raise ValueError("inner dimensions do not match")
+        self._check_fits(n, c)
+        result = output_gradients @ activations.T
+        cycles = m + n + c - 2 + 1
+        stats = SystolicRunStats(cycles=cycles, mac_operations=n * c * m, rows_used=n, cols_used=c)
+        return result, stats
+
+
+def tiled_matmul_cycles(m: int, k: int, n: int, array_rows: int, array_cols: int,
+                        k_per_cycle: int = 1, passes: int = 1) -> int:
+    """Cycles to execute an ``(m x k) . (k x n)`` product on a tiled systolic array.
+
+    The stationary operand tile covers ``array_rows`` of the ``m`` dimension
+    (output channels) and ``array_cols * k_per_cycle`` of the ``k`` reduction
+    dimension (a BFP-group fMAC holds ``k_per_cycle = 16`` reduction elements
+    per cell), and each stationary tile pays the array's pipeline-fill
+    latency.  The compute time itself is throughput-bound: the evaluation of
+    Section VII (like the paper's) assumes the batch/spatial ``n`` dimension
+    provides enough parallel work to keep the array busy, so the cycle count
+    is the total multiply-accumulate work divided by the array's peak rate,
+    multiplied by the fMAC ``passes`` of the operand precisions.
+    """
+    if min(m, k, n) <= 0:
+        return 0
+    row_tiles = -(-m // array_rows)
+    reduction_capacity = array_cols * k_per_cycle
+    reduction_tiles = -(-k // reduction_capacity)
+    fill = array_rows + array_cols - 2
+    peak_macs_per_cycle = array_rows * array_cols * k_per_cycle
+    compute = -(-(m * k * n * passes) // peak_macs_per_cycle)
+    return int(compute + row_tiles * reduction_tiles * fill)

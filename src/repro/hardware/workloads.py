@@ -1,0 +1,221 @@
+"""Paper-scale workload descriptions: the GEMM shapes of each evaluated DNN.
+
+The Figure 19/20 performance numbers are computed from "the computation
+required for all convolutional and fully connected layers" of each model at
+the paper's training batch sizes (256 for the CNNs, 16 for the Transformer,
+64 for YOLOv2).  Each layer is described by the matrix-view dimensions of
+Figure 3: a convolution with ``C`` input channels, ``N`` output channels,
+``k x k`` kernels and ``OH x OW`` output resolution on a batch of ``B``
+becomes a GEMM of ``(M, K, N) = (N_out, C*k*k, B*OH*OW)``; the two
+backward-pass products permute those dimensions.
+
+These shape lists follow the standard published architectures (ResNet-18/50,
+MobileNet-v2, VGG-16, a 12-layer Transformer, YOLOv2); they drive the
+analytical cycle model only, so exact parity with every implementation detail
+(e.g. projection shortcuts) is not required for the relative comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+__all__ = ["GemmShape", "Workload", "conv_gemm", "paper_workloads",
+           "resnet18_workload", "resnet50_workload", "mobilenet_v2_workload",
+           "vgg16_workload", "transformer_workload", "yolov2_workload"]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One layer's forward-pass GEMM: (M x K) . (K x N)."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    def backward_activation(self) -> "GemmShape":
+        """GEMM computing the activation gradients: ``∇A = W^T ∇O``."""
+        return GemmShape(self.name + ".grad_a", self.k, self.m, self.n)
+
+    def backward_weight(self) -> "GemmShape":
+        """GEMM computing the weight gradients: ``∇W = ∇O A^T``."""
+        return GemmShape(self.name + ".grad_w", self.m, self.n, self.k)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named list of forward-pass GEMMs plus training metadata."""
+
+    name: str
+    layers: List[GemmShape]
+    batch_size: int
+    target_metric: float
+    target_name: str
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def total_training_macs(self) -> int:
+        """MACs of one training iteration (forward + both backward products)."""
+        total = 0
+        for layer in self.layers:
+            total += layer.macs
+            total += layer.backward_activation().macs
+            total += layer.backward_weight().macs
+        return total
+
+
+def conv_gemm(name: str, in_channels: int, out_channels: int, kernel: int,
+              out_hw: int, batch: int) -> GemmShape:
+    """GEMM shape of one convolution layer in the matrix view of Figure 3."""
+    return GemmShape(name, out_channels, in_channels * kernel * kernel, batch * out_hw * out_hw)
+
+
+# --------------------------------------------------------------------------- #
+# CNN workloads (ImageNet, batch 256)
+# --------------------------------------------------------------------------- #
+def resnet18_workload(batch: int = 256, image: int = 224) -> Workload:
+    layers = [conv_gemm("conv1", 3, 64, 7, image // 2, batch)]
+    stage_channels = [64, 128, 256, 512]
+    resolution = image // 4
+    in_channels = 64
+    for stage_index, channels in enumerate(stage_channels):
+        for block in range(2):
+            stride_block = stage_index > 0 and block == 0
+            if stride_block:
+                resolution //= 2
+                layers.append(conv_gemm(f"s{stage_index}b{block}.down", in_channels, channels, 1,
+                                        resolution, batch))
+            layers.append(conv_gemm(f"s{stage_index}b{block}.conv1", in_channels, channels, 3,
+                                    resolution, batch))
+            layers.append(conv_gemm(f"s{stage_index}b{block}.conv2", channels, channels, 3,
+                                    resolution, batch))
+            in_channels = channels
+    layers.append(GemmShape("fc", 1000, 512, batch))
+    return Workload("resnet18", layers, batch, 68.0, "top-1 accuracy (%)")
+
+
+def resnet50_workload(batch: int = 256, image: int = 224) -> Workload:
+    layers = [conv_gemm("conv1", 3, 64, 7, image // 2, batch)]
+    stage_blocks = [3, 4, 6, 3]
+    stage_channels = [64, 128, 256, 512]
+    resolution = image // 4
+    in_channels = 64
+    for stage_index, (blocks, channels) in enumerate(zip(stage_blocks, stage_channels)):
+        for block in range(blocks):
+            if stage_index > 0 and block == 0:
+                resolution //= 2
+            expanded = channels * 4
+            prefix = f"s{stage_index}b{block}"
+            layers.append(conv_gemm(f"{prefix}.conv1", in_channels, channels, 1, resolution, batch))
+            layers.append(conv_gemm(f"{prefix}.conv2", channels, channels, 3, resolution, batch))
+            layers.append(conv_gemm(f"{prefix}.conv3", channels, expanded, 1, resolution, batch))
+            if block == 0:
+                layers.append(conv_gemm(f"{prefix}.down", in_channels, expanded, 1, resolution, batch))
+            in_channels = expanded
+    layers.append(GemmShape("fc", 1000, 2048, batch))
+    return Workload("resnet50", layers, batch, 75.0, "top-1 accuracy (%)")
+
+
+def mobilenet_v2_workload(batch: int = 256, image: int = 224) -> Workload:
+    # (expansion, channels, repeats, stride) from the MobileNet-v2 paper.
+    settings = [(1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+                (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)]
+    layers = [conv_gemm("conv1", 3, 32, 3, image // 2, batch)]
+    resolution = image // 2
+    in_channels = 32
+    for setting_index, (expansion, channels, repeats, stride) in enumerate(settings):
+        for repeat in range(repeats):
+            if repeat == 0 and stride == 2:
+                resolution //= 2
+            hidden = in_channels * expansion
+            prefix = f"ir{setting_index}.{repeat}"
+            if expansion != 1:
+                layers.append(conv_gemm(f"{prefix}.expand", in_channels, hidden, 1, resolution, batch))
+            # Depthwise convolution: one input channel per filter.
+            layers.append(conv_gemm(f"{prefix}.depthwise", 1, hidden, 3, resolution, batch))
+            layers.append(conv_gemm(f"{prefix}.project", hidden, channels, 1, resolution, batch))
+            in_channels = channels
+    layers.append(conv_gemm("conv_last", 320, 1280, 1, resolution, batch))
+    layers.append(GemmShape("fc", 1000, 1280, batch))
+    return Workload("mobilenet_v2", layers, batch, 68.0, "top-1 accuracy (%)")
+
+
+def vgg16_workload(batch: int = 256, image: int = 224) -> Workload:
+    stage_convs = [2, 2, 3, 3, 3]
+    stage_channels = [64, 128, 256, 512, 512]
+    layers: List[GemmShape] = []
+    resolution = image
+    in_channels = 3
+    for stage_index, (convs, channels) in enumerate(zip(stage_convs, stage_channels)):
+        for conv in range(convs):
+            layers.append(conv_gemm(f"s{stage_index}.conv{conv}", in_channels, channels, 3,
+                                    resolution, batch))
+            in_channels = channels
+        resolution //= 2
+    layers.append(GemmShape("fc1", 4096, 512 * 7 * 7, batch))
+    layers.append(GemmShape("fc2", 4096, 4096, batch))
+    layers.append(GemmShape("fc3", 1000, 4096, batch))
+    return Workload("vgg16", layers, batch, 69.0, "top-1 accuracy (%)")
+
+
+# --------------------------------------------------------------------------- #
+# Transformer (IWSLT14, batch 16) and YOLOv2 (VOC, batch 64)
+# --------------------------------------------------------------------------- #
+def transformer_workload(batch: int = 16, sequence_length: int = 32, hidden: int = 768,
+                         ffn: int = 3072, num_layers: int = 12, heads: int = 12,
+                         vocab: int = 32000) -> Workload:
+    tokens = batch * sequence_length
+    head_dim = hidden // heads
+    layers: List[GemmShape] = []
+    for layer in range(num_layers):
+        prefix = f"layer{layer}"
+        for proj in ("q", "k", "v", "out"):
+            layers.append(GemmShape(f"{prefix}.{proj}_proj", hidden, hidden, tokens))
+        # Attention score and context products, summed over heads.
+        layers.append(GemmShape(f"{prefix}.qk", sequence_length, head_dim,
+                                batch * heads * sequence_length))
+        layers.append(GemmShape(f"{prefix}.pv", head_dim, sequence_length,
+                                batch * heads * sequence_length))
+        layers.append(GemmShape(f"{prefix}.ffn1", ffn, hidden, tokens))
+        layers.append(GemmShape(f"{prefix}.ffn2", hidden, ffn, tokens))
+    layers.append(GemmShape("output_proj", vocab, hidden, tokens))
+    return Workload("transformer", layers, batch, 35.0, "BLEU")
+
+
+def yolov2_workload(batch: int = 64, image: int = 416) -> Workload:
+    # Darknet-19 backbone + detection head (channels, kernel, pool-after).
+    config = [(32, 3, True), (64, 3, True), (128, 3, False), (64, 1, False), (128, 3, True),
+              (256, 3, False), (128, 1, False), (256, 3, True), (512, 3, False), (256, 1, False),
+              (512, 3, False), (256, 1, False), (512, 3, True), (1024, 3, False), (512, 1, False),
+              (1024, 3, False), (512, 1, False), (1024, 3, False), (1024, 3, False), (1024, 3, False)]
+    layers: List[GemmShape] = []
+    resolution = image
+    in_channels = 3
+    for index, (channels, kernel, pool_after) in enumerate(config):
+        layers.append(conv_gemm(f"conv{index}", in_channels, channels, kernel, resolution, batch))
+        in_channels = channels
+        if pool_after:
+            resolution //= 2
+    # Detection head: 5 anchors x (5 + 20 VOC classes) = 125 output channels.
+    layers.append(conv_gemm("detect", 1024, 125, 1, resolution, batch))
+    return Workload("yolov2", layers, batch, 73.0, "mAP (%)")
+
+
+def paper_workloads() -> Dict[str, Workload]:
+    """All six evaluation workloads keyed by the names used in Figure 20."""
+    builders: Dict[str, Callable[[], Workload]] = {
+        "resnet18": resnet18_workload,
+        "resnet50": resnet50_workload,
+        "mobilenet_v2": mobilenet_v2_workload,
+        "vgg16": vgg16_workload,
+        "transformer": transformer_workload,
+        "yolov2": yolov2_workload,
+    }
+    return {name: builder() for name, builder in builders.items()}

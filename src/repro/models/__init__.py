@@ -1,0 +1,34 @@
+"""Evaluation models: scaled-down, architecture-faithful versions of the
+networks the paper trains (ResNet-18/20/50, VGG-16, MobileNet-v2, a
+Transformer, and YOLOv2)."""
+
+from .mlp import MLP
+from .mobilenet import InvertedResidual, MobileNetV2, mobilenet_v2
+from .resnet import BasicBlock, BottleneckBlock, ResNet, resnet18, resnet20, resnet20_uniform, resnet50
+from .transformer import Seq2SeqTransformer, transformer_base, transformer_small
+from .vgg import VGG, vgg11, vgg16
+from .yolo import TinyYOLO, decode_predictions, tiny_yolo, yolo_loss
+
+__all__ = [
+    "MLP",
+    "ResNet",
+    "BasicBlock",
+    "BottleneckBlock",
+    "resnet18",
+    "resnet20",
+    "resnet20_uniform",
+    "resnet50",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "MobileNetV2",
+    "InvertedResidual",
+    "mobilenet_v2",
+    "Seq2SeqTransformer",
+    "transformer_small",
+    "transformer_base",
+    "TinyYOLO",
+    "tiny_yolo",
+    "decode_predictions",
+    "yolo_loss",
+]

@@ -1,0 +1,37 @@
+"""Simple multi-layer perceptron used in quickstart examples and tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import nn
+from ..nn.quantized import QuantizedLinear
+
+__all__ = ["MLP"]
+
+
+class MLP(nn.Module):
+    """Fully connected classifier with ReLU hidden layers.
+
+    Built from :class:`~repro.nn.quantized.QuantizedLinear` layers so the
+    same model can be trained in FP32 (identity scheme) or under any
+    quantization scheme.
+    """
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], num_classes: int, rng=None):
+        super().__init__()
+        sizes = [in_features] + list(hidden_sizes)
+        layers = []
+        for in_size, out_size in zip(sizes[:-1], sizes[1:]):
+            layers.append(QuantizedLinear(in_size, out_size, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(QuantizedLinear(sizes[-1], num_classes, rng=rng))
+        self.layers = nn.Sequential(*layers)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        x = nn.as_tensor(x)
+        if x.ndim > 2:
+            x = x.flatten(1)
+        return self.layers(x)

@@ -1,0 +1,104 @@
+"""MobileNet-v2 style network built from inverted residual blocks.
+
+Keeps the defining features of MobileNet-v2 -- depthwise separable
+convolutions, expansion factors, and linear (non-activated) bottleneck
+outputs with residual connections -- at reduced width so it trains on CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .. import nn
+from ..nn.quantized import QuantizedConv2d, QuantizedLinear
+
+__all__ = ["InvertedResidual", "MobileNetV2", "mobilenet_v2"]
+
+
+class InvertedResidual(nn.Module):
+    """Expansion (1x1) -> depthwise (3x3) -> projection (1x1) block."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 expansion: int = 4, rng=None):
+        super().__init__()
+        hidden = in_channels * expansion
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand = nn.Sequential(
+            QuantizedConv2d(in_channels, hidden, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU(),
+        )
+        self.depthwise = nn.Sequential(
+            QuantizedConv2d(hidden, hidden, 3, stride=stride, padding=1, groups=hidden,
+                            bias=False, rng=rng),
+            nn.BatchNorm2d(hidden),
+            nn.ReLU(),
+        )
+        self.project = nn.Sequential(
+            QuantizedConv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(out_channels),
+        )
+
+    def forward(self, x):
+        x = nn.as_tensor(x)
+        out = self.expand(x)
+        out = self.depthwise(out)
+        out = self.project(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(nn.Module):
+    """Scaled-down MobileNet-v2 classifier."""
+
+    def __init__(
+        self,
+        block_settings: Sequence[Tuple[int, int, int, int]] = ((4, 16, 2, 1), (4, 24, 2, 2), (4, 32, 2, 2)),
+        num_classes: int = 10,
+        in_channels: int = 3,
+        stem_channels: int = 8,
+        rng=None,
+    ):
+        """``block_settings`` rows are (expansion, channels, blocks, stride)."""
+        super().__init__()
+        self.stem = nn.Sequential(
+            QuantizedConv2d(in_channels, stem_channels, 3, stride=1, padding=1, bias=False, rng=rng),
+            nn.BatchNorm2d(stem_channels),
+            nn.ReLU(),
+        )
+        blocks = []
+        current = stem_channels
+        for expansion, channels, count, stride in block_settings:
+            for index in range(count):
+                block_stride = stride if index == 0 else 1
+                blocks.append(InvertedResidual(current, channels, stride=block_stride,
+                                               expansion=expansion, rng=rng))
+                current = channels
+        self.blocks = nn.Sequential(*blocks)
+        self.head = nn.Sequential(
+            QuantizedConv2d(current, current * 2, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(current * 2),
+            nn.ReLU(),
+        )
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = QuantizedLinear(current * 2, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        out = self.stem(nn.as_tensor(x))
+        out = self.blocks(out)
+        out = self.head(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def mobilenet_v2(num_classes: int = 10, width: int = 8, in_channels: int = 3, rng=None) -> MobileNetV2:
+    """MobileNet-v2 with widths scaled by ``width`` (stem channel count)."""
+    settings = (
+        (4, width * 2, 2, 1),
+        (4, width * 3, 2, 2),
+        (4, width * 4, 2, 2),
+    )
+    return MobileNetV2(settings, num_classes=num_classes, in_channels=in_channels,
+                       stem_channels=width, rng=rng)

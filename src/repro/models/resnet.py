@@ -1,0 +1,162 @@
+"""Residual networks: CIFAR-style ResNet-20 and ImageNet-style ResNet-18/50.
+
+The paper evaluates FAST on ResNet-18 and ResNet-50 (ImageNet) and uses
+ResNet-20 (CIFAR-10) for the precision-schedule study of Figure 9.  These
+implementations keep the architectural skeleton (residual blocks, stage
+layout, downsampling projections, bottlenecks for ResNet-50) but default to
+reduced channel widths and input resolutions so they train on a CPU; the
+``width`` argument restores full-size channels when desired.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .. import nn
+from ..nn.quantized import QuantizedConv2d, QuantizedLinear
+
+__all__ = ["BasicBlock", "BottleneckBlock", "ResNet", "resnet20", "resnet20_uniform", "resnet18", "resnet50"]
+
+
+def _conv_bn(in_channels: int, out_channels: int, kernel_size: int, stride: int, padding: int, rng=None):
+    return nn.Sequential(
+        QuantizedConv2d(in_channels, out_channels, kernel_size, stride=stride, padding=padding,
+                        bias=False, rng=rng),
+        nn.BatchNorm2d(out_channels),
+    )
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with an identity (or projected) skip connection."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1, rng=None):
+        super().__init__()
+        self.conv1 = _conv_bn(in_channels, out_channels, 3, stride, 1, rng=rng)
+        self.conv2 = _conv_bn(out_channels, out_channels, 3, 1, 1, rng=rng)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = _conv_bn(in_channels, out_channels, 1, stride, 0, rng=rng)
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        x = nn.as_tensor(x)
+        out = self.conv1(x).relu()
+        out = self.conv2(out)
+        out = out + self.shortcut(x)
+        return out.relu()
+
+
+class BottleneckBlock(nn.Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck block used by ResNet-50."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1, rng=None):
+        super().__init__()
+        expanded = out_channels * self.expansion
+        self.conv1 = _conv_bn(in_channels, out_channels, 1, 1, 0, rng=rng)
+        self.conv2 = _conv_bn(out_channels, out_channels, 3, stride, 1, rng=rng)
+        self.conv3 = _conv_bn(out_channels, expanded, 1, 1, 0, rng=rng)
+        if stride != 1 or in_channels != expanded:
+            self.shortcut = _conv_bn(in_channels, expanded, 1, stride, 0, rng=rng)
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        x = nn.as_tensor(x)
+        out = self.conv1(x).relu()
+        out = self.conv2(out).relu()
+        out = self.conv3(out)
+        out = out + self.shortcut(x)
+        return out.relu()
+
+
+class ResNet(nn.Module):
+    """Generic residual network parameterized by block type and stage layout.
+
+    Parameters
+    ----------
+    block:
+        :class:`BasicBlock` or :class:`BottleneckBlock`.
+    stage_blocks:
+        Number of residual blocks in each stage.
+    stage_channels:
+        Base channel count of each stage (before block expansion).
+    num_classes:
+        Output classes of the final linear classifier.
+    in_channels:
+        Input image channels.
+    stem_stride:
+        Stride of the stem convolution (2 for ImageNet-style stems).
+    """
+
+    def __init__(
+        self,
+        block,
+        stage_blocks: Sequence[int],
+        stage_channels: Sequence[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        stem_stride: int = 1,
+        rng=None,
+    ):
+        super().__init__()
+        if len(stage_blocks) != len(stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have equal length")
+        self.block = block
+        self.stem = _conv_bn(in_channels, stage_channels[0], 3, stem_stride, 1, rng=rng)
+        stages: List[nn.Module] = []
+        current = stage_channels[0]
+        for stage_index, (count, channels) in enumerate(zip(stage_blocks, stage_channels)):
+            blocks = []
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(block(current, channels, stride=stride, rng=rng))
+                current = channels * block.expansion
+            stages.append(nn.Sequential(*blocks))
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = QuantizedLinear(current, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        x = nn.as_tensor(x)
+        out = self.stem(x).relu()
+        out = self.stages(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def resnet20(num_classes: int = 10, width: int = 16, in_channels: int = 3, rng=None) -> ResNet:
+    """CIFAR-style ResNet-20: three stages of three basic blocks."""
+    channels = (width, width * 2, width * 4)
+    return ResNet(BasicBlock, (3, 3, 3), channels, num_classes=num_classes,
+                  in_channels=in_channels, rng=rng)
+
+
+def resnet20_uniform(num_classes: int = 10, width: int = 16, in_channels: int = 3, rng=None) -> ResNet:
+    """ResNet-20 variant with a uniform channel width in every stage.
+
+    Used for the layerwise precision experiment of Figure 9 (right), where the
+    paper equalizes the filter layout of the first and second halves of the
+    network so that precision placement is the only difference.
+    """
+    channels = (width, width, width)
+    return ResNet(BasicBlock, (3, 3, 3), channels, num_classes=num_classes,
+                  in_channels=in_channels, rng=rng)
+
+
+def resnet18(num_classes: int = 10, width: int = 16, in_channels: int = 3, rng=None) -> ResNet:
+    """ImageNet-style ResNet-18: four stages of two basic blocks."""
+    channels = (width, width * 2, width * 4, width * 8)
+    return ResNet(BasicBlock, (2, 2, 2, 2), channels, num_classes=num_classes,
+                  in_channels=in_channels, stem_stride=1, rng=rng)
+
+
+def resnet50(num_classes: int = 10, width: int = 8, in_channels: int = 3, rng=None) -> ResNet:
+    """ImageNet-style ResNet-50: four stages of bottleneck blocks (3, 4, 6, 3)."""
+    channels = (width, width * 2, width * 4, width * 8)
+    return ResNet(BottleneckBlock, (3, 4, 6, 3), channels, num_classes=num_classes,
+                  in_channels=in_channels, stem_stride=1, rng=rng)

@@ -1,0 +1,67 @@
+"""VGG-style plain convolutional networks.
+
+The paper evaluates VGG-16; this implementation keeps the characteristic
+stacked-3x3-conv + max-pool structure with a configurable width multiplier so
+the model trains on a CPU.  ``vgg16`` uses the canonical (2, 2, 3, 3, 3)
+stage layout; ``vgg11`` is a lighter variant used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import nn
+from ..nn.quantized import QuantizedConv2d, QuantizedLinear
+
+__all__ = ["VGG", "vgg11", "vgg16"]
+
+
+class VGG(nn.Module):
+    """Plain convolutional network: conv stacks separated by max pooling."""
+
+    def __init__(
+        self,
+        stage_convs: Sequence[int],
+        stage_channels: Sequence[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        classifier_hidden: int = 64,
+        rng=None,
+    ):
+        super().__init__()
+        if len(stage_convs) != len(stage_channels):
+            raise ValueError("stage_convs and stage_channels must have equal length")
+        layers = []
+        current = in_channels
+        for count, channels in zip(stage_convs, stage_channels):
+            for _ in range(count):
+                layers.append(QuantizedConv2d(current, channels, 3, padding=1, bias=False, rng=rng))
+                layers.append(nn.BatchNorm2d(channels))
+                layers.append(nn.ReLU())
+                current = channels
+            layers.append(nn.MaxPool2d(2))
+        self.features = nn.Sequential(*layers)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Sequential(
+            QuantizedLinear(current, classifier_hidden, rng=rng),
+            nn.ReLU(),
+            QuantizedLinear(classifier_hidden, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        out = self.features(nn.as_tensor(x))
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def vgg11(num_classes: int = 10, width: int = 8, in_channels: int = 3, rng=None) -> VGG:
+    """Light VGG variant with (1, 1, 2, 2) conv stages."""
+    channels = (width, width * 2, width * 4, width * 8)
+    return VGG((1, 1, 2, 2), channels, num_classes=num_classes, in_channels=in_channels, rng=rng)
+
+
+def vgg16(num_classes: int = 10, width: int = 8, in_channels: int = 3, rng=None) -> VGG:
+    """VGG-16 layout: (2, 2, 3, 3, 3) conv stages."""
+    channels = (width, width * 2, width * 4, width * 8, width * 8)
+    return VGG((2, 2, 3, 3, 3), channels, num_classes=num_classes, in_channels=in_channels, rng=rng)

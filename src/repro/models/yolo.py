@@ -1,0 +1,127 @@
+"""A compact single-scale YOLO-style detector.
+
+The paper trains YOLOv2 on PASCAL VOC2012.  This model keeps the defining
+ingredients of YOLOv2 -- a fully convolutional backbone, a grid of cells each
+predicting box offsets (sigmoid-activated centre, exponential size),
+objectness and class scores, trained with a multi-part loss -- while scaling
+the backbone down so the synthetic detection task of
+:mod:`repro.data.detection` trains on a CPU.
+
+The output tensor has shape ``(batch, grid, grid, 5 + num_classes)`` with the
+last axis laid out as ``(tx, ty, tw, th, objectness, class logits...)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn.quantized import QuantizedConv2d
+
+__all__ = ["TinyYOLO", "tiny_yolo", "decode_predictions", "yolo_loss"]
+
+
+class TinyYOLO(nn.Module):
+    """Convolutional backbone + 1x1 detection head on a ``grid x grid`` map."""
+
+    def __init__(self, num_classes: int = 3, in_channels: int = 3, width: int = 8,
+                 grid_size: int = 4, rng=None):
+        super().__init__()
+        self.num_classes = num_classes
+        self.grid_size = grid_size
+        self.out_channels = 5 + num_classes
+        layers: List[nn.Module] = []
+        channels = [width, width * 2, width * 4]
+        current = in_channels
+        for out in channels:
+            layers.append(QuantizedConv2d(current, out, 3, padding=1, bias=False, rng=rng))
+            layers.append(nn.BatchNorm2d(out))
+            layers.append(nn.LeakyReLU(0.1))
+            layers.append(nn.MaxPool2d(2))
+            current = out
+        self.backbone = nn.Sequential(*layers)
+        self.head = QuantizedConv2d(current, self.out_channels, 1, rng=rng)
+
+    def forward(self, x):
+        x = nn.as_tensor(x)
+        features = self.backbone(x)
+        predictions = self.head(features)
+        # (batch, channels, grid, grid) -> (batch, grid, grid, channels)
+        return predictions.transpose(0, 2, 3, 1)
+
+
+def tiny_yolo(num_classes: int = 3, image_size: int = 32, width: int = 8, rng=None) -> TinyYOLO:
+    """Build a :class:`TinyYOLO` whose grid matches ``image_size`` (3 pooling stages)."""
+    grid = image_size // 8
+    return TinyYOLO(num_classes=num_classes, width=width, grid_size=grid, rng=rng)
+
+
+def decode_predictions(raw: np.ndarray, threshold: float = 0.5) -> List[List[Tuple[float, float, float, float, int, float]]]:
+    """Convert raw head outputs to per-image box lists.
+
+    Each returned box is ``(x_center, y_center, width, height, class_id,
+    confidence)`` in normalized [0, 1] image coordinates.
+    """
+    raw = np.asarray(raw)
+    batch, grid_h, grid_w, _ = raw.shape
+    results = []
+    for b in range(batch):
+        boxes = []
+        for i in range(grid_h):
+            for j in range(grid_w):
+                cell = raw[b, i, j]
+                objectness = 1.0 / (1.0 + np.exp(-cell[4]))
+                if objectness < threshold:
+                    continue
+                tx, ty = 1.0 / (1.0 + np.exp(-cell[0])), 1.0 / (1.0 + np.exp(-cell[1]))
+                tw, th = np.exp(np.clip(cell[2], -6, 6)), np.exp(np.clip(cell[3], -6, 6))
+                x_center = float((j + tx) / grid_w)
+                y_center = float((i + ty) / grid_h)
+                width = float(min(tw / grid_w, 1.0))
+                height = float(min(th / grid_h, 1.0))
+                class_id = int(np.argmax(cell[5:]))
+                boxes.append((x_center, y_center, width, height, class_id, float(objectness)))
+        results.append(boxes)
+    return results
+
+
+def yolo_loss(predictions: nn.Tensor, targets: np.ndarray,
+              lambda_coord: float = 5.0, lambda_noobj: float = 0.5) -> nn.Tensor:
+    """YOLO-style multi-part loss.
+
+    ``targets`` has the same (batch, grid, grid, 5 + classes) layout with
+    ground-truth ``(tx, ty, tw, th)`` offsets, a 0/1 objectness flag and a
+    one-hot class vector.  Coordinate and class terms are only applied to
+    cells containing an object; the no-object cells only contribute a
+    down-weighted objectness term, following the original YOLO formulation.
+    """
+    predictions = nn.as_tensor(predictions)
+    targets = np.asarray(targets, dtype=np.float64)
+    object_mask = targets[..., 4:5]
+    noobject_mask = 1.0 - object_mask
+
+    pred_xy = predictions[..., 0:2].sigmoid()
+    pred_wh = predictions[..., 2:4]
+    pred_obj = predictions[..., 4:5]
+    pred_class = predictions[..., 5:]
+
+    target_xy = nn.Tensor(targets[..., 0:2])
+    target_wh = nn.Tensor(targets[..., 2:4])
+    target_obj = nn.Tensor(targets[..., 4:5])
+    target_class = nn.Tensor(targets[..., 5:])
+    object_mask_t = nn.Tensor(object_mask)
+    noobject_mask_t = nn.Tensor(noobject_mask)
+
+    coord_loss = (((pred_xy - target_xy) ** 2) * object_mask_t).sum()
+    size_loss = (((pred_wh - target_wh) ** 2) * object_mask_t).sum()
+    objectness = pred_obj.sigmoid()
+    obj_loss = (((objectness - target_obj) ** 2) * object_mask_t).sum()
+    noobj_loss = (((objectness - target_obj) ** 2) * noobject_mask_t).sum()
+    class_loss = (((pred_class.softmax(axis=-1) - target_class) ** 2) * object_mask_t).sum()
+
+    batch = predictions.shape[0]
+    total = (lambda_coord * (coord_loss + size_loss) + obj_loss
+             + lambda_noobj * noobj_loss + class_loss)
+    return total * (1.0 / batch)

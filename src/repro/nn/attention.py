@@ -1,0 +1,151 @@
+"""Multi-head attention and Transformer building blocks.
+
+The paper evaluates FAST on a 12-layer, 12-head Transformer for IWSLT14
+German-English translation.  This module provides an architecture-faithful
+(if smaller by default) encoder-decoder Transformer built entirely from the
+autograd substrate so every matrix product can be fake-quantized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .modules import Dropout, LayerNorm, Module
+from .quantized import QuantizedLinear as Linear
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "scaled_dot_product_attention",
+    "MultiHeadAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "positional_encoding",
+    "causal_mask",
+]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive mask that blocks attention to future positions."""
+    mask = np.triu(np.full((length, length), -1e9), k=1)
+    return mask
+
+
+def positional_encoding(length: int, dim: int) -> np.ndarray:
+    """Sinusoidal positional encodings of shape (length, dim)."""
+    positions = np.arange(length)[:, None]
+    dims = np.arange(dim)[None, :]
+    angles = positions / np.power(10000.0, (2 * (dims // 2)) / dim)
+    encoding = np.zeros((length, dim))
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Attention(Q, K, V) = softmax(Q K^T / sqrt(d)) V.
+
+    Inputs have shape (batch, heads, length, head_dim).  ``mask`` is an
+    additive mask broadcastable to (batch, heads, length, length).
+    """
+    head_dim = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(head_dim))
+    if mask is not None:
+        scores = scores + Tensor(mask)
+    weights = scores.softmax(axis=-1)
+    return weights @ value
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with separate Q/K/V/output projections."""
+
+    def __init__(self, embed_dim: int, num_heads: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, _, length, _ = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.embed_dim)
+
+    def forward(self, query, key=None, value=None, mask: Optional[np.ndarray] = None) -> Tensor:
+        query = as_tensor(query)
+        key = query if key is None else as_tensor(key)
+        value = key if value is None else as_tensor(value)
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        attended = scaled_dot_product_attention(q, k, v, mask=mask)
+        attended = self._merge_heads(attended)
+        return self.dropout(self.out_proj(attended))
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network with a ReLU hidden layer."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        self.fc1 = Linear(embed_dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x) -> Tensor:
+        return self.dropout(self.fc2(self.fc1(x).relu()))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm Transformer encoder layer: self-attention + feed-forward."""
+
+    def __init__(self, embed_dim: int, num_heads: int, hidden_dim: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        self.self_attention = MultiHeadAttention(embed_dim, num_heads, dropout, rng=rng)
+        self.feed_forward = FeedForward(embed_dim, hidden_dim, dropout, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+
+    def forward(self, x, mask: Optional[np.ndarray] = None) -> Tensor:
+        x = as_tensor(x)
+        x = x + self.self_attention(self.norm1(x), mask=mask)
+        x = x + self.feed_forward(self.norm2(x))
+        return x
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm Transformer decoder layer: masked self-attention, cross-attention, feed-forward."""
+
+    def __init__(self, embed_dim: int, num_heads: int, hidden_dim: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        self.self_attention = MultiHeadAttention(embed_dim, num_heads, dropout, rng=rng)
+        self.cross_attention = MultiHeadAttention(embed_dim, num_heads, dropout, rng=rng)
+        self.feed_forward = FeedForward(embed_dim, hidden_dim, dropout, rng=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.norm3 = LayerNorm(embed_dim)
+
+    def forward(self, x, memory, self_mask: Optional[np.ndarray] = None,
+                memory_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = as_tensor(x)
+        memory = as_tensor(memory)
+        x = x + self.self_attention(self.norm1(x), mask=self_mask)
+        x = x + self.cross_attention(self.norm2(x), key=memory, value=memory, mask=memory_mask)
+        x = x + self.feed_forward(self.norm3(x))
+        return x

@@ -1,0 +1,273 @@
+"""Functional neural-network operations built on :class:`~repro.nn.tensor.Tensor`.
+
+Contains the structured operations that need dedicated backward rules
+(convolution, pooling, embedding lookup, dropout) plus the two quantization
+hooks used by the fake-quantized training substrate:
+
+* :func:`fake_quantize` -- replaces the forward values with their quantized
+  counterparts and passes gradients straight through (the straight-through
+  estimator used for weights and activations).
+* :func:`quantize_gradient` -- identity on the forward pass but quantizes the
+  *incoming gradient* on the backward pass, which models the BFP conversion
+  of the output gradient ``∇O`` before it is used to compute ``∇A`` and
+  ``∇W`` (Figure 3 / Figure 16).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "im2col_indices",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "embedding",
+    "dropout",
+    "fake_quantize",
+    "quantize_gradient",
+    "one_hot",
+    "linear",
+]
+
+
+# --------------------------------------------------------------------------- #
+# im2col-based convolution
+# --------------------------------------------------------------------------- #
+def im2col_indices(
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+):
+    """Index arrays that gather convolution patches from a padded input."""
+    _, channels, height, width = input_shape
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {input_shape}, "
+            f"kernel ({kernel_h}, {kernel_w}), stride {stride}, padding {padding}"
+        )
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns: output (N, C*kh*kw, out_h*out_w)."""
+    k, i, j, _, _ = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    return padded[:, k, i, j]
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Scatter columns back into image space (adjoint of :func:`im2col`)."""
+    batch, channels, height, width = input_shape
+    k, i, j, _, _ = im2col_indices(input_shape, kernel_h, kernel_w, stride, padding)
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution (NCHW layout) implemented with im2col + matmul.
+
+    The im2col/matmul decomposition is exactly the matrix view of Figure 3,
+    which is also how the systolic array executes the layer, so the quantized
+    training path sees the same matrix products as the hardware.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    batch, _, _, _ = x.shape
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    cols = im2col(x.data, kernel_h, kernel_w, stride, padding)
+    _, _, _, out_h, out_w = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    weight_matrix = weight.data.reshape(out_channels, -1)
+    out_data = np.einsum("of,nfl->nol", weight_matrix, cols)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1)
+    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
+
+    input_shape = x.shape
+
+    def backward(grad):
+        grad_matrix = grad.reshape(batch, out_channels, -1)
+        if weight.requires_grad:
+            grad_weight = np.einsum("nol,nfl->of", grad_matrix, cols)
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_matrix.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_cols = np.einsum("of,nol->nfl", weight_matrix, grad_matrix)
+            grad_x = col2im(grad_cols, input_shape, kernel_h, kernel_w, stride, padding)
+            x._accumulate(grad_x)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward, "conv2d")
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over square windows (NCHW layout)."""
+    x = as_tensor(x)
+    stride = stride if stride is not None else kernel_size
+    batch, channels, height, width = x.shape
+    folded = x.data.reshape(batch * channels, 1, height, width)
+    cols = im2col(folded, kernel_size, kernel_size, stride, 0)
+    _, _, _, out_h, out_w = im2col_indices(folded.shape, kernel_size, kernel_size, stride, 0)
+    max_idx = cols.argmax(axis=1)
+    out_data = np.take_along_axis(cols, max_idx[:, None, :], axis=1)[:, 0, :]
+    out_data = out_data.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad_flat = grad.reshape(batch * channels, 1, -1)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, max_idx[:, None, :], grad_flat, axis=1)
+        grad_x = col2im(grad_cols, folded.shape, kernel_size, kernel_size, stride, 0)
+        x._accumulate(grad_x.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over square windows (NCHW layout)."""
+    x = as_tensor(x)
+    stride = stride if stride is not None else kernel_size
+    batch, channels, height, width = x.shape
+    folded_shape = (batch * channels, 1, height, width)
+    cols = im2col(x.data.reshape(folded_shape), kernel_size, kernel_size, stride, 0)
+    _, _, _, out_h, out_w = im2col_indices(folded_shape, kernel_size, kernel_size, stride, 0)
+    out_data = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+    window = kernel_size * kernel_size
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad_flat = grad.reshape(batch * channels, 1, -1)
+        grad_cols = np.broadcast_to(grad_flat / window, cols.shape).copy()
+        grad_x = col2im(grad_cols, folded_shape, kernel_size, kernel_size, stride, 0)
+        x._accumulate(grad_x.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward, "avg_pool2d")
+
+
+# --------------------------------------------------------------------------- #
+# Embedding, dropout, one-hot, linear
+# --------------------------------------------------------------------------- #
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` by integer ``indices`` (any shape)."""
+    weight = as_tensor(weight)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad):
+        if weight.requires_grad:
+            grad_weight = np.zeros_like(weight.data)
+            np.add.at(grad_weight, indices.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+            weight._accumulate(grad_weight)
+
+    return Tensor._make(out_data, (weight,), backward, "embedding")
+
+
+def dropout(x: Tensor, p: float, training: bool = True, rng=None) -> Tensor:
+    """Inverted dropout: zero a fraction ``p`` of values and rescale the rest."""
+    x = as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    out_data = x.data * mask
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward, "dropout")
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer class indices."""
+    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+    encoded = np.zeros((indices.size, num_classes), dtype=np.float64)
+    encoded[np.arange(indices.size), indices] = 1.0
+    return encoded
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = as_tensor(x) @ as_tensor(weight).swapaxes(-1, -2)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Quantization hooks
+# --------------------------------------------------------------------------- #
+def fake_quantize(x: Tensor, quantize_fn: Callable[[np.ndarray], np.ndarray]) -> Tensor:
+    """Quantize the forward values, pass gradients straight through.
+
+    This is the standard straight-through estimator used for quantized
+    weights and activations: the matrix products see quantized values while
+    the full-precision master copy keeps receiving exact gradients.
+    """
+    x = as_tensor(x)
+    out_data = quantize_fn(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), backward, "fake_quantize")
+
+
+def quantize_gradient(x: Tensor, quantize_fn: Callable[[np.ndarray], np.ndarray]) -> Tensor:
+    """Identity forward; quantize the incoming gradient during backward.
+
+    Inserted at a layer's output so that the output gradient ``∇O`` is
+    BFP-quantized before it drives the two backward-pass matrix products of
+    Figure 3, which is where the FAST hardware applies the BFP converter.
+    """
+    x = as_tensor(x)
+    out_data = x.data
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(quantize_fn(grad))
+
+    return Tensor._make(out_data, (x,), backward, "quantize_gradient")

@@ -1,0 +1,60 @@
+"""Weight initializers for the NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "kaiming_normal", "xavier_uniform", "zeros", "ones", "normal"]
+
+
+def _fan_in_out(shape):
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        out_channels, in_channels, kernel_h, kernel_w = shape
+        receptive = kernel_h * kernel_w
+        fan_in = in_channels * receptive
+        fan_out = out_channels * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        fan_in = fan_out = int(np.prod(shape[1:])) or 1
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform initialization (default for ReLU networks)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * np.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming normal initialization."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / np.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (default for tanh/linear layers)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape, std: float = 0.02, rng=None) -> np.ndarray:
+    """Gaussian initialization with a fixed standard deviation."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,99 @@
+"""Loss functions for classification, regression, sequence and detection tasks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .functional import one_hot
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "binary_cross_entropy_with_logits",
+    "sequence_cross_entropy",
+    "smooth_l1_loss",
+]
+
+
+def cross_entropy(logits: Tensor, targets, label_smoothing: float = 0.0) -> Tensor:
+    """Softmax cross-entropy over the last axis, averaged over the batch.
+
+    ``targets`` holds integer class indices of shape ``logits.shape[:-1]``.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    encoded = one_hot(targets.reshape(-1), num_classes)
+    if label_smoothing > 0.0:
+        encoded = encoded * (1.0 - label_smoothing) + label_smoothing / num_classes
+    log_probs = flat_logits.log_softmax(axis=-1)
+    loss = -(log_probs * Tensor(encoded)).sum(axis=-1)
+    return loss.mean()
+
+
+def sequence_cross_entropy(logits: Tensor, targets, pad_index: Optional[int] = None,
+                           label_smoothing: float = 0.0) -> Tensor:
+    """Token-level cross-entropy that ignores padding positions.
+
+    ``logits`` has shape (batch, length, vocab); ``targets`` has shape
+    (batch, length).  Positions equal to ``pad_index`` contribute nothing.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    encoded = one_hot(flat_targets, vocab)
+    if label_smoothing > 0.0:
+        encoded = encoded * (1.0 - label_smoothing) + label_smoothing / vocab
+    if pad_index is not None:
+        mask = (flat_targets != pad_index).astype(np.float64)
+    else:
+        mask = np.ones_like(flat_targets, dtype=np.float64)
+    log_probs = flat_logits.log_softmax(axis=-1)
+    token_loss = -(log_probs * Tensor(encoded)).sum(axis=-1)
+    total = (token_loss * Tensor(mask)).sum()
+    count = max(float(mask.sum()), 1.0)
+    return total * (1.0 / count)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def smooth_l1_loss(prediction: Tensor, target, beta: float = 1.0) -> Tensor:
+    """Huber-style smooth L1 loss used for box regression."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = (prediction - target).abs()
+    quadratic = diff.clip(0.0, beta)
+    linear = diff - quadratic
+    return (quadratic * quadratic * (0.5 / beta) + linear).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets, weight: Optional[np.ndarray] = None) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits."""
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    # log(1 + exp(-|x|)) + max(x, 0) - x * t, the standard stable form.
+    positive_part = logits.clip(0.0, np.inf)
+    loss = positive_part - logits * targets + (1.0 + (-logits.abs()).exp()).log()
+    if weight is not None:
+        loss = loss * Tensor(np.asarray(weight, dtype=np.float64))
+    return loss.mean()

@@ -1,0 +1,97 @@
+"""Learning-rate schedules.
+
+The paper's training recipes use step decay (YOLOv2: divide the learning rate
+by 10 at epochs 60 and 90; the CNNs follow the standard PyTorch ImageNet
+schedule).  These schedulers wrap an :class:`~repro.nn.optim.Optimizer` and
+update its learning rate once per epoch via :meth:`step`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "MultiStepLR", "CosineAnnealingLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base class: tracks the epoch count and the optimizer's base learning rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:
+        """Learning rate to use at ``epoch`` (0-based)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr(self.last_epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each epoch in ``milestones``.
+
+    ``MultiStepLR(optimizer, [60, 90])`` reproduces the paper's YOLOv2 recipe.
+    """
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for milestone in self.milestones if epoch >= milestone)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warm-up over ``warmup_epochs`` followed by another scheduler."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, after: LRScheduler):
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        return self.after.get_lr(epoch - self.warmup_epochs)

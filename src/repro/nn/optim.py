@@ -1,0 +1,113 @@
+"""Optimizers: SGD with momentum and Adam.
+
+Weight updates always happen on the FP32 master copy of the parameters, as
+in the paper's training setup (the BFP/INT/FP quantization is applied on the
+way into the matrix products, not to the stored master weights).  An optional
+``update_format`` hook lets experiments additionally quantize the updated
+weights, which is what the FAST hardware does when writing ``W'`` back to the
+weight SRAM (Figure 16c, step 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the shared step/zero_grad API."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        self.lr = lr
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        update_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.update_quantizer = update_quantizer
+        self._velocity = [np.zeros_like(param.data) for param in self.parameters]
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                self._velocity[index] = self.momentum * self._velocity[index] + grad
+                grad = self._velocity[index]
+            updated = param.data - self.lr * grad
+            if self.update_quantizer is not None:
+                updated = self.update_quantizer(updated)
+            param.data = updated
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), used by the paper for the Transformer."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        update_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.update_quantizer = update_quantizer
+        self._step = 0
+        self._m = [np.zeros_like(param.data) for param in self.parameters]
+        self._v = [np.zeros_like(param.data) for param in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            updated = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.update_quantizer is not None:
+                updated = self.update_quantizer(updated)
+            param.data = updated

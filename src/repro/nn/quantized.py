@@ -1,0 +1,286 @@
+"""Quantization-aware layers and quantization schemes.
+
+A *quantization scheme* decides how the three tensor kinds of a layer --
+weights, input activations and output gradients -- are quantized.  Quantized
+layers (:class:`QuantizedLinear`, :class:`QuantizedConv2d`) apply the scheme
+around their matrix products exactly where the FAST hardware applies the BFP
+converter (Figure 16):
+
+* weights and activations are fake-quantized on the way into the product
+  (straight-through estimator),
+* the layer output carries a :func:`~repro.nn.functional.quantize_gradient`
+  hook so the output gradient ``∇O`` is quantized before it is used for the
+  two backward-pass products of Figure 3.
+
+Schemes provided:
+
+* :class:`IdentityScheme` -- no quantization (FP32 baseline).
+* :class:`FormatScheme` -- a fixed :class:`~repro.formats.base.NumberFormat`
+  for all tensors (used for Table II).
+* :class:`BFPScheme` -- BFP with independently settable mantissa widths for
+  W, A and G (used by the fixed and scheduled precision baselines).
+* :class:`FASTScheme` -- consults a
+  :class:`~repro.core.precision_policy.PrecisionPolicy` on every call, which
+  is how Algorithm 1 selects 2- or 4-bit mantissas per tensor per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.bfp import BFPConfig, bfp_quantize
+from ..core.precision_policy import PrecisionPolicy
+from ..formats.base import NumberFormat, TensorKind
+from . import functional as F
+from .modules import Conv2d, Linear, Module
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "QuantizationScheme",
+    "IdentityScheme",
+    "FormatScheme",
+    "BFPScheme",
+    "FASTScheme",
+    "QuantizedLinear",
+    "QuantizedConv2d",
+    "quantized_modules",
+    "assign_layer_indices",
+]
+
+
+class QuantizationScheme:
+    """Base scheme: quantize weights, activations and gradients of one layer."""
+
+    def quantize_weight(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def quantize_activation(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def quantize_gradient(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def precision_setting(self) -> Dict[str, Optional[int]]:
+        """Mantissa widths used for (W, A, G); ``None`` when not applicable."""
+        return {"weight": None, "activation": None, "gradient": None}
+
+    @property
+    def is_identity(self) -> bool:
+        return False
+
+
+class IdentityScheme(QuantizationScheme):
+    """No quantization at all (the FP32 baseline)."""
+
+    @property
+    def is_identity(self) -> bool:
+        return True
+
+
+class FormatScheme(QuantizationScheme):
+    """Quantize every tensor with a fixed :class:`NumberFormat`."""
+
+    def __init__(self, number_format: NumberFormat, rng=None):
+        self.number_format = number_format
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def quantize_weight(self, values: np.ndarray) -> np.ndarray:
+        return self.number_format.quantize(values, kind=TensorKind.WEIGHT, rng=self.rng)
+
+    def quantize_activation(self, values: np.ndarray) -> np.ndarray:
+        return self.number_format.quantize(values, kind=TensorKind.ACTIVATION, rng=self.rng)
+
+    def quantize_gradient(self, values: np.ndarray) -> np.ndarray:
+        return self.number_format.quantize(values, kind=TensorKind.GRADIENT, rng=self.rng)
+
+    def precision_setting(self) -> Dict[str, Optional[int]]:
+        bits = self.number_format.mantissa_bits
+        return {"weight": bits, "activation": bits, "gradient": bits}
+
+
+class BFPScheme(QuantizationScheme):
+    """BFP quantization with independent mantissa widths per tensor kind."""
+
+    def __init__(
+        self,
+        config: Optional[BFPConfig] = None,
+        weight_bits: int = 4,
+        activation_bits: int = 4,
+        gradient_bits: int = 4,
+        stochastic_gradients: bool = True,
+        rng=None,
+    ):
+        self.config = config if config is not None else BFPConfig(exponent_bits=3)
+        self.bits = {
+            TensorKind.WEIGHT: weight_bits,
+            TensorKind.ACTIVATION: activation_bits,
+            TensorKind.GRADIENT: gradient_bits,
+        }
+        self.stochastic_gradients = stochastic_gradients
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def set_bits(self, kind: str, bits: int) -> None:
+        if kind not in self.bits:
+            raise KeyError(f"unknown tensor kind {kind!r}")
+        self.bits[kind] = bits
+
+    def _quantize(self, values: np.ndarray, kind: str) -> np.ndarray:
+        rounding = "nearest"
+        if kind == TensorKind.GRADIENT and self.stochastic_gradients:
+            rounding = "stochastic"
+        return bfp_quantize(
+            values,
+            mantissa_bits=self.bits[kind],
+            group_size=self.config.group_size,
+            exponent_bits=self.config.exponent_bits,
+            rounding=rounding,
+            rng=self.rng,
+        )
+
+    def quantize_weight(self, values: np.ndarray) -> np.ndarray:
+        return self._quantize(values, TensorKind.WEIGHT)
+
+    def quantize_activation(self, values: np.ndarray) -> np.ndarray:
+        return self._quantize(values, TensorKind.ACTIVATION)
+
+    def quantize_gradient(self, values: np.ndarray) -> np.ndarray:
+        return self._quantize(values, TensorKind.GRADIENT)
+
+    def precision_setting(self) -> Dict[str, Optional[int]]:
+        return {
+            "weight": self.bits[TensorKind.WEIGHT],
+            "activation": self.bits[TensorKind.ACTIVATION],
+            "gradient": self.bits[TensorKind.GRADIENT],
+        }
+
+
+class FASTScheme(QuantizationScheme):
+    """Per-call adaptive BFP scheme driven by a precision policy (Algorithm 1).
+
+    The scheme stores the layer index it is attached to and the current
+    training iteration (updated by the trainer each step).  Every quantize
+    call asks the policy for the mantissa width of that tensor kind, then
+    quantizes with it -- mirroring how the hardware BFP converter evaluates
+    ``r(X)`` as a by-product of conversion and picks the chunk count for the
+    very tensor being converted.
+    """
+
+    def __init__(
+        self,
+        policy: PrecisionPolicy,
+        layer_index: int = 0,
+        config: Optional[BFPConfig] = None,
+        stochastic_gradients: bool = True,
+        rng=None,
+    ):
+        self.policy = policy
+        self.layer_index = layer_index
+        self.iteration = 0
+        self.config = config if config is not None else BFPConfig(exponent_bits=3)
+        self.stochastic_gradients = stochastic_gradients
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._last_bits: Dict[str, int] = {}
+
+    def _quantize(self, values: np.ndarray, kind: str) -> np.ndarray:
+        bits = self.policy.select(kind, self.layer_index, self.iteration, tensor=values)
+        self._last_bits[kind] = bits
+        rounding = "nearest"
+        if kind == TensorKind.GRADIENT and self.stochastic_gradients:
+            rounding = "stochastic"
+        return bfp_quantize(
+            values,
+            mantissa_bits=bits,
+            group_size=self.config.group_size,
+            exponent_bits=self.config.exponent_bits,
+            rounding=rounding,
+            rng=self.rng,
+        )
+
+    def quantize_weight(self, values: np.ndarray) -> np.ndarray:
+        return self._quantize(values, TensorKind.WEIGHT)
+
+    def quantize_activation(self, values: np.ndarray) -> np.ndarray:
+        return self._quantize(values, TensorKind.ACTIVATION)
+
+    def quantize_gradient(self, values: np.ndarray) -> np.ndarray:
+        return self._quantize(values, TensorKind.GRADIENT)
+
+    def precision_setting(self) -> Dict[str, Optional[int]]:
+        return {
+            "weight": self._last_bits.get(TensorKind.WEIGHT),
+            "activation": self._last_bits.get(TensorKind.ACTIVATION),
+            "gradient": self._last_bits.get(TensorKind.GRADIENT),
+        }
+
+
+class QuantizedLinear(Linear):
+    """A :class:`Linear` layer with W/A/G quantization hooks."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 scheme: Optional[QuantizationScheme] = None, rng=None):
+        super().__init__(in_features, out_features, bias=bias, rng=rng)
+        self.scheme = scheme if scheme is not None else IdentityScheme()
+        self.layer_index = 0
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        if self.scheme.is_identity:
+            return F.linear(x, self.weight, self.bias)
+        quantized_weight = F.fake_quantize(self.weight, self.scheme.quantize_weight)
+        quantized_input = F.fake_quantize(x, self.scheme.quantize_activation)
+        output = F.linear(quantized_input, quantized_weight, self.bias)
+        return F.quantize_gradient(output, self.scheme.quantize_gradient)
+
+
+class QuantizedConv2d(Conv2d):
+    """A :class:`Conv2d` layer with W/A/G quantization hooks."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True, groups: int = 1,
+                 scheme: Optional[QuantizationScheme] = None, rng=None):
+        super().__init__(in_channels, out_channels, kernel_size, stride=stride,
+                         padding=padding, bias=bias, groups=groups, rng=rng)
+        self.scheme = scheme if scheme is not None else IdentityScheme()
+        self.layer_index = 0
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        if self.scheme.is_identity:
+            return super().forward(x)
+        quantized_input = F.fake_quantize(x, self.scheme.quantize_activation)
+        # Temporarily swap in the quantized weight tensor so the parent class
+        # handles both the grouped and ungrouped convolution paths.
+        quantized_weight = F.fake_quantize(self.weight, self.scheme.quantize_weight)
+        original_weight = self.weight
+        object.__setattr__(self, "weight", quantized_weight)
+        try:
+            output = Conv2d.forward(self, quantized_input)
+        finally:
+            object.__setattr__(self, "weight", original_weight)
+        return F.quantize_gradient(output, self.scheme.quantize_gradient)
+
+
+def quantized_modules(model: Module) -> List[Module]:
+    """All quantized layers of ``model`` in definition order."""
+    return [
+        module
+        for _, module in model.named_modules()
+        if isinstance(module, (QuantizedLinear, QuantizedConv2d))
+    ]
+
+
+def assign_layer_indices(model: Module) -> int:
+    """Assign consecutive ``layer_index`` values to quantized layers.
+
+    Returns the number of quantized layers.  The FAST threshold of Equation 1
+    depends on the layer depth, so trainers call this once after building the
+    model.
+    """
+    layers = quantized_modules(model)
+    for index, layer in enumerate(layers):
+        layer.layer_index = index
+        if hasattr(layer.scheme, "layer_index"):
+            layer.scheme.layer_index = index
+    return len(layers)

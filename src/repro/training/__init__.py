@@ -1,0 +1,41 @@
+"""Quantized training loops, precision schedules, metrics and TTA analysis."""
+
+from .metrics import accuracy, bleu, corpus_bleu, iou, mean_average_precision, top_k_accuracy
+from .schedules import (
+    FASTSchedule,
+    FixedBFPSchedule,
+    FormatSchedule,
+    FP32Schedule,
+    LayerwiseSchedule,
+    PrecisionSchedule,
+    TemporalSchedule,
+    build_schedule,
+)
+from .trainer import ClassificationTrainer, DetectionTrainer, Seq2SeqTrainer, TrainingResult
+from .tta import TTAEntry, energy_to_accuracy, iterations_to_target, normalize_entries, time_to_accuracy
+
+__all__ = [
+    "accuracy",
+    "top_k_accuracy",
+    "bleu",
+    "corpus_bleu",
+    "iou",
+    "mean_average_precision",
+    "PrecisionSchedule",
+    "FP32Schedule",
+    "FormatSchedule",
+    "FixedBFPSchedule",
+    "TemporalSchedule",
+    "LayerwiseSchedule",
+    "FASTSchedule",
+    "build_schedule",
+    "ClassificationTrainer",
+    "Seq2SeqTrainer",
+    "DetectionTrainer",
+    "TrainingResult",
+    "TTAEntry",
+    "iterations_to_target",
+    "time_to_accuracy",
+    "normalize_entries",
+    "energy_to_accuracy",
+]

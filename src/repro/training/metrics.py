@@ -1,0 +1,161 @@
+"""Evaluation metrics: classification accuracy, BLEU, and detection mAP.
+
+These are the three metrics of Table II (validation accuracy for CNNs, test
+BLEU for the Transformer, test mAP for YOLOv2).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "bleu", "corpus_bleu", "iou", "mean_average_precision"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in percent."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels).reshape(-1)
+    predictions = logits.reshape(len(labels), -1).argmax(axis=-1)
+    return float((predictions == labels).mean() * 100.0)
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k classification accuracy in percent."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels).reshape(-1)
+    top_k = np.argsort(-logits.reshape(len(labels), -1), axis=-1)[:, :k]
+    hits = (top_k == labels[:, None]).any(axis=-1)
+    return float(hits.mean() * 100.0)
+
+
+# --------------------------------------------------------------------------- #
+# BLEU
+# --------------------------------------------------------------------------- #
+def _ngram_counts(tokens: Sequence[int], order: int) -> Counter:
+    return Counter(tuple(tokens[i:i + order]) for i in range(len(tokens) - order + 1))
+
+
+def bleu(candidate: Sequence[int], reference: Sequence[int], max_order: int = 4) -> float:
+    """Sentence-level BLEU with add-one smoothing, scaled to [0, 100]."""
+    return corpus_bleu([candidate], [reference], max_order=max_order)
+
+
+def corpus_bleu(candidates: Sequence[Sequence[int]], references: Sequence[Sequence[int]],
+                max_order: int = 4) -> float:
+    """Corpus BLEU (n-gram precision with brevity penalty), scaled to [0, 100].
+
+    Add-one smoothing is applied to higher-order precisions so short synthetic
+    sentences do not collapse the score to zero.
+    """
+    if len(candidates) != len(references):
+        raise ValueError("candidates and references must have the same length")
+    matches = np.zeros(max_order)
+    totals = np.zeros(max_order)
+    candidate_length = 0
+    reference_length = 0
+    for candidate, reference in zip(candidates, references):
+        candidate = list(candidate)
+        reference = list(reference)
+        candidate_length += len(candidate)
+        reference_length += len(reference)
+        for order in range(1, max_order + 1):
+            candidate_counts = _ngram_counts(candidate, order)
+            reference_counts = _ngram_counts(reference, order)
+            overlap = sum(min(count, reference_counts[gram]) for gram, count in candidate_counts.items())
+            matches[order - 1] += overlap
+            totals[order - 1] += max(len(candidate) - order + 1, 0)
+
+    precisions = []
+    for order in range(max_order):
+        if totals[order] == 0:
+            precisions.append(0.0)
+        elif order == 0:
+            precisions.append(matches[order] / totals[order])
+        else:
+            precisions.append((matches[order] + 1.0) / (totals[order] + 1.0))
+    if min(precisions) <= 0:
+        return 0.0
+    log_precision = sum(math.log(p) for p in precisions) / max_order
+    if candidate_length == 0:
+        return 0.0
+    brevity = 1.0 if candidate_length > reference_length else math.exp(1.0 - reference_length / candidate_length)
+    return float(100.0 * brevity * math.exp(log_precision))
+
+
+# --------------------------------------------------------------------------- #
+# Detection mAP
+# --------------------------------------------------------------------------- #
+def iou(box_a: Tuple[float, float, float, float], box_b: Tuple[float, float, float, float]) -> float:
+    """Intersection-over-union of two (x_center, y_center, width, height) boxes."""
+    ax0, ay0 = box_a[0] - box_a[2] / 2, box_a[1] - box_a[3] / 2
+    ax1, ay1 = box_a[0] + box_a[2] / 2, box_a[1] + box_a[3] / 2
+    bx0, by0 = box_b[0] - box_b[2] / 2, box_b[1] - box_b[3] / 2
+    bx1, by1 = box_b[0] + box_b[2] / 2, box_b[1] + box_b[3] / 2
+    inter_w = max(0.0, min(ax1, bx1) - max(ax0, bx0))
+    inter_h = max(0.0, min(ay1, by1) - max(ay0, by0))
+    intersection = inter_w * inter_h
+    union = box_a[2] * box_a[3] + box_b[2] * box_b[3] - intersection
+    if union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def mean_average_precision(
+    predictions: List[List[Tuple[float, float, float, float, int, float]]],
+    ground_truth: List[List[Tuple[float, float, float, float, int]]],
+    num_classes: int,
+    iou_threshold: float = 0.5,
+) -> float:
+    """mAP at a fixed IoU threshold, scaled to [0, 100].
+
+    ``predictions[i]`` holds (x, y, w, h, class_id, confidence) tuples for
+    image ``i``; ``ground_truth[i]`` holds (x, y, w, h, class_id) tuples.
+    Average precision per class uses all-point interpolation.
+    """
+    if len(predictions) != len(ground_truth):
+        raise ValueError("predictions and ground_truth must cover the same images")
+    average_precisions = []
+    for class_id in range(num_classes):
+        detections = []
+        total_ground_truth = 0
+        for image_index, (preds, gts) in enumerate(zip(predictions, ground_truth)):
+            class_gts = [g for g in gts if g[4] == class_id]
+            total_ground_truth += len(class_gts)
+            for pred in preds:
+                if pred[4] == class_id:
+                    detections.append((pred[5], image_index, pred[:4]))
+        if total_ground_truth == 0:
+            continue
+        detections.sort(key=lambda item: -item[0])
+        matched: Dict[Tuple[int, int], bool] = {}
+        true_positive = np.zeros(len(detections))
+        false_positive = np.zeros(len(detections))
+        for det_index, (_, image_index, box) in enumerate(detections):
+            gts = [g for g in ground_truth[image_index] if g[4] == class_id]
+            best_iou, best_gt = 0.0, -1
+            for gt_index, gt in enumerate(gts):
+                candidate_iou = iou(box, gt[:4])
+                if candidate_iou > best_iou:
+                    best_iou, best_gt = candidate_iou, gt_index
+            if best_iou >= iou_threshold and not matched.get((image_index, best_gt), False):
+                true_positive[det_index] = 1.0
+                matched[(image_index, best_gt)] = True
+            else:
+                false_positive[det_index] = 1.0
+        cumulative_tp = np.cumsum(true_positive)
+        cumulative_fp = np.cumsum(false_positive)
+        recall = cumulative_tp / total_ground_truth
+        precision = cumulative_tp / np.maximum(cumulative_tp + cumulative_fp, 1e-9)
+        # All-point interpolation.
+        ap = 0.0
+        for threshold in np.linspace(0, 1, 101):
+            mask = recall >= threshold
+            ap += precision[mask].max() if mask.any() else 0.0
+        average_precisions.append(ap / 101.0)
+    if not average_precisions:
+        return 0.0
+    return float(np.mean(average_precisions) * 100.0)

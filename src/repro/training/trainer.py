@@ -1,0 +1,248 @@
+"""Training loops for the three task families the paper evaluates.
+
+Each trainer wires a precision schedule into an optimization loop:
+
+1. before every mini-batch the schedule is told the current iteration so it
+   can update the per-layer quantization schemes (Algorithm 1, or the
+   temporal/layerwise switches of Figure 9),
+2. the forward/backward pass runs through the quantized layers, and
+3. the FP32 master weights are updated by the optimizer.
+
+The trainers record per-epoch accuracy/BLEU/mAP curves which the
+time-to-accuracy analysis (Figure 19/20) combines with the hardware
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..data.loader import DataLoader
+from ..models.yolo import decode_predictions, yolo_loss
+from ..nn.losses import cross_entropy, sequence_cross_entropy
+from .metrics import accuracy, corpus_bleu, mean_average_precision
+from .schedules import FP32Schedule, PrecisionSchedule
+
+__all__ = ["TrainingResult", "ClassificationTrainer", "Seq2SeqTrainer", "DetectionTrainer"]
+
+
+@dataclass
+class TrainingResult:
+    """History of one training run."""
+
+    schedule_name: str
+    epochs: int = 0
+    iterations: int = 0
+    loss_history: List[float] = field(default_factory=list)
+    train_metric_history: List[float] = field(default_factory=list)
+    val_metric_history: List[float] = field(default_factory=list)
+    precision_history: List[List[Dict[str, Optional[int]]]] = field(default_factory=list)
+
+    @property
+    def final_val_metric(self) -> float:
+        return self.val_metric_history[-1] if self.val_metric_history else float("nan")
+
+    @property
+    def best_val_metric(self) -> float:
+        return max(self.val_metric_history) if self.val_metric_history else float("nan")
+
+    def epochs_to_reach(self, target: float) -> Optional[int]:
+        """First epoch (1-based) whose validation metric reaches ``target``."""
+        for epoch, value in enumerate(self.val_metric_history, start=1):
+            if value >= target:
+                return epoch
+        return None
+
+
+class _BaseTrainer:
+    """Shared plumbing: schedule preparation, iteration bookkeeping."""
+
+    def __init__(self, model: nn.Module, optimizer: nn.Optimizer,
+                 schedule: Optional[PrecisionSchedule] = None):
+        self.model = model
+        self.optimizer = optimizer
+        self.schedule = schedule if schedule is not None else FP32Schedule()
+        self.iteration = 0
+
+    def _prepare(self, iterations_per_epoch: int, epochs: int) -> None:
+        total = max(iterations_per_epoch * epochs, 1)
+        self.schedule.prepare(self.model, total)
+        self.iteration = 0
+
+    def _pre_step(self) -> None:
+        self.schedule.on_iteration(self.iteration)
+
+    def _post_step(self) -> None:
+        self.iteration += 1
+
+
+class ClassificationTrainer(_BaseTrainer):
+    """Image-classification training loop (CNNs and MLPs)."""
+
+    def __init__(self, model: nn.Module, optimizer: nn.Optimizer,
+                 schedule: Optional[PrecisionSchedule] = None,
+                 loss_fn: Callable = cross_entropy):
+        super().__init__(model, optimizer, schedule)
+        self.loss_fn = loss_fn
+
+    def evaluate(self, loader: DataLoader) -> float:
+        """Validation accuracy (percent)."""
+        self.model.eval()
+        correct_weighted = 0.0
+        total = 0
+        with nn.no_grad():
+            for inputs, labels in loader:
+                logits = self.model(inputs)
+                batch = len(labels)
+                correct_weighted += accuracy(logits.data, labels) * batch
+                total += batch
+        self.model.train()
+        return correct_weighted / max(total, 1)
+
+    def fit(self, train_loader: DataLoader, val_loader: Optional[DataLoader] = None,
+            epochs: int = 1, log_fn: Optional[Callable[[str], None]] = None,
+            lr_scheduler=None) -> TrainingResult:
+        self._prepare(len(train_loader), epochs)
+        result = TrainingResult(schedule_name=self.schedule.name)
+        self.model.train()
+        for epoch in range(epochs):
+            epoch_losses = []
+            epoch_accuracy = []
+            for inputs, labels in train_loader:
+                self._pre_step()
+                logits = self.model(inputs)
+                loss = self.loss_fn(logits, labels)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+                epoch_accuracy.append(accuracy(logits.data, labels))
+                self._post_step()
+            result.loss_history.append(float(np.mean(epoch_losses)))
+            result.train_metric_history.append(float(np.mean(epoch_accuracy)))
+            if val_loader is not None:
+                result.val_metric_history.append(self.evaluate(val_loader))
+            result.precision_history.append(self.schedule.precision_snapshot())
+            result.epochs = epoch + 1
+            result.iterations = self.iteration
+            if lr_scheduler is not None:
+                lr_scheduler.step()
+            if log_fn is not None:
+                val = result.val_metric_history[-1] if result.val_metric_history else float("nan")
+                log_fn(f"epoch {epoch + 1}/{epochs} loss={result.loss_history[-1]:.4f} "
+                       f"train_acc={result.train_metric_history[-1]:.2f}% val_acc={val:.2f}%")
+        return result
+
+
+class Seq2SeqTrainer(_BaseTrainer):
+    """Transformer training loop for the synthetic transduction task."""
+
+    def __init__(self, model, optimizer: nn.Optimizer,
+                 schedule: Optional[PrecisionSchedule] = None, pad_index: int = 0):
+        super().__init__(model, optimizer, schedule)
+        self.pad_index = pad_index
+
+    def evaluate_bleu(self, dataset, max_samples: int = 64) -> float:
+        """Greedy-decode a validation subset and score corpus BLEU."""
+        self.model.eval()
+        count = min(len(dataset), max_samples)
+        sources = dataset.sources[:count]
+        references = dataset.reference_sentences(range(count))
+        generated = self.model.greedy_decode(sources, dataset.bos_index, dataset.eos_index,
+                                             max_length=dataset.sequence_length)
+        candidates = []
+        for row in generated:
+            tokens = []
+            for token in row[1:]:
+                if token == dataset.eos_index or token == self.pad_index:
+                    break
+                tokens.append(int(token))
+            candidates.append(tokens)
+        self.model.train()
+        return corpus_bleu(candidates, references)
+
+    def fit(self, train_dataset, val_dataset=None, epochs: int = 1, batch_size: int = 16,
+            log_fn: Optional[Callable[[str], None]] = None, lr_scheduler=None) -> TrainingResult:
+        loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=True)
+        self._prepare(len(loader), epochs)
+        result = TrainingResult(schedule_name=self.schedule.name)
+        self.model.train()
+        for epoch in range(epochs):
+            epoch_losses = []
+            for sources, (decoder_inputs, decoder_targets) in loader:
+                self._pre_step()
+                logits = self.model(sources, decoder_inputs)
+                loss = sequence_cross_entropy(logits, decoder_targets, pad_index=self.pad_index)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+                self._post_step()
+            result.loss_history.append(float(np.mean(epoch_losses)))
+            result.train_metric_history.append(-result.loss_history[-1])
+            if val_dataset is not None:
+                result.val_metric_history.append(self.evaluate_bleu(val_dataset))
+            result.precision_history.append(self.schedule.precision_snapshot())
+            result.epochs = epoch + 1
+            result.iterations = self.iteration
+            if lr_scheduler is not None:
+                lr_scheduler.step()
+            if log_fn is not None:
+                val = result.val_metric_history[-1] if result.val_metric_history else float("nan")
+                log_fn(f"epoch {epoch + 1}/{epochs} loss={result.loss_history[-1]:.4f} BLEU={val:.2f}")
+        return result
+
+
+class DetectionTrainer(_BaseTrainer):
+    """YOLO-style detection training loop."""
+
+    def __init__(self, model, optimizer: nn.Optimizer,
+                 schedule: Optional[PrecisionSchedule] = None, confidence_threshold: float = 0.5):
+        super().__init__(model, optimizer, schedule)
+        self.confidence_threshold = confidence_threshold
+
+    def evaluate_map(self, dataset) -> float:
+        """mAP@0.5 on a detection dataset."""
+        self.model.eval()
+        images, _ = dataset.arrays()
+        with nn.no_grad():
+            raw = self.model(images).data
+        predictions = decode_predictions(raw, threshold=self.confidence_threshold)
+        ground_truth = dataset.ground_truth_boxes()
+        self.model.train()
+        return mean_average_precision(predictions, ground_truth, dataset.num_classes)
+
+    def fit(self, train_dataset, val_dataset=None, epochs: int = 1, batch_size: int = 16,
+            log_fn: Optional[Callable[[str], None]] = None, lr_scheduler=None) -> TrainingResult:
+        loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=True)
+        self._prepare(len(loader), epochs)
+        result = TrainingResult(schedule_name=self.schedule.name)
+        self.model.train()
+        for epoch in range(epochs):
+            epoch_losses = []
+            for images, targets in loader:
+                self._pre_step()
+                predictions = self.model(images)
+                loss = yolo_loss(predictions, targets)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+                self._post_step()
+            result.loss_history.append(float(np.mean(epoch_losses)))
+            result.train_metric_history.append(-result.loss_history[-1])
+            if val_dataset is not None:
+                result.val_metric_history.append(self.evaluate_map(val_dataset))
+            result.precision_history.append(self.schedule.precision_snapshot())
+            result.epochs = epoch + 1
+            result.iterations = self.iteration
+            if lr_scheduler is not None:
+                lr_scheduler.step()
+            if log_fn is not None:
+                val = result.val_metric_history[-1] if result.val_metric_history else float("nan")
+                log_fn(f"epoch {epoch + 1}/{epochs} loss={result.loss_history[-1]:.4f} mAP={val:.2f}")
+        return result

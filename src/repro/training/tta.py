@@ -1,0 +1,114 @@
+"""Time-to-accuracy (TTA) analysis (Figures 19 and 20).
+
+The paper's headline result is that FAST reaches a target validation accuracy
+2-6x faster than systems built on other number formats.  TTA combines two
+quantities:
+
+* iterations-to-accuracy, taken from a training run's validation-metric
+  curve (how many iterations the format needs to hit the target), and
+* seconds-per-iteration on the hardware platform, taken from the
+  :mod:`repro.hardware.performance` model (how fast the iso-area system built
+  for that format executes one training iteration).
+
+This module provides the bookkeeping: interpolation of the accuracy curve,
+TTA computation, and normalization against a baseline entry (the paper
+normalizes to FAST-Adaptive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TTAEntry", "iterations_to_target", "time_to_accuracy", "normalize_entries", "energy_to_accuracy"]
+
+
+@dataclass
+class TTAEntry:
+    """One system's time/energy to reach the target metric."""
+
+    name: str
+    reached: bool
+    iterations: Optional[float]
+    seconds_per_iteration: float
+    power_watts: float
+
+    @property
+    def total_seconds(self) -> Optional[float]:
+        if not self.reached or self.iterations is None:
+            return None
+        return self.iterations * self.seconds_per_iteration
+
+    @property
+    def total_energy_joules(self) -> Optional[float]:
+        seconds = self.total_seconds
+        if seconds is None:
+            return None
+        return seconds * self.power_watts
+
+
+def iterations_to_target(metric_curve: Sequence[float], target: float,
+                         iterations_per_point: float = 1.0) -> Optional[float]:
+    """Iterations needed for ``metric_curve`` to first reach ``target``.
+
+    Linear interpolation between curve points gives sub-epoch resolution.
+    Returns ``None`` when the curve never reaches the target.
+    """
+    curve = np.asarray(metric_curve, dtype=np.float64)
+    if curve.size == 0:
+        return None
+    for index, value in enumerate(curve):
+        if value >= target:
+            if index == 0:
+                return iterations_per_point
+            previous = curve[index - 1]
+            span = value - previous
+            fraction = 1.0 if span <= 0 else (target - previous) / span
+            return (index + fraction) * iterations_per_point
+    return None
+
+
+def time_to_accuracy(name: str, metric_curve: Sequence[float], target: float,
+                     seconds_per_iteration: float, power_watts: float = 1.0,
+                     iterations_per_point: float = 1.0) -> TTAEntry:
+    """Build a :class:`TTAEntry` from an accuracy curve and hardware rates."""
+    iterations = iterations_to_target(metric_curve, target, iterations_per_point)
+    return TTAEntry(
+        name=name,
+        reached=iterations is not None,
+        iterations=iterations,
+        seconds_per_iteration=seconds_per_iteration,
+        power_watts=power_watts,
+    )
+
+
+def normalize_entries(entries: Sequence[TTAEntry], baseline_name: str) -> Dict[str, Dict[str, Optional[float]]]:
+    """Normalize training time and energy against ``baseline_name``.
+
+    Returns ``{name: {"time": t, "energy": e, "reached": bool}}`` where the
+    baseline has time = energy = 1.0 and unreached entries carry ``None``
+    (rendered as "N/A", as in Figure 20).
+    """
+    baseline = next((entry for entry in entries if entry.name == baseline_name), None)
+    if baseline is None or not baseline.reached:
+        raise ValueError(f"baseline {baseline_name!r} missing or did not reach the target")
+    base_time = baseline.total_seconds
+    base_energy = baseline.total_energy_joules
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for entry in entries:
+        if entry.reached:
+            table[entry.name] = {
+                "time": entry.total_seconds / base_time,
+                "energy": entry.total_energy_joules / base_energy,
+                "reached": True,
+            }
+        else:
+            table[entry.name] = {"time": None, "energy": None, "reached": False}
+    return table
+
+
+def energy_to_accuracy(entries: Sequence[TTAEntry]) -> Dict[str, Optional[float]]:
+    """Convenience accessor: name -> absolute energy (J) or None."""
+    return {entry.name: entry.total_energy_joules for entry in entries}

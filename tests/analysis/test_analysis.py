@@ -1,0 +1,116 @@
+"""Tests for exponent statistics (Fig. 6), sensitivity sweeps (Fig. 18) and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exponent_stats import (
+    difference_histogram,
+    exponent_differences,
+    exponent_spread_report,
+)
+from repro.analysis.reports import format_comparison, format_series, format_table
+from repro.analysis.sensitivity import (
+    quantization_snr,
+    quantization_snr_sweep,
+    accuracy_sweep,
+    sweep_table,
+)
+from repro.core.bfp import BFPConfig
+
+
+class TestExponentDifferences:
+    def test_all_equal_values_have_zero_difference(self):
+        values = np.full((2, 16), 3.0)
+        differences = exponent_differences(values, 16)
+        np.testing.assert_array_equal(differences, np.zeros(32))
+
+    def test_known_differences(self):
+        values = np.array([8.0, 4.0, 1.0, 0.5] + [8.0] * 12)
+        differences = exponent_differences(values, 16)
+        assert sorted(differences[:4]) == [0.0, 1.0, 3.0, 4.0]
+
+    def test_zeros_excluded(self):
+        values = np.array([4.0, 0.0, 0.0, 0.0] * 4)
+        differences = exponent_differences(values, 16)
+        assert differences.size == 4  # only the non-zero values
+
+    def test_histogram_sums_to_100(self, rng):
+        values = rng.standard_normal(256)
+        histogram = difference_histogram(values, 16)
+        assert sum(histogram.values()) == pytest.approx(100.0)
+
+    def test_gradients_have_wider_spread_than_weights(self, rng, gradient_like_tensor):
+        """The Figure 6 observation: gradients show larger exponent differences."""
+        weights = rng.standard_normal(256) * 0.1
+        weight_report = exponent_spread_report("weights", weights)
+        gradient_report = exponent_spread_report("gradients", gradient_like_tensor)
+        for group_size in (8, 16, 32):
+            assert gradient_report.mean_difference[group_size] > \
+                weight_report.mean_difference[group_size]
+
+    def test_spread_grows_with_group_size(self, gradient_like_tensor):
+        """Larger groups push the distribution right (Figure 6, top to bottom)."""
+        report = exponent_spread_report("gradients", gradient_like_tensor)
+        assert report.mean_difference[8] <= report.mean_difference[16] <= report.mean_difference[32]
+
+    def test_truncated_fraction_larger_for_small_mantissa(self, gradient_like_tensor):
+        narrow = exponent_spread_report("g", gradient_like_tensor, mantissa_bits=2)
+        wide = exponent_spread_report("g", gradient_like_tensor, mantissa_bits=6)
+        assert narrow.truncated_fraction[16] >= wide.truncated_fraction[16]
+
+
+class TestSensitivity:
+    def test_snr_increases_with_mantissa_bits(self, rng):
+        values = rng.standard_normal((16, 64))
+        snrs = [quantization_snr(values, bits, 16) for bits in (2, 3, 4, 5)]
+        assert snrs == sorted(snrs)
+
+    def test_snr_decreases_with_group_size(self, gradient_like_tensor):
+        snrs = [quantization_snr(gradient_like_tensor, 4, group_size) for group_size in (8, 16, 32)]
+        assert snrs[0] >= snrs[1] >= snrs[2]
+
+    def test_sweep_covers_figure18_grid(self, rng):
+        points = quantization_snr_sweep(rng.standard_normal(256))
+        assert len(points) == 12
+        table = sweep_table(points)
+        assert (16, 4) in table
+
+    def test_accuracy_sweep_passes_configs(self):
+        seen = []
+
+        def fake_train(config: BFPConfig) -> float:
+            seen.append((config.group_size, config.mantissa_bits))
+            return config.mantissa_bits * 10.0
+
+        points = accuracy_sweep(fake_train, group_sizes=(8, 16), mantissa_bits=(2, 4))
+        assert len(points) == 4
+        assert set(seen) == {(8, 2), (8, 4), (16, 2), (16, 4)}
+        assert sweep_table(points)[(8, 4)] == 40.0
+
+    def test_exact_values_have_infinite_snr(self):
+        values = np.array([1.0, 2.0, -1.0, 0.5] * 4)
+        assert quantization_snr(values, 8, 16) == np.inf
+
+
+class TestReports:
+    def test_format_table_alignment_and_values(self):
+        text = format_table(["name", "value"], [["fp32", 1.0], ["fast", 0.5]], title="Results")
+        lines = text.splitlines()
+        assert lines[0] == "Results"
+        assert "fp32" in text and "0.50" in text
+        assert len(lines) == 5
+
+    def test_none_rendered_as_na(self):
+        text = format_table(["name", "value"], [["int8", None]])
+        assert "N/A" in text
+
+    def test_format_series(self):
+        text = format_series("accuracy", {1: 10.0, 2: 20.0})
+        assert text.startswith("accuracy:")
+        assert "2: 20.00" in text
+
+    def test_format_comparison_includes_reference(self):
+        text = format_comparison(["format", "measured", "paper"],
+                                 {"fp32": 1.0}, {"fp32": 1.1})
+        assert "1.10" in text
+        assert "fp32" in text

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_image_batch(rng):
+    """A small NCHW image batch."""
+    return rng.standard_normal((2, 3, 8, 8))
+
+
+@pytest.fixture
+def gradient_like_tensor(rng):
+    """Values with the wide, log-normal-like dynamic range typical of gradients."""
+    magnitudes = np.exp(rng.normal(-6.0, 3.0, size=(4, 64)))
+    signs = rng.choice([-1.0, 1.0], size=(4, 64))
+    return magnitudes * signs

@@ -1,0 +1,85 @@
+"""Tests for mantissa chunk decomposition (variable precision fMAC support)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import decompose_mantissas, num_chunks, passes_required, reconstruct_mantissas
+
+
+class TestNumChunks:
+    @pytest.mark.parametrize("bits,expected", [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 4)])
+    def test_two_bit_chunks(self, bits, expected):
+        assert num_chunks(bits) == expected
+
+    def test_wider_chunks(self):
+        assert num_chunks(8, chunk_bits=4) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            num_chunks(0)
+        with pytest.raises(ValueError):
+            num_chunks(4, chunk_bits=0)
+
+
+class TestPassesRequired:
+    def test_paper_examples(self):
+        """The pass counts quoted in Sections I and V-B."""
+        assert passes_required(2, 2) == 1
+        assert passes_required(2, 4) == 2
+        assert passes_required(4, 2) == 2
+        assert passes_required(4, 4) == 4
+
+    def test_odd_widths_round_up(self):
+        assert passes_required(3, 3) == 4
+        assert passes_required(3, 2) == 2
+
+    def test_symmetry(self):
+        for a in range(1, 9):
+            for b in range(1, 9):
+                assert passes_required(a, b) == passes_required(b, a)
+
+
+class TestDecomposition:
+    def test_chunks_msb_first(self):
+        chunks, offsets = decompose_mantissas(np.array([0b1101]), 4)
+        assert chunks.shape == (2, 1)
+        assert chunks[0, 0] == 0b11
+        assert chunks[1, 0] == 0b01
+        assert offsets == [0, -2]
+
+    def test_roundtrip(self):
+        mantissas = np.arange(16)
+        chunks, _ = decompose_mantissas(mantissas, 4)
+        np.testing.assert_array_equal(reconstruct_mantissas(chunks), mantissas)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="unsigned"):
+            decompose_mantissas(np.array([-1]), 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            decompose_mantissas(np.array([16]), 4)
+
+    def test_value_reconstruction_with_offsets(self):
+        """Chunks weighted by their exponent offsets reproduce the mantissa."""
+        mantissas = np.array([13, 7, 0, 15])
+        chunks, offsets = decompose_mantissas(mantissas, 4)
+        base_shift = 4 - 2
+        reconstructed = sum(chunks[k] * 2.0 ** (base_shift + offsets[k]) for k in range(2))
+        np.testing.assert_array_equal(reconstructed, mantissas)
+
+    def test_preserves_shape(self):
+        mantissas = np.arange(12).reshape(3, 4) % 4
+        chunks, _ = decompose_mantissas(mantissas, 2)
+        assert chunks.shape == (1, 3, 4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=40),
+       st.sampled_from([2, 3, 4]))
+def test_property_roundtrip_any_width(values, chunk_bits):
+    mantissas = np.array(values)
+    chunks, _ = decompose_mantissas(mantissas, 8, chunk_bits=chunk_bits)
+    np.testing.assert_array_equal(reconstruct_mantissas(chunks, chunk_bits=chunk_bits), mantissas)

@@ -1,0 +1,85 @@
+"""Tests for the BFP converter model and the relative-improvement statistic r(X)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfp import BFPConfig, bfp_quantize
+from repro.core.converter import BFPConverter, relative_improvement
+
+
+class TestRelativeImprovement:
+    def test_zero_for_already_coarse_values(self):
+        """Values exactly representable with 2 mantissa bits gain nothing from 4."""
+        values = np.array([[3.0, 1.0, -1.0, 2.0] * 4])
+        assert relative_improvement(values) == pytest.approx(0.0)
+
+    def test_positive_for_fine_grained_values(self, rng):
+        values = rng.standard_normal((4, 64))
+        assert relative_improvement(values) > 0.0
+
+    def test_matches_equation_2(self, rng):
+        values = rng.standard_normal((2, 32))
+        config = BFPConfig(group_size=16, exponent_bits=8)
+        low = bfp_quantize(values, 2, 16, 8)
+        high = bfp_quantize(values, 4, 16, 8)
+        expected = np.abs(high - low).sum() / np.abs(low).sum()
+        assert relative_improvement(values, config) == pytest.approx(expected)
+
+    def test_all_zero_tensor(self):
+        assert relative_improvement(np.zeros((2, 16))) == 0.0
+
+    def test_infinite_when_low_precision_truncates_everything(self):
+        # One dominant value per group forces all others to zero at m=2; if the
+        # dominant value itself is coarse the denominator is non-zero, so build
+        # a group where even the max truncates to zero at low precision but not
+        # at high precision -- impossible; instead check the inf path directly
+        # with a crafted low==0, high!=0 case using a sub-normal-like spread.
+        values = np.array([[1.0] + [1e-9] * 15])
+        result = relative_improvement(values)
+        assert np.isfinite(result)
+        assert result >= 0.0
+
+    def test_wide_dynamic_range_increases_improvement(self, rng):
+        narrow = rng.uniform(0.9, 1.1, size=(4, 64))
+        wide = narrow * np.exp(rng.normal(0, 3, size=(4, 64)))
+        assert relative_improvement(wide) > relative_improvement(narrow)
+
+
+class TestBFPConverter:
+    def test_convert_uses_configured_bits(self, rng):
+        converter = BFPConverter(BFPConfig(mantissa_bits=4, exponent_bits=8))
+        result = converter.convert(rng.standard_normal((2, 32)))
+        assert result.mantissa_bits == 4
+        assert result.packed.mantissa_bits == 4
+        assert result.quantized.shape == (2, 32)
+
+    def test_convert_explicit_bits(self, rng):
+        converter = BFPConverter()
+        result = converter.convert(rng.standard_normal((2, 32)), mantissa_bits=2)
+        assert result.mantissa_bits == 2
+
+    def test_quantized_matches_fake_quant(self, rng):
+        values = rng.standard_normal((2, 32))
+        converter = BFPConverter(BFPConfig(mantissa_bits=4, exponent_bits=8, rounding="nearest"))
+        result = converter.convert(values)
+        np.testing.assert_allclose(result.quantized,
+                                   bfp_quantize(values, 4, 16, 8, rounding="nearest"))
+
+    def test_adaptive_selects_low_precision_below_threshold(self, rng):
+        converter = BFPConverter()
+        values = rng.standard_normal((2, 32))
+        r_value = relative_improvement(values)
+        low = converter.convert_adaptive(values, threshold=r_value + 0.1)
+        high = converter.convert_adaptive(values, threshold=r_value - 0.1)
+        assert low.mantissa_bits == 2
+        assert high.mantissa_bits == 4
+
+    def test_invalid_precision_pair_rejected(self):
+        with pytest.raises(ValueError):
+            BFPConverter(low_bits=4, high_bits=4)
+
+    def test_relative_improvement_reported(self, rng):
+        converter = BFPConverter()
+        values = rng.standard_normal((2, 32))
+        result = converter.convert(values)
+        assert result.relative_improvement == pytest.approx(relative_improvement(values))

@@ -1,0 +1,79 @@
+"""Tests for the chunked BFP memory layout (Section V-D, Figure 15)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfp import bfp_quantize_tensor
+from repro.core.memory_layout import (
+    BFPMemoryLayout,
+    bits_per_group,
+    bits_per_value,
+    pack_group,
+    unpack_group,
+)
+
+
+class TestBitAccounting:
+    def test_paper_storage_figures(self):
+        """3.2 bits/value for m=2 and 6.2 bits/value for m=4 with e=3, g=16."""
+        assert bits_per_value(3, 16, 2) == pytest.approx(3.1875)
+        assert bits_per_value(3, 16, 4) == pytest.approx(6.1875)
+
+    def test_group_bits_formula(self):
+        # e + g * (m/2) * 3
+        assert bits_per_group(3, 16, 2) == 3 + 16 * 1 * 3
+        assert bits_per_group(3, 16, 4) == 3 + 16 * 2 * 3
+        assert bits_per_group(8, 16, 3) == 8 + 16 * 2 * 3
+
+    def test_layout_tensor_bits_rounds_up_to_groups(self):
+        layout = BFPMemoryLayout()
+        assert layout.tensor_bits(17, 2) == 2 * layout.group_bits(2)
+
+    def test_layout_value_bits(self):
+        layout = BFPMemoryLayout(exponent_bits=3, group_size=16)
+        assert layout.value_bits(2) == pytest.approx(3.1875)
+
+    def test_bytes_conversion(self):
+        layout = BFPMemoryLayout()
+        assert layout.tensor_bytes(16, 2) == pytest.approx(layout.group_bits(2) / 8.0)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        signs = np.array([1, -1, 1, 0])
+        mantissas = np.array([13, 7, 2, 0])
+        packed = pack_group(signs, mantissas, exponent=5, mantissa_bits=4)
+        signs_out, mantissas_out, exponent = unpack_group(packed)
+        np.testing.assert_array_equal(mantissas_out, mantissas)
+        np.testing.assert_array_equal(signs_out, signs)
+        assert exponent == 5
+
+    def test_word_per_chunk(self):
+        packed = pack_group(np.array([1, 1]), np.array([9, 6]), exponent=0, mantissa_bits=4)
+        assert len(packed["words"]) == 2
+        # First word holds the high chunks of every mantissa (Figure 15b).
+        assert packed["words"][0] == [(0, 0b10), (0, 0b01)]
+        assert packed["words"][1] == [(0, 0b01), (0, 0b10)]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            pack_group(np.array([1, 1]), np.array([1]), exponent=0, mantissa_bits=2)
+
+    def test_pack_tensor_covers_all_groups(self, rng):
+        layout = BFPMemoryLayout(exponent_bits=3, group_size=16)
+        tensor = bfp_quantize_tensor(rng.standard_normal((2, 32)), mantissa_bits=4,
+                                     group_size=16, exponent_bits=3)
+        packed = layout.pack_tensor(tensor)
+        assert len(packed) == tensor.num_groups
+        # Unpacking every group reproduces the stored mantissas.
+        mantissas = tensor.mantissas.reshape(-1, 16)
+        for index, group in enumerate(packed):
+            _, unpacked_mantissas, _ = unpack_group(group)
+            np.testing.assert_array_equal(unpacked_mantissas, mantissas[index])
+
+    def test_discarding_low_chunk_gives_two_bit_mantissa(self):
+        """Section V-D: dropping the low-order word converts m=4 storage to m=2."""
+        mantissas = np.array([13, 7, 2, 0])
+        packed = pack_group(np.array([1, 1, 1, 1]), mantissas, exponent=0, mantissa_bits=4)
+        high_chunks = np.array([pair[1] for pair in packed["words"][0]])
+        np.testing.assert_array_equal(high_chunks, mantissas >> 2)

@@ -1,0 +1,166 @@
+"""Tests for the precision policies (Equation 1, Algorithm 1, Figure 9 schedules)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfp import BFPConfig
+from repro.core.precision_policy import (
+    SETTING_ORDER,
+    FASTAdaptivePolicy,
+    FixedPrecisionPolicy,
+    LayerwisePrecisionPolicy,
+    TemporalPrecisionPolicy,
+    fast_threshold,
+    setting_cost_rank,
+)
+
+
+class TestFastThreshold:
+    def test_paper_hyperparameters_at_origin(self):
+        assert fast_threshold(0, 0, 20, 100, alpha=0.6, beta=0.3) == pytest.approx(0.6)
+
+    def test_decreases_with_iteration(self):
+        early = fast_threshold(5, 10, 20, 100)
+        late = fast_threshold(5, 90, 20, 100)
+        assert late < early
+
+    def test_decreases_with_depth(self):
+        shallow = fast_threshold(1, 50, 20, 100)
+        deep = fast_threshold(18, 50, 20, 100)
+        assert deep < shallow
+
+    def test_final_value(self):
+        assert fast_threshold(20, 100, 20, 100, 0.6, 0.3) == pytest.approx(0.0)
+
+    def test_invalid_totals(self):
+        with pytest.raises(ValueError):
+            fast_threshold(0, 0, 0, 100)
+
+
+class TestSettingOrder:
+    def test_eight_settings(self):
+        assert len(SETTING_ORDER) == 8
+        assert len(set(SETTING_ORDER)) == 8
+
+    def test_extremes(self):
+        assert SETTING_ORDER[0] == (2, 2, 2)
+        assert SETTING_ORDER[-1] == (4, 4, 4)
+
+    def test_gradient_promotion_costs_more_than_activation(self):
+        """(4, 2, 2) ranks below (2, 2, 4), as discussed in Section VI-A."""
+        assert setting_cost_rank(4, 2, 2) < setting_cost_rank(2, 2, 4)
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ValueError):
+            setting_cost_rank(3, 3, 3)
+
+
+class TestFixedPolicy:
+    def test_always_returns_configured_bits(self):
+        policy = FixedPrecisionPolicy(3)
+        for layer in range(5):
+            for iteration in (0, 10, 99):
+                assert policy.select("weight", layer, iteration) == 3
+
+    def test_history_recorded(self):
+        policy = FixedPrecisionPolicy(2)
+        policy.select("weight", 0, 0)
+        policy.select("activation", 0, 0)
+        assert len(policy.history) == 2
+
+
+class TestTemporalPolicy:
+    def test_low_to_high(self):
+        policy = TemporalPrecisionPolicy(total_iterations=100, low_to_high=True)
+        assert policy.select("weight", 0, 10) == 2
+        assert policy.select("weight", 0, 80) == 4
+
+    def test_high_to_low(self):
+        policy = TemporalPrecisionPolicy(total_iterations=100, low_to_high=False)
+        assert policy.select("weight", 0, 10) == 4
+        assert policy.select("weight", 0, 80) == 2
+
+    def test_switch_fraction(self):
+        policy = TemporalPrecisionPolicy(total_iterations=100, switch_fraction=0.25)
+        assert policy.select("weight", 0, 24) == 2
+        assert policy.select("weight", 0, 25) == 4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TemporalPrecisionPolicy(100, switch_fraction=1.5)
+
+
+class TestLayerwisePolicy:
+    def test_low_to_high_over_depth(self):
+        policy = LayerwisePrecisionPolicy(total_layers=20, low_to_high=True)
+        assert policy.select("weight", 2, 0) == 2
+        assert policy.select("weight", 18, 0) == 4
+
+    def test_high_to_low_over_depth(self):
+        policy = LayerwisePrecisionPolicy(total_layers=20, low_to_high=False)
+        assert policy.select("weight", 2, 0) == 4
+        assert policy.select("weight", 18, 0) == 2
+
+    def test_independent_of_iteration(self):
+        policy = LayerwisePrecisionPolicy(total_layers=10)
+        assert policy.select("weight", 3, 0) == policy.select("weight", 3, 10000)
+
+
+class TestFASTAdaptivePolicy:
+    def make_policy(self, **kwargs):
+        defaults = dict(total_layers=10, total_iterations=100,
+                        config=BFPConfig(group_size=16, exponent_bits=8))
+        defaults.update(kwargs)
+        return FASTAdaptivePolicy(**defaults)
+
+    def test_requires_tensor(self):
+        policy = self.make_policy()
+        with pytest.raises(ValueError):
+            policy.select("weight", 0, 0)
+
+    def test_coarse_tensor_stays_low_precision(self):
+        policy = self.make_policy()
+        coarse = np.array([[1.0, 0.5, -1.0, 2.0] * 4])
+        assert policy.select("weight", 0, 0, tensor=coarse) == 2
+
+    def test_fine_tensor_promoted_late_in_training(self, rng):
+        policy = self.make_policy(alpha=0.6, beta=0.3)
+        fine = rng.standard_normal((4, 64))
+        late_bits = policy.select("weight", 9, 99, tensor=fine)
+        assert late_bits == 4
+
+    def test_precision_never_exceeds_high_bits(self, rng):
+        policy = self.make_policy()
+        for layer in range(10):
+            bits = policy.select("gradient", layer, 50, tensor=rng.standard_normal((2, 32)))
+            assert bits in (2, 4)
+
+    def test_threshold_matches_equation(self):
+        policy = self.make_policy(alpha=0.6, beta=0.3)
+        assert policy.threshold(5, 50) == pytest.approx(0.6 - 0.3 * 0.5 - 0.3 * 0.5)
+
+    def test_evaluation_interval_caches_decision(self, rng):
+        policy = self.make_policy(evaluation_interval=10)
+        tensor = rng.standard_normal((2, 32))
+        first = policy.select("weight", 0, 0, tensor=tensor)
+        # Different tensor within the interval: cached decision reused.
+        second = policy.select("weight", 0, 5, tensor=rng.standard_normal((2, 32)) * 100)
+        assert first == second
+
+    def test_setting_history_collects_full_triples(self, rng):
+        policy = self.make_policy()
+        tensor = rng.standard_normal((2, 32))
+        for kind in ("weight", "activation", "gradient"):
+            policy.select(kind, 0, 0, tensor=tensor)
+        history = policy.setting_history()
+        assert (0, 0) in history
+        assert len(history[(0, 0)]) == 3
+
+    def test_average_precision_grows_over_training(self, rng):
+        """The Figure 17 behaviour: precision increases with training progress."""
+        policy = self.make_policy(alpha=0.6, beta=0.3)
+        tensor = rng.standard_normal((8, 64))
+        early = np.mean([policy.select("weight", layer, 1, tensor=tensor) for layer in range(10)])
+        policy_late = self.make_policy(alpha=0.6, beta=0.3)
+        late = np.mean([policy_late.select("weight", layer, 99, tensor=tensor) for layer in range(10)])
+        assert late >= early

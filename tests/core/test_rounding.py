@@ -1,0 +1,131 @@
+"""Tests for rounding primitives and the LFSR noise source."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import (
+    LFSR,
+    apply_rounding,
+    round_nearest,
+    round_stochastic,
+    round_truncate,
+)
+
+
+class TestRoundNearest:
+    def test_rounds_to_closest_integer(self):
+        values = np.array([0.2, 0.7, 1.5, -0.2, -0.7, -1.5])
+        expected = np.array([0.0, 1.0, 2.0, 0.0, -1.0, -2.0])
+        np.testing.assert_array_equal(round_nearest(values), expected)
+
+    def test_half_rounds_away_from_zero(self):
+        np.testing.assert_array_equal(round_nearest(np.array([0.5, -0.5, 2.5])),
+                                      np.array([1.0, -1.0, 3.0]))
+
+    def test_integers_unchanged(self):
+        values = np.array([-3.0, 0.0, 7.0])
+        np.testing.assert_array_equal(round_nearest(values), values)
+
+
+class TestRoundTruncate:
+    def test_truncates_toward_zero(self):
+        values = np.array([1.9, -1.9, 0.99, -0.99])
+        expected = np.array([1.0, -1.0, 0.0, 0.0])
+        np.testing.assert_array_equal(round_truncate(values), expected)
+
+    def test_never_increases_magnitude(self, rng):
+        values = rng.standard_normal(100) * 10
+        truncated = round_truncate(values)
+        assert np.all(np.abs(truncated) <= np.abs(values))
+
+
+class TestRoundStochastic:
+    def test_results_are_neighbouring_integers(self, rng):
+        values = rng.standard_normal(200) * 5
+        rounded = round_stochastic(values, rng=rng)
+        distance = np.abs(rounded - values)
+        assert np.all(distance < 1.0)
+        assert np.all(rounded == np.round(rounded))
+
+    def test_expected_value_is_unbiased(self):
+        """Theorem 1: E[SR(x)] == x (up to the noise resolution)."""
+        rng = np.random.default_rng(0)
+        value = 2.0 / 3.0
+        draws = round_stochastic(np.full(20000, value), rng=rng, noise_bits=None)
+        assert abs(draws.mean() - value) < 0.02
+
+    def test_noise_bits_quantize_probability(self):
+        # With 1 noise bit the added noise is 0 or 0.5, so a fractional part of
+        # 0.6 rounds up exactly when the noise is 0.5: probability one half.
+        rng = np.random.default_rng(1)
+        draws = round_stochastic(np.full(20000, 0.6), rng=rng, noise_bits=1)
+        assert abs(draws.mean() - 0.5) < 0.02
+
+    def test_lfsr_source_accepted(self):
+        lfsr = LFSR(seed=0x1234)
+        rounded = round_stochastic(np.array([0.5, 1.5, 2.5]), rng=lfsr)
+        assert rounded.shape == (3,)
+        assert np.all(rounded == np.round(rounded))
+
+    def test_negative_values_round_between_neighbours(self, rng):
+        values = -np.abs(rng.standard_normal(100) * 3)
+        rounded = round_stochastic(values, rng=rng)
+        assert np.all(rounded <= np.ceil(values))
+        assert np.all(rounded >= np.floor(values))
+
+
+class TestApplyRounding:
+    def test_dispatch(self, rng):
+        values = rng.standard_normal(10)
+        np.testing.assert_array_equal(apply_rounding(values, "nearest"), round_nearest(values))
+        np.testing.assert_array_equal(apply_rounding(values, "truncate"), round_truncate(values))
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown rounding mode"):
+            apply_rounding(np.zeros(3), "floor")
+
+
+class TestLFSR:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(seed=0)
+
+    def test_bits_are_binary(self):
+        lfsr = LFSR()
+        bits = [lfsr.next_bit() for _ in range(64)]
+        assert set(bits) <= {0, 1}
+
+    def test_sequence_is_deterministic(self):
+        a = LFSR(seed=0xBEEF)
+        b = LFSR(seed=0xBEEF)
+        assert [a.next_int(8) for _ in range(10)] == [b.next_int(8) for _ in range(10)]
+
+    def test_uniform_in_unit_interval(self):
+        lfsr = LFSR()
+        values = lfsr.uniform((256,), noise_bits=8)
+        assert values.min() >= 0.0
+        assert values.max() < 1.0
+        # The LFSR is maximal-length, so the values should spread out.
+        assert values.std() > 0.2
+
+    def test_state_visits_many_values(self):
+        lfsr = LFSR(seed=1)
+        states = {lfsr.next_int(16) for _ in range(200)}
+        assert len(states) > 150
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+def test_nearest_error_at_most_half(value):
+    assert abs(round_nearest(np.array([value]))[0] - value) <= 0.5 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=30))
+def test_stochastic_rounding_error_below_one(values):
+    rng = np.random.default_rng(7)
+    array = np.array(values)
+    rounded = round_stochastic(array, rng=rng)
+    assert np.all(np.abs(rounded - array) < 1.0)

@@ -1,0 +1,84 @@
+"""Tests for the block floating point formats (LowBFP/MidBFP/HighBFP/MSFP-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfp import bfp_quantize
+from repro.formats.blockfp import BFPFormat, HighBFPFormat, LowBFPFormat, MidBFPFormat, MSFP12Format
+
+
+class TestNamedBFPFormats:
+    def test_paper_configurations(self):
+        assert (LowBFPFormat().exponent_bits, LowBFPFormat().mantissa_bits) == (3, 2)
+        assert (MidBFPFormat().exponent_bits, MidBFPFormat().mantissa_bits) == (3, 3)
+        assert (HighBFPFormat().exponent_bits, HighBFPFormat().mantissa_bits) == (3, 4)
+        assert (MSFP12Format().exponent_bits, MSFP12Format().mantissa_bits) == (8, 3)
+        for fmt in (LowBFPFormat(), MidBFPFormat(), HighBFPFormat(), MSFP12Format()):
+            assert fmt.group_size == 16
+
+    def test_accuracy_ordering_low_mid_high(self, rng):
+        values = rng.standard_normal((8, 64))
+        errors = {
+            "low": np.abs(LowBFPFormat().quantize(values) - values).mean(),
+            "mid": np.abs(MidBFPFormat().quantize(values) - values).mean(),
+            "high": np.abs(HighBFPFormat().quantize(values) - values).mean(),
+        }
+        assert errors["low"] > errors["mid"] > errors["high"]
+
+    def test_weight_activation_quantization_is_deterministic(self, rng):
+        values = rng.standard_normal((4, 32))
+        fmt = HighBFPFormat()
+        a = fmt.quantize(values, kind="weight")
+        b = fmt.quantize(values, kind="weight")
+        np.testing.assert_array_equal(a, b)
+
+    def test_gradient_quantization_is_stochastic(self, rng):
+        values = rng.standard_normal((4, 32))
+        fmt = LowBFPFormat(stochastic_gradients=True)
+        a = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(0))
+        b = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(1))
+        assert not np.allclose(a, b)
+
+    def test_msfp12_uses_nearest_rounding_everywhere(self, rng):
+        values = rng.standard_normal((4, 32))
+        fmt = MSFP12Format()
+        a = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(0))
+        b = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_core_bfp_quantize(self, rng):
+        values = rng.standard_normal((2, 32))
+        fmt = HighBFPFormat()
+        np.testing.assert_allclose(
+            fmt.quantize(values, kind="weight"),
+            bfp_quantize(values, mantissa_bits=4, group_size=16, exponent_bits=3),
+        )
+
+    def test_bits_per_value(self):
+        assert LowBFPFormat().bits_per_value == pytest.approx(1 + 2 + 3 / 16)
+        assert MSFP12Format().bits_per_value == pytest.approx(1 + 3 + 8 / 16)
+
+
+class TestCustomBFPFormat:
+    def test_name_derived_from_parameters(self):
+        fmt = BFPFormat(mantissa_bits=5, group_size=8, exponent_bits=4)
+        assert fmt.name == "bfp_e4_m5_g8"
+
+    def test_explicit_name(self):
+        assert BFPFormat(name="my_bfp").name == "my_bfp"
+
+    def test_group_size_trades_accuracy(self, rng):
+        """Smaller groups give lower quantization error (Figure 18 trend)."""
+        values = rng.standard_normal((16, 96)) * np.exp(rng.normal(0, 1, size=(16, 96)))
+        errors = []
+        for group_size in (8, 16, 32):
+            fmt = BFPFormat(mantissa_bits=4, group_size=group_size, exponent_bits=8)
+            errors.append(np.abs(fmt.quantize(values) - values).mean())
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_config_property_round_trips(self):
+        fmt = BFPFormat(mantissa_bits=3, group_size=8, exponent_bits=5)
+        config = fmt.config
+        assert config.mantissa_bits == 3
+        assert config.group_size == 8
+        assert config.exponent_bits == 5

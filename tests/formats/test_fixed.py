@@ -1,0 +1,109 @@
+"""Tests for the fixed point formats and uniform quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.fixed import BinaryFormat, FixedPointFormat, INT8Format, INT12Format, uniform_quantize
+
+
+class TestUniformQuantize:
+    def test_max_value_exactly_representable(self, rng):
+        values = rng.standard_normal(100)
+        quantized = uniform_quantize(values, 8)
+        index = np.argmax(np.abs(values))
+        assert quantized[index] == pytest.approx(values[index])
+
+    def test_error_bounded_by_half_step(self, rng):
+        values = rng.standard_normal(500)
+        for bits in (4, 8, 12):
+            quantized = uniform_quantize(values, bits)
+            step = np.abs(values).max() / ((1 << (bits - 1)) - 1)
+            assert np.abs(quantized - values).max() <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.standard_normal(500)
+        errors = [np.abs(uniform_quantize(values, bits) - values).mean() for bits in (4, 8, 12, 16)]
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_levels_are_discrete(self, rng):
+        values = rng.standard_normal(200)
+        quantized = uniform_quantize(values, 4)
+        step = np.abs(values).max() / 7
+        levels = np.round(quantized / step)
+        np.testing.assert_allclose(quantized, levels * step, atol=1e-12)
+        assert len(np.unique(levels)) <= 15
+
+    def test_zero_tensor(self):
+        np.testing.assert_array_equal(uniform_quantize(np.zeros(10), 8), np.zeros(10))
+
+    def test_stochastic_variant_unbiased(self):
+        rng = np.random.default_rng(0)
+        values = np.full(20000, 0.4)
+        values[0] = 1.0  # sets the scale
+        quantized = uniform_quantize(values, 3, rng=rng, stochastic=True)
+        assert abs(quantized[1:].mean() - 0.4) < 0.01
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_quantize(np.ones(4), 1)
+
+
+class TestFixedPointFormats:
+    def test_int8_int12_layout(self):
+        assert INT8Format().total_bits == 8
+        assert INT8Format().mantissa_bits == 7
+        assert INT12Format().total_bits == 12
+        assert INT12Format().bits_per_value == 12
+
+    def test_int12_more_accurate_than_int8(self, rng):
+        values = rng.standard_normal(1000)
+        error8 = np.abs(INT8Format().quantize(values) - values).mean()
+        error12 = np.abs(INT12Format().quantize(values) - values).mean()
+        assert error12 < error8
+
+    def test_custom_width(self):
+        fmt = FixedPointFormat(6)
+        assert fmt.name == "int6"
+        assert fmt.mantissa_bits == 5
+
+    def test_stochastic_gradients_flag(self, rng):
+        fmt = FixedPointFormat(4, stochastic_gradients=True)
+        values = rng.standard_normal(100)
+        a = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(0))
+        b = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(1))
+        assert not np.allclose(a, b)
+
+    def test_outliers_compress_the_grid(self, rng):
+        """Per-tensor scaling means one outlier degrades everyone else (INT weakness)."""
+        values = rng.standard_normal(256)
+        with_outlier = values.copy()
+        with_outlier[0] = 100.0
+        error_plain = np.abs(INT8Format().quantize(values) - values)[1:].mean()
+        error_outlier = np.abs(INT8Format().quantize(with_outlier) - with_outlier)[1:].mean()
+        assert error_outlier > error_plain * 5
+
+
+class TestBinaryFormat:
+    def test_two_levels(self, rng):
+        values = rng.standard_normal(100)
+        quantized = BinaryFormat().quantize(values)
+        assert len(np.unique(quantized)) == 2
+
+    def test_sign_preserved(self, rng):
+        values = rng.standard_normal(100)
+        quantized = BinaryFormat().quantize(values)
+        assert np.all(np.sign(quantized) == np.where(values >= 0, 1.0, -1.0))
+
+    def test_one_bit(self):
+        assert BinaryFormat().bits_per_value == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=50),
+       st.sampled_from([4, 8, 12]))
+def test_property_uniform_quantize_within_range(values, bits):
+    array = np.array(values)
+    quantized = uniform_quantize(array, bits)
+    assert np.all(np.abs(quantized) <= np.abs(array).max() + 1e-9)

@@ -1,0 +1,120 @@
+"""Tests for the scalar floating point formats (FP32/FP16/bfloat16/TF32/HFP8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.floating import (
+    BFloat16Format,
+    FP16Format,
+    FP32Format,
+    HFP8Format,
+    NvidiaMixedPrecisionFormat,
+    TensorFloat32Format,
+    float_quantize,
+)
+
+
+class TestFloatQuantize:
+    def test_exactly_representable_values_unchanged(self):
+        values = np.array([1.0, 0.5, -2.0, 1.5, 0.0])
+        np.testing.assert_array_equal(float_quantize(values, 5, 10), values)
+
+    def test_mantissa_rounding(self):
+        # 1 + 2^-12 is not representable with a 10-bit mantissa; it rounds to 1.
+        value = np.array([1.0 + 2.0 ** -12])
+        assert float_quantize(value, 5, 10)[0] == 1.0
+        # ...but survives with a 12-bit mantissa.
+        assert float_quantize(value, 5, 12)[0] == value[0]
+
+    def test_saturation_at_max_value(self):
+        # FP16 max normal is 65504.
+        assert float_quantize(np.array([1e6]), 5, 10)[0] == pytest.approx(65504.0)
+        assert float_quantize(np.array([-1e6]), 5, 10)[0] == pytest.approx(-65504.0)
+
+    def test_relative_error_bound(self, rng):
+        values = rng.standard_normal(1000)
+        for exponent_bits, mantissa_bits in [(8, 7), (5, 10), (8, 10)]:
+            quantized = float_quantize(values, exponent_bits, mantissa_bits)
+            relative = np.abs(quantized - values) / np.abs(values)
+            assert relative.max() <= 2.0 ** (-mantissa_bits) + 1e-12
+
+    def test_truncate_mode_never_increases_magnitude(self, rng):
+        values = rng.standard_normal(200)
+        quantized = float_quantize(values, 8, 5, rounding="truncate")
+        assert np.all(np.abs(quantized) <= np.abs(values) + 1e-15)
+
+    def test_zero_preserved(self):
+        assert float_quantize(np.array([0.0]), 4, 3)[0] == 0.0
+
+    def test_small_values_use_subnormal_grid(self):
+        # Smallest FP16 subnormal is 2^-24; half of that rounds to zero.
+        tiny = np.array([2.0 ** -25, 2.0 ** -24])
+        quantized = float_quantize(tiny, 5, 10)
+        assert quantized[1] == pytest.approx(2.0 ** -24)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            float_quantize(np.zeros(1), 0, 3)
+        with pytest.raises(ValueError):
+            float_quantize(np.zeros(1), 5, -1)
+
+
+class TestNamedFormats:
+    def test_fp32_is_lossless_for_float32_values(self, rng):
+        values = rng.standard_normal(100).astype(np.float32).astype(np.float64)
+        np.testing.assert_array_equal(FP32Format().quantize(values), values)
+
+    def test_bit_layouts_match_figure_2(self):
+        assert (FP16Format.exponent_bits, FP16Format.mantissa_bits) == (5, 10)
+        assert (BFloat16Format.exponent_bits, BFloat16Format.mantissa_bits) == (8, 7)
+        assert (TensorFloat32Format.exponent_bits, TensorFloat32Format.mantissa_bits) == (8, 10)
+        assert (HFP8Format.exponent_bits, HFP8Format.mantissa_bits) == (4, 3)
+
+    def test_bfloat16_preserves_fp32_dynamic_range(self):
+        values = np.array([1e-30, 1e30])
+        quantized = BFloat16Format().quantize(values)
+        assert quantized[0] > 0
+        assert np.isfinite(quantized[1])
+        # FP16 saturates the same values.
+        fp16 = FP16Format().quantize(values)
+        assert fp16[1] == pytest.approx(65504.0)
+
+    def test_hfp8_uses_wider_exponent_for_gradients(self):
+        values = np.array([3e-5])
+        forward = HFP8Format().quantize(values, kind="activation")
+        backward = HFP8Format().quantize(values, kind="gradient")
+        # The 1-4-3 forward format flushes this to its small subnormal grid
+        # much more coarsely than the 1-5-2 backward format.
+        assert abs(backward[0] - values[0]) <= abs(forward[0] - values[0])
+
+    def test_hfp8_forward_has_more_mantissa_precision(self, rng):
+        values = rng.uniform(0.5, 2.0, size=1000)
+        forward_error = np.abs(HFP8Format().quantize(values, kind="weight") - values).mean()
+        backward_error = np.abs(HFP8Format().quantize(values, kind="gradient") - values).mean()
+        assert forward_error < backward_error
+
+    def test_nvidia_mp_quantizes_like_fp16(self, rng):
+        values = rng.standard_normal(100)
+        np.testing.assert_allclose(NvidiaMixedPrecisionFormat().quantize(values),
+                                   FP16Format().quantize(values))
+
+    def test_bits_per_value(self):
+        assert FP16Format().bits_per_value == 16
+        assert BFloat16Format().bits_per_value == 16
+        assert HFP8Format().bits_per_value == 8
+
+    def test_describe_mentions_fields(self):
+        assert "e=8" in BFloat16Format().describe()
+        assert "m=7" in BFloat16Format().describe()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+       st.sampled_from([(8, 7), (5, 10), (4, 3), (5, 2)]))
+def test_property_float_quantize_idempotent(value, layout):
+    exponent_bits, mantissa_bits = layout
+    once = float_quantize(np.array([value]), exponent_bits, mantissa_bits)
+    twice = float_quantize(once, exponent_bits, mantissa_bits)
+    np.testing.assert_array_equal(once, twice)

@@ -1,0 +1,68 @@
+"""Tests for the number-format registry."""
+
+import numpy as np
+import pytest
+
+from repro.formats import registry
+from repro.formats.base import NumberFormat
+from repro.formats.registry import TABLE2_FORMATS, available_formats, get_format, register_format
+
+
+class TestGetFormat:
+    def test_all_table2_formats_resolve(self):
+        for name in TABLE2_FORMATS:
+            fmt = get_format(name)
+            assert isinstance(fmt, NumberFormat)
+            assert fmt.name == name
+
+    def test_each_call_returns_fresh_instance(self):
+        assert get_format("int8") is not get_format("int8")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown number format"):
+            get_format("posit16")
+
+    def test_parametric_bfp_names(self):
+        fmt = get_format("bfp_e3_m4_g8")
+        assert fmt.exponent_bits == 3
+        assert fmt.mantissa_bits == 4
+        assert fmt.group_size == 8
+
+    def test_malformed_bfp_name_raises(self):
+        with pytest.raises(KeyError):
+            get_format("bfp_x3")
+
+    def test_kwargs_forwarded(self):
+        fmt = get_format("low_bfp", stochastic_gradients=False)
+        assert fmt.stochastic_gradients is False
+
+    def test_quantization_runs_for_every_registered_format(self, rng):
+        values = rng.standard_normal((2, 32))
+        for name in available_formats():
+            quantized = get_format(name).quantize(values, kind="weight")
+            assert quantized.shape == values.shape
+            assert np.all(np.isfinite(quantized))
+
+
+class TestRegisterFormat:
+    def test_register_and_retrieve(self):
+        class MockFormat(NumberFormat):
+            name = "mock_format"
+
+            def quantize(self, x, kind="activation", rng=None):
+                return np.asarray(x)
+
+        register_format("mock_format", MockFormat)
+        try:
+            assert isinstance(get_format("mock_format"), MockFormat)
+        finally:
+            registry._REGISTRY.pop("mock_format", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_format("fp32", lambda: None)
+
+    def test_table2_has_expected_columns(self):
+        assert "fp32" in TABLE2_FORMATS
+        assert "msfp12" in TABLE2_FORMATS
+        assert len(TABLE2_FORMATS) == 10

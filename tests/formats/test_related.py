@@ -1,0 +1,86 @@
+"""Tests for the related-work formats (Flexpoint, tile-based BFP)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FlexpointFormat, TileBFPFormat, get_format
+from repro.formats.blockfp import HighBFPFormat
+
+
+class TestFlexpoint:
+    def test_registered(self):
+        assert isinstance(get_format("flexpoint"), FlexpointFormat)
+
+    def test_shape_preserved(self, rng):
+        values = rng.standard_normal((3, 5, 7))
+        quantized = FlexpointFormat().quantize(values)
+        assert quantized.shape == values.shape
+
+    def test_high_precision_on_narrow_tensors(self, rng):
+        values = rng.uniform(0.5, 1.5, size=512)
+        quantized = FlexpointFormat().quantize(values)
+        assert np.abs(quantized - values).max() / np.abs(values).max() < 2 ** -12
+
+    def test_tensor_wide_exponent_hurts_wide_dynamic_range(self, rng):
+        """The weakness FAST exploits: small values vanish next to a large outlier."""
+        from repro.formats import BFPFormat
+
+        values = rng.uniform(0.5, 1.5, size=512) * 1e-5
+        values[0] = 100.0
+        flexpoint_error = np.abs(FlexpointFormat(mantissa_bits=8).quantize(values) - values)[1:].mean()
+        grouped = BFPFormat(mantissa_bits=8, group_size=16, exponent_bits=8)
+        group_error = np.abs(grouped.quantize(values) - values)[1:].mean()
+        # Per-group exponents adapt to the small values; a tensor-wide exponent
+        # (same mantissa width) cannot.
+        assert group_error < flexpoint_error
+
+    def test_gradient_quantization_is_stochastic(self, rng):
+        values = rng.standard_normal(64)
+        fmt = FlexpointFormat(mantissa_bits=4)
+        a = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(0))
+        b = fmt.quantize(values, kind="gradient", rng=np.random.default_rng(1))
+        assert not np.allclose(a, b)
+
+    def test_bits_per_value(self):
+        assert FlexpointFormat(mantissa_bits=16).bits_per_value == 17.0
+
+
+class TestTileBFP:
+    def test_registered(self):
+        assert isinstance(get_format("tile_bfp"), TileBFPFormat)
+
+    def test_shape_preserved_with_padding(self, rng):
+        values = rng.standard_normal((2, 3, 30, 50))  # not a multiple of the 24-wide tile
+        quantized = TileBFPFormat().quantize(values)
+        assert quantized.shape == values.shape
+
+    def test_one_dimensional_fallback(self, rng):
+        values = rng.standard_normal(100)
+        assert TileBFPFormat().quantize(values).shape == (100,)
+
+    def test_error_bounded_by_mantissa(self, rng):
+        values = rng.standard_normal((48, 48))
+        quantized = TileBFPFormat(mantissa_bits=12).quantize(values)
+        assert np.abs(quantized - values).max() <= np.abs(values).max() * 2 ** -11 + 1e-12
+
+    def test_quantization_is_local_to_tiles(self, rng):
+        """A large value in one tile must not degrade a different tile."""
+        values = rng.uniform(0.5, 1.5, size=(48, 48))
+        tainted = values.copy()
+        tainted[0, 0] = 1e6
+        fmt = TileBFPFormat(mantissa_bits=6, tile=24)
+        clean_far_tile = fmt.quantize(values)[24:, 24:]
+        tainted_far_tile = fmt.quantize(tainted)[24:, 24:]
+        np.testing.assert_allclose(clean_far_tile, tainted_far_tile)
+
+    def test_large_tiles_need_wide_mantissas(self, rng):
+        """The Section II-A argument: at group size 576 a narrow mantissa collapses."""
+        values = rng.standard_normal((48, 48)) * np.exp(rng.normal(0, 2, size=(48, 48)))
+        wide = np.abs(TileBFPFormat(mantissa_bits=12).quantize(values) - values).mean()
+        narrow = np.abs(TileBFPFormat(mantissa_bits=4).quantize(values) - values).mean()
+        group16 = np.abs(HighBFPFormat().quantize(values) - values).mean()
+        assert narrow > wide
+        assert group16 < narrow  # g=16/m=4 beats g=576/m=4
+
+    def test_group_size_property(self):
+        assert TileBFPFormat(tile=24).group_size == 576

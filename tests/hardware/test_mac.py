@@ -1,0 +1,88 @@
+"""Tests for the MAC design cost models (Table IV)."""
+
+import pytest
+
+from repro.hardware.mac import (
+    PAPER_TABLE4,
+    bfp_group_mac_design,
+    fmac_design,
+    fp_mac_design,
+    hfp8_mac_design,
+    int_mac_design,
+    table4_designs,
+)
+
+
+class TestIndividualDesigns:
+    def test_fmac_has_group_throughput(self):
+        design = fmac_design(group_size=16)
+        assert design.values_per_cycle == 16
+        assert design.name == "fmac"
+
+    def test_int_mac_naming_and_throughput(self):
+        design = int_mac_design(12)
+        assert design.name == "int12"
+        assert design.values_per_cycle == 16
+
+    def test_fp_mac_area_grows_with_mantissa(self):
+        assert fp_mac_design(8, 7).area_units < fp_mac_design(8, 23).area_units
+
+    def test_int_area_scales_roughly_quadratically(self):
+        """Fixed point multiplier cost is quadratic in bitwidth (Section III-B)."""
+        int8 = int_mac_design(8).area_units
+        int16 = int_mac_design(16).area_units
+        assert int16 / int8 > 2.0
+
+    def test_hfp8_cheaper_than_bfloat16(self):
+        assert hfp8_mac_design().area_units < fp_mac_design(8, 7, name="bfloat16").area_units
+
+    def test_bfp_group_mac_grows_with_mantissa(self):
+        assert bfp_group_mac_design(2, 8).area_units < bfp_group_mac_design(6, 8).area_units
+
+    def test_larger_group_amortizes_accumulator(self):
+        """Area per value decreases with group size (the fMAC's key advantage)."""
+        small = fmac_design(group_size=4)
+        large = fmac_design(group_size=32)
+        assert large.area_units / 32 < small.area_units / 4
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def designs(self):
+        return {design.name: design for design in table4_designs()}
+
+    def test_all_rows_present(self, designs):
+        assert set(designs) == set(PAPER_TABLE4)
+
+    def test_area_ordering_matches_paper(self, designs):
+        paper_order = sorted(PAPER_TABLE4, key=lambda name: PAPER_TABLE4[name]["area"])
+        baseline = designs["fmac"]
+        model_order = sorted(designs, key=lambda name: designs[name].relative_area(baseline))
+        assert model_order == paper_order
+
+    def test_fmac_is_smallest(self, designs):
+        baseline = designs["fmac"]
+        for name, design in designs.items():
+            if name != "fmac":
+                assert design.relative_area(baseline) > 2.0
+
+    def test_relative_areas_within_40_percent_of_paper(self, designs):
+        baseline = designs["fmac"]
+        for name, design in designs.items():
+            modelled = design.relative_area(baseline)
+            reported = PAPER_TABLE4[name]["area"]
+            assert modelled == pytest.approx(reported, rel=0.4), name
+
+    def test_power_within_40_percent_of_paper(self, designs):
+        for name, design in designs.items():
+            assert design.power_mw == pytest.approx(PAPER_TABLE4[name]["power_mw"], rel=0.4), name
+
+    def test_fpga_resources_within_tolerance_of_paper(self, designs):
+        for name, design in designs.items():
+            assert design.lut == pytest.approx(PAPER_TABLE4[name]["lut"], rel=0.3), name
+            assert design.ff == pytest.approx(PAPER_TABLE4[name]["ff"], rel=0.35), name
+
+    def test_power_ordering_matches_area_ordering(self, designs):
+        ordered = sorted(designs.values(), key=lambda d: d.area_units)
+        powers = [design.power_mw for design in ordered]
+        assert powers == sorted(powers)

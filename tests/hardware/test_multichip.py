@@ -1,0 +1,74 @@
+"""Tests for the multi-chip scaling model (the paper's future-work extension)."""
+
+import pytest
+
+from repro.hardware.multichip import (
+    Interconnect,
+    gradient_traffic_bits,
+    multichip_iteration,
+    scaling_sweep,
+)
+from repro.hardware.workloads import resnet18_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return resnet18_workload()
+
+
+class TestGradientTraffic:
+    def test_fp32_volume_matches_parameter_count(self, workload):
+        parameters = sum(layer.m * layer.k for layer in workload.layers)
+        assert gradient_traffic_bits(workload, "fp32") == 32 * parameters
+
+    def test_bfp_exchange_is_much_smaller(self, workload):
+        fp32 = gradient_traffic_bits(workload, "fp32")
+        bfp = gradient_traffic_bits(workload, "bfp", mantissa_bits=4)
+        assert fp32 / bfp > 4.0
+
+    def test_low_precision_exchange_even_smaller(self, workload):
+        high = gradient_traffic_bits(workload, "bfp", mantissa_bits=4)
+        low = gradient_traffic_bits(workload, "bfp", mantissa_bits=2)
+        assert low < high
+
+    def test_unknown_format_rejected(self, workload):
+        with pytest.raises(ValueError):
+            gradient_traffic_bits(workload, "fp8")
+
+
+class TestMultiChipIteration:
+    def test_single_chip_has_no_communication(self, workload):
+        result = multichip_iteration(workload, 1)
+        assert result.communication_seconds == 0.0
+        assert result.speedup == pytest.approx(1.0)
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_invalid_chip_count(self, workload):
+        with pytest.raises(ValueError):
+            multichip_iteration(workload, 0)
+
+    def test_speedup_grows_but_efficiency_drops(self, workload):
+        sweep = scaling_sweep(workload, chip_counts=(1, 2, 4, 8))
+        speedups = [sweep[count].speedup for count in (1, 2, 4, 8)]
+        efficiencies = [sweep[count].efficiency for count in (1, 2, 4, 8)]
+        assert speedups == sorted(speedups)
+        assert efficiencies == sorted(efficiencies, reverse=True)
+        assert sweep[8].speedup < 8.0  # communication keeps it sub-linear
+
+    def test_communication_fraction_grows_with_chips(self, workload):
+        sweep = scaling_sweep(workload, chip_counts=(2, 4, 16))
+        assert sweep[2].communication_fraction < sweep[16].communication_fraction
+
+    def test_bfp_exchange_scales_better_than_fp32(self, workload):
+        bfp = multichip_iteration(workload, 8, exchange_format="bfp")
+        fp32 = multichip_iteration(workload, 8, exchange_format="fp32")
+        assert bfp.speedup > fp32.speedup
+
+    def test_faster_interconnect_improves_efficiency(self, workload):
+        slow = multichip_iteration(workload, 8, interconnect=Interconnect(bandwidth_gbps=25))
+        fast = multichip_iteration(workload, 8, interconnect=Interconnect(bandwidth_gbps=400))
+        assert fast.efficiency > slow.efficiency
+
+    def test_fixed_precision_mode(self, workload):
+        result = multichip_iteration(workload, 4, fast_adaptive=False)
+        assert result.total_seconds > 0.0

@@ -1,0 +1,158 @@
+"""Tests for the training-iteration time/energy model (Figures 19 and 20)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.performance import (
+    FORMAT_PRECISIONS,
+    fast_adaptive_iteration_cost,
+    format_iteration_costs,
+    iteration_cost,
+    modelled_fast_precisions,
+    product_passes,
+)
+from repro.hardware.system import iso_area_systems
+from repro.hardware.workloads import resnet18_workload
+
+#: Figure 20 normalized training times for ResNet-18 (paper values).
+PAPER_RESNET18_TIME = {
+    "fp32": 8.71,
+    "nvidia_mp": 5.84,
+    "bfloat16": 3.94,
+    "int12": 2.95,
+    "msfp12": 2.32,
+    "hfp8": 2.03,
+    "mid_bfp": 1.86,
+    "fast_adaptive": 1.00,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return resnet18_workload()
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return iso_area_systems()
+
+
+@pytest.fixture(scope="module")
+def costs(workload, systems):
+    return format_iteration_costs(workload, systems)
+
+
+class TestProductPasses:
+    def test_all_low_precision_single_pass(self):
+        assert product_passes(2, 2, 2) == {"forward": 1, "grad_activation": 1, "grad_weight": 1}
+
+    def test_all_high_precision_four_passes(self):
+        assert product_passes(4, 4, 4) == {"forward": 4, "grad_activation": 4, "grad_weight": 4}
+
+    def test_mixed_setting(self):
+        passes = product_passes(4, 2, 2)
+        assert passes == {"forward": 2, "grad_activation": 2, "grad_weight": 1}
+
+    def test_single_tensor_promotion_adds_two_passes(self):
+        """Promoting any one tensor to 4 bits touches two of the three products."""
+        baseline = sum(product_passes(2, 2, 2).values())
+        for triple in ((4, 2, 2), (2, 4, 2), (2, 2, 4)):
+            assert sum(product_passes(*triple).values()) == baseline + 2
+
+
+class TestIterationCost:
+    def test_scalar_system_ignores_precisions(self, workload, systems):
+        plain = iteration_cost(workload, systems["bfloat16"])
+        with_precisions = iteration_cost(workload, systems["bfloat16"], (4, 4, 4))
+        assert plain.cycles == with_precisions.cycles
+
+    def test_bfp_passes_scale_cycles(self, workload, systems):
+        low = iteration_cost(workload, systems["low_bfp"], (2, 2, 2))
+        high = iteration_cost(workload, systems["high_bfp"], (4, 4, 4))
+        assert high.cycles == pytest.approx(4 * low.cycles, rel=0.05)
+
+    def test_seconds_and_energy_consistent(self, workload, systems):
+        cost = iteration_cost(workload, systems["fp32"])
+        assert cost.seconds == pytest.approx(cost.cycles / 500e6)
+        assert cost.energy_joules == pytest.approx(cost.seconds * systems["fp32"].power_w)
+
+    def test_per_layer_precision_list_stretched(self, workload, systems):
+        triples = [(2, 2, 2), (4, 4, 4)]
+        cost = iteration_cost(workload, systems["fast_adaptive"], triples)
+        low = iteration_cost(workload, systems["fast_adaptive"], (2, 2, 2))
+        high = iteration_cost(workload, systems["fast_adaptive"], (4, 4, 4))
+        assert low.cycles < cost.cycles < high.cycles
+
+
+class TestModelledFastTrajectory:
+    def test_precision_grows_with_progress(self):
+        early = np.mean(modelled_fast_precisions(20, 0.05))
+        late = np.mean(modelled_fast_precisions(20, 0.95))
+        assert late > early
+
+    def test_precision_grows_with_depth(self):
+        settings = modelled_fast_precisions(20, 0.5)
+        shallow = np.mean(settings[:5])
+        deep = np.mean(settings[-5:])
+        assert deep >= shallow
+
+    def test_only_supported_bitwidths(self):
+        for progress in (0.0, 0.3, 0.7, 1.0):
+            for triple in modelled_fast_precisions(10, progress):
+                assert set(triple) <= {2, 4}
+
+    def test_fast_adaptive_cost_between_low_and_high(self, workload, systems):
+        fast = fast_adaptive_iteration_cost(workload, systems["fast_adaptive"])
+        low = iteration_cost(workload, systems["low_bfp"], (2, 2, 2))
+        high = iteration_cost(workload, systems["high_bfp"], (4, 4, 4))
+        assert low.cycles < fast.cycles < high.cycles
+
+    def test_measured_trajectory_accepted(self, workload, systems):
+        trajectory = [[(2, 2, 2)] * 5, [(4, 4, 4)] * 5]
+        cost = fast_adaptive_iteration_cost(workload, systems["fast_adaptive"],
+                                            precision_trajectory=trajectory)
+        low = iteration_cost(workload, systems["fast_adaptive"], (2, 2, 2))
+        high = iteration_cost(workload, systems["fast_adaptive"], (4, 4, 4))
+        assert cost.cycles == pytest.approx((low.cycles + high.cycles) / 2, rel=0.01)
+
+    def test_empty_trajectory_rejected(self, workload, systems):
+        with pytest.raises(ValueError):
+            fast_adaptive_iteration_cost(workload, systems["fast_adaptive"], precision_trajectory=[])
+
+
+class TestFigure20Shape:
+    def test_every_system_costed(self, costs, systems):
+        assert set(costs) == set(systems)
+
+    def test_fast_adaptive_is_fastest(self, costs):
+        fastest = min(costs.values(), key=lambda cost: cost.seconds)
+        assert fastest.name in ("fast_adaptive", "low_bfp")
+        assert costs["fast_adaptive"].seconds <= costs["mid_bfp"].seconds
+
+    def test_relative_time_ordering_matches_paper(self, costs):
+        fast_seconds = costs["fast_adaptive"].seconds
+        measured = {name: costs[name].seconds / fast_seconds for name in PAPER_RESNET18_TIME}
+        paper_order = sorted(PAPER_RESNET18_TIME, key=PAPER_RESNET18_TIME.get)
+        measured_order = sorted(measured, key=measured.get)
+        assert measured_order == paper_order
+
+    def test_relative_times_within_30_percent_of_paper(self, costs):
+        fast_seconds = costs["fast_adaptive"].seconds
+        for name, reported in PAPER_RESNET18_TIME.items():
+            measured = costs[name].seconds / fast_seconds
+            assert measured == pytest.approx(reported, rel=0.3), name
+
+    def test_fp32_slowdown_in_paper_band(self, costs):
+        """The headline 2-6x claim implies FP32 is ~8-10x slower than FAST-Adaptive."""
+        ratio = costs["fp32"].seconds / costs["fast_adaptive"].seconds
+        assert 6.0 < ratio < 12.0
+
+    def test_energy_tracks_time_at_iso_power(self, costs):
+        for cost in costs.values():
+            assert cost.energy_joules == pytest.approx(cost.seconds * costs["fp32"].power_watts,
+                                                       rel=1e-6)
+
+    def test_format_precisions_table(self):
+        assert FORMAT_PRECISIONS["low_bfp"] == (2, 2, 2)
+        assert FORMAT_PRECISIONS["mid_bfp"] == (3, 3, 3)
+        assert FORMAT_PRECISIONS["high_bfp"] == (4, 4, 4)

@@ -1,0 +1,126 @@
+"""Tests for the SRAM model, the FAST system breakdown (Table III) and the iso-area baselines."""
+
+import pytest
+
+from repro.hardware.mac import fmac_design
+from repro.hardware.sram import SRAMBank, SRAMSubsystem
+from repro.hardware.system import (
+    CLOCK_HZ,
+    PAPER_ARRAY_DIMS,
+    PAPER_TABLE3,
+    FASTSystem,
+    iso_area_systems,
+)
+
+
+class TestSRAM:
+    def test_bank_area_scales_with_capacity(self):
+        assert SRAMBank(32.0).area_units > SRAMBank(16.0).area_units
+
+    def test_subsystem_capacity(self):
+        subsystem = SRAMSubsystem("weight_sram", num_banks=128, bank=SRAMBank(16.0))
+        assert subsystem.capacity_kb == 2048
+
+    def test_power_increases_with_bandwidth(self):
+        subsystem = SRAMSubsystem("data_sram")
+        assert subsystem.power_w(bandwidth_gbps=128) > subsystem.power_w(bandwidth_gbps=16)
+
+    def test_paper_configuration_power(self):
+        """Three 128 x 16 kB SRAMs dissipate ~3.4 W (Table III)."""
+        total = sum(SRAMSubsystem(name).power_w() for name in ("w", "d", "g"))
+        assert total == pytest.approx(PAPER_TABLE3["memory_subsystem"]["power_w"], rel=0.15)
+
+
+class TestFASTSystemBreakdown:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return FASTSystem()
+
+    def test_default_configuration(self, system):
+        assert system.array_rows == 256
+        assert system.array_cols == 64
+        assert system.num_macs == 256 * 64
+        assert system.clock_hz == CLOCK_HZ == 500e6
+
+    def test_total_power_close_to_paper(self, system):
+        paper_total = sum(entry["power_w"] for entry in PAPER_TABLE3.values())
+        assert system.total_power_w() == pytest.approx(paper_total, rel=0.1)
+
+    def test_area_fractions_close_to_paper(self, system):
+        breakdown = system.area_breakdown()
+        assert set(breakdown) == set(PAPER_TABLE3)
+        for name, fraction in breakdown.items():
+            assert fraction == pytest.approx(PAPER_TABLE3[name]["area_fraction"], abs=0.05), name
+
+    def test_array_and_memory_dominate_area(self, system):
+        breakdown = system.area_breakdown()
+        assert breakdown["systolic_array"] > 0.4
+        assert breakdown["memory_subsystem"] > 0.3
+        assert breakdown["data_generator"] < 0.02
+
+    def test_power_breakdown_close_to_paper(self, system):
+        for name, power in system.power_breakdown().items():
+            assert power == pytest.approx(PAPER_TABLE3[name]["power_w"], rel=0.2), name
+
+    def test_fractions_sum_to_one(self, system):
+        assert sum(system.area_breakdown().values()) == pytest.approx(1.0)
+
+    def test_larger_array_increases_array_share(self):
+        small = FASTSystem(array_rows=128, array_cols=64)
+        large = FASTSystem(array_rows=512, array_cols=64)
+        assert large.area_breakdown()["systolic_array"] > small.area_breakdown()["systolic_array"]
+
+    def test_more_sram_increases_memory_share(self):
+        small = FASTSystem(sram_banks=64)
+        large = FASTSystem(sram_banks=256)
+        assert large.area_breakdown()["memory_subsystem"] > small.area_breakdown()["memory_subsystem"]
+
+
+class TestIsoAreaSystems:
+    @pytest.fixture(scope="class")
+    def systems(self):
+        return iso_area_systems()
+
+    def test_all_evaluated_formats_present(self, systems):
+        expected = {"fast_adaptive", "low_bfp", "mid_bfp", "high_bfp", "hfp8", "msfp12",
+                    "int12", "int8", "bfloat16", "nvidia_mp", "fp16", "fp32"}
+        assert expected <= set(systems)
+
+    def test_paper_array_dimensions_used(self, systems):
+        assert (systems["hfp8"].array_rows, systems["hfp8"].array_cols) == PAPER_ARRAY_DIMS["hfp8"]
+        assert (systems["bfloat16"].array_rows, systems["bfloat16"].array_cols) == (180, 180)
+        assert (systems["fast_adaptive"].array_rows, systems["fast_adaptive"].array_cols) == (256, 64)
+
+    def test_bfp_systems_share_fast_hardware(self, systems):
+        for name in ("low_bfp", "mid_bfp", "high_bfp", "fast_adaptive"):
+            assert systems[name].bfp_chunked
+            assert systems[name].values_per_mac == 16
+
+    def test_scalar_systems_are_single_value(self, systems):
+        for name in ("fp32", "fp16", "bfloat16", "int12", "hfp8", "msfp12"):
+            assert systems[name].values_per_mac == 1
+            assert not systems[name].bfp_chunked
+
+    def test_peak_throughput_ordering(self, systems):
+        """At one pass, the FAST array has the highest peak MAC rate; FP32 the lowest."""
+        fast_peak = systems["fast_adaptive"].peak_macs_per_cycle(passes=1)
+        assert fast_peak > systems["hfp8"].peak_macs_per_cycle()
+        assert systems["hfp8"].peak_macs_per_cycle() > systems["bfloat16"].peak_macs_per_cycle()
+        assert systems["bfloat16"].peak_macs_per_cycle() > systems["fp32"].peak_macs_per_cycle()
+
+    def test_passes_divide_peak_rate(self, systems):
+        system = systems["fast_adaptive"]
+        assert system.peak_macs_per_cycle(passes=4) == pytest.approx(
+            system.peak_macs_per_cycle(passes=1) / 4)
+
+    def test_shared_power_default(self, systems):
+        powers = {config.power_w for config in systems.values()}
+        assert len(powers) == 1
+        assert powers.pop() == pytest.approx(FASTSystem().total_power_w())
+
+    def test_power_override(self):
+        systems = iso_area_systems(total_power_w=10.0)
+        assert all(config.power_w == 10.0 for config in systems.values())
+
+    def test_derived_int8_array_larger_than_int12(self, systems):
+        assert systems["int8"].num_macs > systems["int12"].num_macs

@@ -1,0 +1,91 @@
+"""Tests for the paper-scale workload descriptions."""
+
+import pytest
+
+from repro.hardware.workloads import (
+    GemmShape,
+    conv_gemm,
+    mobilenet_v2_workload,
+    paper_workloads,
+    resnet18_workload,
+    resnet50_workload,
+    transformer_workload,
+    vgg16_workload,
+    yolov2_workload,
+)
+
+
+class TestGemmShape:
+    def test_mac_count(self):
+        shape = GemmShape("layer", 4, 5, 6)
+        assert shape.macs == 120
+
+    def test_backward_products_permute_dimensions(self):
+        shape = GemmShape("layer", 64, 576, 1000)
+        grad_a = shape.backward_activation()
+        grad_w = shape.backward_weight()
+        assert (grad_a.m, grad_a.k, grad_a.n) == (576, 64, 1000)
+        assert (grad_w.m, grad_w.k, grad_w.n) == (64, 1000, 576)
+        # All three products have the same MAC count (Figure 3).
+        assert shape.macs == grad_a.macs == grad_w.macs
+
+    def test_conv_gemm_dimensions(self):
+        shape = conv_gemm("conv", in_channels=64, out_channels=128, kernel=3, out_hw=56, batch=256)
+        assert shape.m == 128
+        assert shape.k == 64 * 9
+        assert shape.n == 256 * 56 * 56
+
+
+class TestWorkloads:
+    def test_all_six_models_present(self):
+        workloads = paper_workloads()
+        assert set(workloads) == {"resnet18", "resnet50", "mobilenet_v2", "vgg16",
+                                  "transformer", "yolov2"}
+
+    def test_resnet18_total_flops_close_to_published(self):
+        """ResNet-18 forward pass is ~1.8 GFLOPs (0.9 GMACs) per 224x224 image."""
+        workload = resnet18_workload(batch=1)
+        forward_macs = sum(layer.macs for layer in workload.layers)
+        assert forward_macs == pytest.approx(1.8e9, rel=0.25)
+
+    def test_resnet50_heavier_than_resnet18(self):
+        assert resnet50_workload().total_training_macs() > resnet18_workload().total_training_macs()
+
+    def test_vgg16_is_the_heaviest_cnn(self):
+        """VGG-16 (~15.5 GFLOPs/image) dwarfs ResNet-18 and MobileNet-v2."""
+        vgg = vgg16_workload(batch=1)
+        forward_macs = sum(layer.macs for layer in vgg.layers)
+        assert forward_macs == pytest.approx(15.5e9, rel=0.3)
+
+    def test_mobilenet_lighter_than_resnet18(self):
+        mobilenet = sum(layer.macs for layer in mobilenet_v2_workload(batch=1).layers)
+        resnet = sum(layer.macs for layer in resnet18_workload(batch=1).layers)
+        assert mobilenet < resnet / 2
+
+    def test_training_macs_are_triple_forward_macs(self):
+        workload = resnet18_workload(batch=16)
+        forward = sum(layer.macs for layer in workload.layers)
+        assert workload.total_training_macs() == 3 * forward
+
+    def test_batch_size_scales_streaming_dimension(self):
+        small = resnet18_workload(batch=32)
+        large = resnet18_workload(batch=256)
+        assert large.total_training_macs() == pytest.approx(8 * small.total_training_macs(), rel=1e-6)
+
+    def test_transformer_layer_count_and_target(self):
+        workload = transformer_workload()
+        assert workload.target_metric == 35.0
+        # 12 encoder layers x 8 GEMMs + output projection.
+        assert workload.num_layers == 12 * 8 + 1
+
+    def test_yolo_target_is_map(self):
+        workload = yolov2_workload()
+        assert workload.target_name.startswith("mAP")
+        assert workload.batch_size == 64
+
+    def test_targets_match_figure_20_captions(self):
+        workloads = paper_workloads()
+        assert workloads["resnet18"].target_metric == 68.0
+        assert workloads["resnet50"].target_metric == 75.0
+        assert workloads["vgg16"].target_metric == 69.0
+        assert workloads["yolov2"].target_metric == 73.0

@@ -1,0 +1,101 @@
+"""Tests for YOLO prediction decoding and the detection loss."""
+
+import numpy as np
+import pytest
+
+from repro.models.yolo import decode_predictions, yolo_loss
+from repro.nn.tensor import Tensor
+
+
+def make_raw(grid=4, num_classes=3):
+    """Raw head output with no confident cells."""
+    raw = np.zeros((1, grid, grid, 5 + num_classes))
+    raw[..., 4] = -10.0  # objectness logit ~ 0
+    return raw
+
+
+class TestDecodePredictions:
+    def test_no_boxes_when_objectness_low(self):
+        assert decode_predictions(make_raw()) == [[]]
+
+    def test_single_confident_cell_decoded(self):
+        raw = make_raw()
+        raw[0, 1, 2, 4] = 10.0          # objectness ~ 1 in cell (row 1, col 2)
+        raw[0, 1, 2, 0:2] = 0.0         # centre at the middle of the cell
+        raw[0, 1, 2, 2:4] = 0.0         # width = height = 1 cell
+        raw[0, 1, 2, 5 + 1] = 5.0       # class 1
+        boxes = decode_predictions(raw)[0]
+        assert len(boxes) == 1
+        x, y, w, h, class_id, confidence = boxes[0]
+        assert x == pytest.approx((2 + 0.5) / 4)
+        assert y == pytest.approx((1 + 0.5) / 4)
+        assert w == pytest.approx(0.25)
+        assert h == pytest.approx(0.25)
+        assert class_id == 1
+        assert confidence > 0.99
+
+    def test_threshold_filters_boxes(self):
+        raw = make_raw()
+        raw[0, 0, 0, 4] = 0.1  # objectness ~ 0.52
+        assert len(decode_predictions(raw, threshold=0.9)[0]) == 0
+        assert len(decode_predictions(raw, threshold=0.5)[0]) == 1
+
+    def test_box_sizes_clipped_to_image(self):
+        raw = make_raw()
+        raw[0, 0, 0, 4] = 10.0
+        raw[0, 0, 0, 2:4] = 10.0  # exp(10) cells wide -> clipped to 1.0
+        box = decode_predictions(raw)[0][0]
+        assert box[2] == 1.0
+        assert box[3] == 1.0
+
+
+class TestYoloLoss:
+    def make_target(self, grid=2, num_classes=3):
+        target = np.zeros((1, grid, grid, 5 + num_classes))
+        target[0, 0, 0, 0:4] = (0.5, 0.5, 0.0, 0.0)
+        target[0, 0, 0, 4] = 1.0
+        target[0, 0, 0, 5] = 1.0
+        return target
+
+    def test_perfect_prediction_has_low_loss(self):
+        target = self.make_target()
+        prediction = np.zeros_like(target)
+        prediction[..., 4] = -20.0                 # no object anywhere...
+        prediction[0, 0, 0, 4] = 20.0              # ...except the target cell
+        prediction[0, 0, 0, 0:2] = 0.0             # sigmoid(0) = 0.5 centre
+        prediction[0, 0, 0, 5] = 20.0              # confident correct class
+        prediction[0, 0, 0, 6:] = -20.0
+        loss = yolo_loss(Tensor(prediction), target)
+        assert loss.item() < 1e-3
+
+    def test_wrong_class_increases_loss(self):
+        target = self.make_target()
+        good = np.zeros_like(target)
+        good[..., 4] = -20.0
+        good[0, 0, 0, 4] = 20.0
+        good[0, 0, 0, 5] = 20.0
+        good[0, 0, 0, 6:] = -20.0
+        bad = good.copy()
+        bad[0, 0, 0, 5], bad[0, 0, 0, 6] = -20.0, 20.0
+        assert yolo_loss(Tensor(bad), target).item() > yolo_loss(Tensor(good), target).item()
+
+    def test_false_positive_penalized_less_than_missed_object(self):
+        """lambda_noobj < 1 down-weights no-object cells, as in the original YOLO."""
+        target = self.make_target()
+        missed = np.zeros_like(target)
+        missed[..., 4] = -20.0  # predicts nothing at all
+        false_positive = np.zeros_like(target)
+        false_positive[..., 4] = -20.0
+        false_positive[0, 0, 0, 4] = 20.0
+        false_positive[0, 0, 0, 5] = 20.0
+        false_positive[0, 0, 0, 6:] = -20.0
+        false_positive[0, 1, 1, 4] = 20.0  # extra spurious detection
+        assert yolo_loss(Tensor(false_positive), target).item() < \
+            yolo_loss(Tensor(missed), target).item()
+
+    def test_loss_differentiable(self, rng):
+        target = self.make_target()
+        prediction = Tensor(rng.standard_normal(target.shape), requires_grad=True)
+        yolo_loss(prediction, target).backward()
+        assert prediction.grad is not None
+        assert np.all(np.isfinite(prediction.grad))

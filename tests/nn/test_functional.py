@@ -1,0 +1,149 @@
+"""Tests for functional ops: im2col/conv2d, pooling, embedding, dropout, quant hooks."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro.core.bfp import bfp_quantize
+from repro.nn.tensor import Tensor
+
+
+def reference_conv2d(x, weight, bias=None, stride=1, padding=1):
+    """Direct (slow) convolution used as a reference."""
+    batch, in_channels, height, width = x.shape
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+    output = np.zeros((batch, out_channels, out_h, out_w))
+    for b in range(batch):
+        for o in range(out_channels):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[b, :, i * stride:i * stride + kernel_h,
+                                   j * stride:j * stride + kernel_w]
+                    output[b, o, i, j] = (patch * weight[o]).sum()
+            if bias is not None:
+                output[b, o] += bias[o]
+    return output
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_direct_convolution(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 7))
+        weight = rng.standard_normal((4, 3, 3, 3))
+        bias = rng.standard_normal(4)
+        result = F.conv2d(Tensor(x), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+        expected = reference_conv2d(x, weight, bias, stride=stride, padding=padding)
+        np.testing.assert_allclose(result.data, expected, atol=1e-10)
+
+    def test_1x1_convolution_is_channel_matmul(self, rng):
+        x = rng.standard_normal((2, 4, 5, 5))
+        weight = rng.standard_normal((6, 4, 1, 1))
+        result = F.conv2d(Tensor(x), Tensor(weight)).data
+        expected = np.einsum("oc,nchw->nohw", weight[:, :, 0, 0], x)
+        np.testing.assert_allclose(result, expected, atol=1e-10)
+
+    def test_output_shape(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)))
+        weight = Tensor(rng.standard_normal((8, 3, 3, 3)))
+        assert F.conv2d(x, weight, stride=2, padding=1).shape == (1, 8, 8, 8)
+
+    def test_empty_output_rejected(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 2, 2)))
+        weight = Tensor(rng.standard_normal((1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, weight)
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((1, 2, 5, 5))
+        cols = F.im2col(x, 3, 3, 1, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, x.shape, 3, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        result = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_array_equal(result[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        result = F.avg_pool2d(Tensor(x), 2).data
+        np.testing.assert_array_equal(result[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_pool_with_stride(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        assert F.max_pool2d(x, 3, stride=3).shape == (2, 3, 2, 2)
+        assert F.avg_pool2d(x, 2, stride=2).shape == (2, 3, 3, 3)
+
+
+class TestEmbeddingDropout:
+    def test_embedding_lookup(self, rng):
+        weight = Tensor(rng.standard_normal((10, 4)))
+        indices = np.array([[1, 3], [0, 9]])
+        result = F.embedding(weight, indices)
+        assert result.shape == (2, 2, 4)
+        np.testing.assert_array_equal(result.data[0, 1], weight.data[3])
+
+    def test_embedding_gradient_accumulates_repeats(self, rng):
+        weight = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        F.embedding(weight, np.array([2, 2, 2])).sum().backward()
+        np.testing.assert_allclose(weight.grad[2], [3.0, 3.0, 3.0])
+        np.testing.assert_allclose(weight.grad[0], [0.0, 0.0, 0.0])
+
+    def test_dropout_disabled_in_eval(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        result = F.dropout(x, 0.5, training=False)
+        assert result is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        result = F.dropout(x, 0.25, training=True, rng=rng)
+        assert abs(result.data.mean() - 1.0) < 0.02
+        zero_fraction = (result.data == 0).mean()
+        assert abs(zero_fraction - 0.25) < 0.02
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestQuantizationHooks:
+    def test_fake_quantize_values_quantized(self, rng):
+        x = Tensor(rng.standard_normal((2, 32)), requires_grad=True)
+        quantize = lambda v: bfp_quantize(v, mantissa_bits=2, group_size=16, exponent_bits=3)
+        out = F.fake_quantize(x, quantize)
+        np.testing.assert_allclose(out.data, quantize(x.data))
+
+    def test_fake_quantize_straight_through_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 32)), requires_grad=True)
+        out = F.fake_quantize(x, lambda v: np.zeros_like(v))
+        (out * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 32), 3.0))
+
+    def test_quantize_gradient_identity_forward(self, rng):
+        x = Tensor(rng.standard_normal((2, 16)), requires_grad=True)
+        out = F.quantize_gradient(x, lambda g: g * 0 + 1.0)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_quantize_gradient_transforms_backward(self, rng):
+        x = Tensor(rng.standard_normal((2, 16)), requires_grad=True)
+        quantize = lambda g: bfp_quantize(g, mantissa_bits=2, group_size=16, exponent_bits=3)
+        out = F.quantize_gradient(x, quantize)
+        upstream = rng.standard_normal((2, 16))
+        (out * Tensor(upstream)).sum().backward()
+        np.testing.assert_allclose(x.grad, quantize(upstream))
+
+    def test_linear_matches_numpy(self, rng):
+        x = rng.standard_normal((4, 6))
+        weight = rng.standard_normal((3, 6))
+        bias = rng.standard_normal(3)
+        result = F.linear(Tensor(x), Tensor(weight), Tensor(bias))
+        np.testing.assert_allclose(result.data, x @ weight.T + bias)

@@ -1,0 +1,156 @@
+"""Numerical gradient checks for the autograd engine.
+
+Every structured operation (convolution, pooling, normalization, attention,
+losses) is validated against central finite differences on small inputs.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, array, epsilon=1e-5):
+    """Central finite-difference gradient of a scalar function of ``array``."""
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + epsilon
+        upper = fn(array)
+        array[index] = original - epsilon
+        lower = fn(array)
+        array[index] = original
+        gradient[index] = (upper - lower) / (2 * epsilon)
+        iterator.iternext()
+    return gradient
+
+
+def check_gradient(build_output, array, atol=1e-4, rtol=1e-3):
+    """Compare autograd and numerical gradients for input ``array``."""
+    tensor = Tensor(array.copy(), requires_grad=True)
+    output = build_output(tensor)
+    output.backward()
+    analytic = tensor.grad
+
+    def scalar_fn(values):
+        return float(build_output(Tensor(values.copy())).data)
+
+    numeric = numerical_gradient(scalar_fn, array.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+class TestElementwiseGradients:
+    def test_composite_expression(self, rng):
+        values = rng.standard_normal((3, 4))
+        check_gradient(lambda t: ((t * 2 + 1).tanh() * t.sigmoid()).sum(), values)
+
+    def test_division_chain(self, rng):
+        values = rng.standard_normal((4,)) + 3.0
+        check_gradient(lambda t: (t / (t * t + 1.0)).sum(), values)
+
+    def test_log_softmax(self, rng):
+        values = rng.standard_normal((2, 5))
+        check_gradient(lambda t: (t.log_softmax(axis=-1) * Tensor(np.ones((2, 5)))).sum(), values)
+
+    def test_var_reduction(self, rng):
+        values = rng.standard_normal((3, 6))
+        check_gradient(lambda t: t.var(axis=1).sum(), values)
+
+
+class TestConvolutionGradients:
+    def test_conv2d_input_gradient(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5))
+        weight = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.5)
+        check_gradient(lambda t: (F.conv2d(t, weight, stride=1, padding=1) ** 2).sum(), x)
+
+    def test_conv2d_weight_gradient(self, rng):
+        x = Tensor(rng.standard_normal((2, 2, 5, 5)))
+        weight_values = rng.standard_normal((3, 2, 3, 3)) * 0.5
+        check_gradient(lambda w: (F.conv2d(x, w, stride=1, padding=0) ** 2).sum(), weight_values)
+
+    def test_conv2d_bias_gradient(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)))
+        weight = Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.5)
+        check_gradient(lambda b: (F.conv2d(x, weight, b, padding=1) ** 2).sum(),
+                       rng.standard_normal(3))
+
+    def test_strided_conv_gradient(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        weight = Tensor(rng.standard_normal((2, 2, 3, 3)) * 0.5)
+        check_gradient(lambda t: (F.conv2d(t, weight, stride=2, padding=1) ** 2).sum(), x)
+
+
+class TestPoolingGradients:
+    def test_max_pool_gradient(self, rng):
+        x = rng.standard_normal((2, 2, 4, 4))
+        check_gradient(lambda t: (F.max_pool2d(t, 2) ** 2).sum(), x)
+
+    def test_avg_pool_gradient(self, rng):
+        x = rng.standard_normal((1, 3, 4, 4))
+        check_gradient(lambda t: (F.avg_pool2d(t, 2) ** 2).sum(), x)
+
+
+class TestModuleGradients:
+    def test_batchnorm_gradient(self, rng):
+        norm = nn.BatchNorm2d(3)
+        x = rng.standard_normal((4, 3, 2, 2))
+
+        def build(t):
+            return (norm(t) ** 2).sum()
+
+        check_gradient(build, x, atol=1e-3)
+
+    def test_layernorm_gradient(self, rng):
+        norm = nn.LayerNorm(6)
+        x = rng.standard_normal((3, 6))
+        check_gradient(lambda t: (norm(t) ** 2).sum(), x, atol=1e-3)
+
+    def test_attention_gradient(self, rng):
+        attention = nn.MultiHeadAttention(8, 2, rng=rng)
+        x = rng.standard_normal((1, 3, 8)) * 0.5
+        check_gradient(lambda t: (attention(t) ** 2).sum(), x, atol=1e-3)
+
+    def test_linear_weight_gradient(self, rng):
+        x = Tensor(rng.standard_normal((4, 5)))
+        weight_values = rng.standard_normal((3, 5)) * 0.5
+
+        def build(w):
+            return (F.linear(x, w) ** 2).sum()
+
+        check_gradient(build, weight_values)
+
+
+class TestLossGradients:
+    def test_cross_entropy_gradient(self, rng):
+        logits = rng.standard_normal((4, 5))
+        targets = rng.integers(0, 5, size=4)
+        check_gradient(lambda t: nn.cross_entropy(t, targets), logits)
+
+    def test_mse_gradient(self, rng):
+        prediction = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 4))
+        check_gradient(lambda t: nn.mse_loss(t, target), prediction)
+
+    def test_bce_with_logits_gradient(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = rng.integers(0, 2, size=(4, 3)).astype(float)
+        check_gradient(lambda t: nn.binary_cross_entropy_with_logits(t, targets), logits)
+
+    def test_smooth_l1_gradient(self, rng):
+        prediction = rng.standard_normal((3, 4)) * 2
+        target = rng.standard_normal((3, 4))
+        # Keep points away from the |x| = beta kink where the numerical
+        # gradient is ill-defined.
+        mask = np.abs(np.abs(prediction - target) - 1.0) < 0.05
+        prediction[mask] += 0.2
+        check_gradient(lambda t: nn.smooth_l1_loss(t, target), prediction)
+
+    def test_sequence_cross_entropy_gradient(self, rng):
+        logits = rng.standard_normal((2, 3, 6))
+        targets = rng.integers(1, 6, size=(2, 3))
+        targets[0, 2] = 0  # padding position
+        check_gradient(lambda t: nn.sequence_cross_entropy(t, targets, pad_index=0), logits)

@@ -1,0 +1,100 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_num_classes(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = nn.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_confident_correct_prediction_has_low_loss(self):
+        logits = np.full((2, 5), -10.0)
+        logits[0, 1] = 10.0
+        logits[1, 3] = 10.0
+        loss = nn.cross_entropy(Tensor(logits), np.array([1, 3]))
+        assert loss.item() < 1e-6
+
+    def test_confident_wrong_prediction_has_high_loss(self):
+        logits = np.full((1, 5), -10.0)
+        logits[0, 0] = 10.0
+        loss = nn.cross_entropy(Tensor(logits), np.array([4]))
+        assert loss.item() > 10.0
+
+    def test_label_smoothing_increases_minimum_loss(self):
+        logits = np.full((1, 5), -10.0)
+        logits[0, 2] = 10.0
+        plain = nn.cross_entropy(Tensor(logits), np.array([2]))
+        smoothed = nn.cross_entropy(Tensor(logits), np.array([2]), label_smoothing=0.1)
+        assert smoothed.item() > plain.item()
+
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((3, 4))
+        targets = np.array([0, 2, 3])
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(3), targets].mean()
+        assert nn.cross_entropy(Tensor(logits), targets).item() == pytest.approx(expected)
+
+
+class TestSequenceCrossEntropy:
+    def test_padding_positions_ignored(self, rng):
+        logits = rng.standard_normal((1, 4, 6))
+        targets = np.array([[3, 4, 0, 0]])
+        loss_with_pad = nn.sequence_cross_entropy(Tensor(logits), targets, pad_index=0)
+        loss_first_two = nn.sequence_cross_entropy(Tensor(logits[:, :2]), targets[:, :2], pad_index=0)
+        assert loss_with_pad.item() == pytest.approx(loss_first_two.item())
+
+    def test_no_pad_index_counts_everything(self, rng):
+        logits = rng.standard_normal((2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        loss = nn.sequence_cross_entropy(Tensor(logits), targets)
+        flat = nn.cross_entropy(Tensor(logits.reshape(-1, 5)), targets.reshape(-1))
+        assert loss.item() == pytest.approx(flat.item())
+
+
+class TestRegressionLosses:
+    def test_mse_zero_for_identical(self, rng):
+        values = rng.standard_normal((3, 3))
+        assert nn.mse_loss(Tensor(values), values).item() == 0.0
+
+    def test_mse_value(self):
+        assert nn.mse_loss(Tensor([2.0]), np.array([0.0])).item() == pytest.approx(4.0)
+
+    def test_l1_value(self):
+        assert nn.l1_loss(Tensor([2.0, -1.0]), np.zeros(2)).item() == pytest.approx(1.5)
+
+    def test_smooth_l1_quadratic_near_zero_linear_far(self):
+        near = nn.smooth_l1_loss(Tensor([0.1]), np.array([0.0])).item()
+        assert near == pytest.approx(0.5 * 0.01, abs=1e-8)
+        far = nn.smooth_l1_loss(Tensor([10.0]), np.array([0.0])).item()
+        assert far == pytest.approx(9.5)
+
+
+class TestBinaryCrossEntropy:
+    def test_matches_reference(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = rng.integers(0, 2, size=(4, 3)).astype(float)
+        probabilities = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(probabilities) + (1 - targets) * np.log(1 - probabilities)).mean()
+        result = nn.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        assert result.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([[100.0, -100.0]]))
+        targets = np.array([[1.0, 0.0]])
+        loss = nn.binary_cross_entropy_with_logits(logits, targets)
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_elementwise_weighting(self, rng):
+        logits = rng.standard_normal((2, 2))
+        targets = np.ones((2, 2))
+        unweighted = nn.binary_cross_entropy_with_logits(Tensor(logits), targets)
+        weighted = nn.binary_cross_entropy_with_logits(Tensor(logits), targets,
+                                                       weight=np.full((2, 2), 2.0))
+        assert weighted.item() == pytest.approx(2 * unweighted.item())

@@ -1,0 +1,88 @@
+"""Tests for learning-rate schedulers and their trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import DataLoader, SyntheticImageDataset
+from repro.models import MLP
+from repro.nn.lr_scheduler import CosineAnnealingLR, MultiStepLR, StepLR, WarmupLR
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD
+from repro.training import ClassificationTrainer, FP32Schedule
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size_epochs(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(6)]
+        assert lrs == pytest.approx([0.1, 0.1, 0.01, 0.01, 0.001, 0.001])
+        assert optimizer.lr == pytest.approx(0.001)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestMultiStepLR:
+    def test_paper_yolo_recipe(self):
+        """Divide by 10 at epochs 60 and 90 (Section VI preamble)."""
+        optimizer = make_optimizer(1e-3)
+        scheduler = MultiStepLR(optimizer, milestones=[60, 90], gamma=0.1)
+        assert scheduler.get_lr(0) == pytest.approx(1e-3)
+        assert scheduler.get_lr(59) == pytest.approx(1e-3)
+        assert scheduler.get_lr(60) == pytest.approx(1e-4)
+        assert scheduler.get_lr(89) == pytest.approx(1e-4)
+        assert scheduler.get_lr(90) == pytest.approx(1e-5)
+
+    def test_unsorted_milestones_handled(self):
+        scheduler = MultiStepLR(make_optimizer(1.0), milestones=[9, 3], gamma=0.5)
+        assert scheduler.get_lr(5) == pytest.approx(0.5)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        scheduler = CosineAnnealingLR(make_optimizer(0.2), total_epochs=10, min_lr=0.02)
+        assert scheduler.get_lr(0) == pytest.approx(0.2)
+        assert scheduler.get_lr(10) == pytest.approx(0.02)
+
+    def test_monotone_decay(self):
+        scheduler = CosineAnnealingLR(make_optimizer(1.0), total_epochs=20)
+        lrs = [scheduler.get_lr(epoch) for epoch in range(21)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), total_epochs=0)
+
+
+class TestWarmupLR:
+    def test_linear_warmup_then_delegate(self):
+        optimizer = make_optimizer(0.4)
+        after = StepLR(optimizer, step_size=100, gamma=0.1)
+        scheduler = WarmupLR(optimizer, warmup_epochs=4, after=after)
+        assert scheduler.get_lr(0) == pytest.approx(0.1)
+        assert scheduler.get_lr(3) == pytest.approx(0.4)
+        assert scheduler.get_lr(4) == pytest.approx(0.4)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_optimizer(), warmup_epochs=0, after=StepLR(make_optimizer(), 1))
+
+
+class TestTrainerIntegration:
+    def test_scheduler_steps_once_per_epoch(self):
+        dataset = SyntheticImageDataset(num_samples=48, num_classes=3, image_size=6, seed=0)
+        train, _ = dataset.split(0.9)
+        model = MLP(3 * 6 * 6, [16], 3, rng=np.random.default_rng(0))
+        optimizer = nn.SGD(model.parameters(), lr=0.1)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.5)
+        trainer = ClassificationTrainer(model, optimizer, FP32Schedule())
+        trainer.fit(DataLoader(train, 16, seed=0), epochs=3, lr_scheduler=scheduler)
+        assert scheduler.last_epoch == 2
+        assert optimizer.lr == pytest.approx(0.1 * 0.5 ** 2)

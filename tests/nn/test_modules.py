@@ -1,0 +1,151 @@
+"""Tests for the module system and the standard layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = nn.Linear(4, 3)
+        names = [name for name, _ in layer.named_parameters()]
+        assert "weight" in names
+        assert "bias" in names
+
+    def test_nested_module_traversal(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert len(model.parameters()) == 4
+        assert any(name.startswith("0.") for name, _ in model.named_parameters())
+        assert len(model.modules()) >= 4
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(3, 2)
+        out = layer(nn.Tensor(np.ones((1, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        source = nn.Linear(4, 3, rng=rng)
+        target = nn.Linear(4, 3, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(source.weight.data, target.weight.data)
+
+    def test_num_parameters(self):
+        layer = nn.Linear(10, 5)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        assert len(layers.parameters()) == 6
+        with pytest.raises(RuntimeError):
+            layers(np.ones((1, 2)))
+
+    def test_sequential_indexing_and_append(self):
+        model = nn.Sequential(nn.Linear(2, 4))
+        model.append(nn.ReLU())
+        assert isinstance(model[1], nn.ReLU)
+        assert len(model) == 2
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        layer = nn.Linear(6, 4, rng=rng)
+        out = layer(nn.Tensor(rng.standard_normal((3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_linear_without_bias(self, rng):
+        layer = nn.Linear(6, 4, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_conv2d_shapes(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer(nn.Tensor(rng.standard_normal((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_grouped_conv_matches_blockdiag(self, rng):
+        """A grouped convolution equals independent convolutions per group."""
+        layer = nn.Conv2d(4, 4, 3, padding=1, groups=2, bias=False, rng=rng)
+        x = rng.standard_normal((1, 4, 5, 5))
+        out = layer(nn.Tensor(x)).data
+        first = nn.functional.conv2d(nn.Tensor(x[:, :2]), nn.Tensor(layer.weight.data[:2]),
+                                     padding=1).data
+        np.testing.assert_allclose(out[:, :2], first, atol=1e-10)
+
+    def test_depthwise_conv(self, rng):
+        layer = nn.Conv2d(6, 6, 3, padding=1, groups=6, rng=rng)
+        out = layer(nn.Tensor(rng.standard_normal((2, 6, 4, 4))))
+        assert out.shape == (2, 6, 4, 4)
+        assert layer.weight.shape == (6, 1, 3, 3)
+
+    def test_invalid_groups_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(4, 6, 3, groups=4)
+
+    def test_batchnorm_normalizes_batch(self, rng):
+        norm = nn.BatchNorm2d(3)
+        x = rng.standard_normal((8, 3, 4, 4)) * 5 + 2
+        out = norm(nn.Tensor(x)).data
+        assert abs(out.mean()) < 1e-6
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_batchnorm_running_stats_used_in_eval(self, rng):
+        norm = nn.BatchNorm2d(2, momentum=0.5)
+        x = rng.standard_normal((16, 2, 4, 4)) + 3.0
+        norm(nn.Tensor(x))
+        norm.eval()
+        out = norm(nn.Tensor(x)).data
+        # Running stats only partially converged, so the eval output is not
+        # exactly normalized but must use the stored statistics.
+        assert out.mean() != pytest.approx(0.0, abs=1e-6)
+
+    def test_layernorm_normalizes_last_axis(self, rng):
+        norm = nn.LayerNorm(8)
+        out = norm(nn.Tensor(rng.standard_normal((4, 8)) * 3 + 1)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-6)
+
+    def test_embedding_shape(self, rng):
+        embedding = nn.Embedding(20, 8, rng=rng)
+        out = embedding(np.array([[1, 2, 3]]))
+        assert out.shape == (1, 3, 8)
+
+    def test_activations_forward(self, rng):
+        x = nn.Tensor(rng.standard_normal((2, 4)))
+        assert nn.ReLU()(x).shape == (2, 4)
+        assert nn.Sigmoid()(x).shape == (2, 4)
+        assert nn.Tanh()(x).shape == (2, 4)
+        assert nn.GELU()(x).shape == (2, 4)
+        assert nn.LeakyReLU(0.2)(x).shape == (2, 4)
+
+    def test_gelu_close_to_relu_for_large_inputs(self):
+        x = nn.Tensor(np.array([10.0, -10.0]))
+        out = nn.GELU()(x).data
+        np.testing.assert_allclose(out, [10.0, 0.0], atol=1e-3)
+
+    def test_pooling_and_flatten(self, rng):
+        x = nn.Tensor(rng.standard_normal((2, 3, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AvgPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.GlobalAvgPool2d()(x).shape == (2, 3)
+        assert nn.Flatten()(x).shape == (2, 3 * 8 * 8)
+
+    def test_dropout_eval_mode_is_identity(self, rng):
+        dropout = nn.Dropout(0.9, rng=rng)
+        dropout.eval()
+        x = rng.standard_normal((5, 5))
+        np.testing.assert_array_equal(dropout(nn.Tensor(x)).data, x)
+
+    def test_identity(self, rng):
+        x = nn.Tensor(rng.standard_normal(4))
+        assert nn.Identity()(x) is x

@@ -1,0 +1,131 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.bfp import bfp_quantize
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_loss(parameter):
+    return ((parameter - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        loss = quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+        # gradient = 2 * (1 - 3) = -4; update = 1 - 0.1 * (-4) = 1.4
+        assert parameter.data[0] == pytest.approx(1.4)
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        optimizer_plain = SGD([plain], lr=0.01)
+        optimizer_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for parameter, optimizer in ((plain, optimizer_plain), (momentum, optimizer_momentum)):
+                optimizer.zero_grad()
+                quadratic_loss(parameter).backward()
+                optimizer.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_pulls_toward_zero(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert parameter.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()
+        assert parameter.data[0] == 1.0
+
+    def test_update_quantizer_applied(self):
+        parameter = Parameter(np.array([1.0, 0.3, -0.7, 0.05] * 4))
+        quantizer = lambda w: bfp_quantize(w, mantissa_bits=4, group_size=16, exponent_bits=3)
+        optimizer = SGD([parameter], lr=0.1, update_quantizer=quantizer)
+        optimizer.zero_grad()
+        (parameter ** 2).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, quantizer(parameter.data))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_set_lr(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.set_lr(0.01)
+        assert optimizer.lr == 0.01
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(3))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(parameter).backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(3, 3.0), atol=1e-2)
+
+    def test_first_step_size_close_to_lr(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], lr=0.01)
+        optimizer.zero_grad()
+        (parameter * 5.0).sum().backward()
+        optimizer.step()
+        # With bias correction the first Adam step is ~lr regardless of scale.
+        assert abs(parameter.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_adapts_per_parameter_scale(self):
+        parameter = Parameter(np.array([0.0, 0.0]))
+        optimizer = Adam([parameter], lr=0.05)
+        for _ in range(50):
+            optimizer.zero_grad()
+            loss = ((parameter[0] - 1.0) ** 2) * 100.0 + (parameter[1] - 1.0) ** 2
+            loss.backward()
+            optimizer.step()
+        assert abs(parameter.data[0] - 1.0) < 0.2
+        assert abs(parameter.data[1] - 1.0) < 0.2
+
+    def test_weight_decay(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = Adam([parameter], lr=0.01, weight_decay=1.0)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_trains_linear_regression(self, rng):
+        """End to end: Adam fits a small linear model."""
+        true_weight = rng.standard_normal((3, 1))
+        inputs = rng.standard_normal((64, 3))
+        targets = inputs @ true_weight
+        model = nn.Linear(3, 1, rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(150):
+            optimizer.zero_grad()
+            loss = nn.mse_loss(model(nn.Tensor(inputs)), targets)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 1e-2

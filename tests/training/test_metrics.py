@@ -1,0 +1,115 @@
+"""Tests for accuracy, BLEU and mAP metrics."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import (
+    accuracy,
+    bleu,
+    corpus_bleu,
+    iou,
+    mean_average_precision,
+    top_k_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy(logits, np.array([1, 0])) == 100.0
+        assert accuracy(logits, np.array([0, 1])) == 0.0
+
+    def test_partial(self):
+        logits = np.eye(4)
+        assert accuracy(logits, np.array([0, 1, 2, 0])) == 75.0
+
+    def test_top_k(self):
+        logits = np.array([[0.5, 0.4, 0.3, 0.1]])
+        assert top_k_accuracy(logits, np.array([2]), k=3) == 100.0
+        assert top_k_accuracy(logits, np.array([3]), k=3) == 0.0
+
+
+class TestBLEU:
+    def test_identical_sentences_score_100(self):
+        sentence = [3, 4, 5, 6, 7]
+        assert bleu(sentence, sentence) == pytest.approx(100.0)
+
+    def test_empty_candidate_scores_zero(self):
+        assert bleu([], [1, 2, 3]) == 0.0
+
+    def test_partial_overlap_between_zero_and_100(self):
+        score = bleu([3, 4, 5, 9], [3, 4, 5, 6])
+        assert 0.0 < score < 100.0
+
+    def test_brevity_penalty(self):
+        reference = [3, 4, 5, 6, 7, 8]
+        short = bleu([3, 4, 5], reference)
+        full = bleu(list(reference), reference)
+        assert short < full
+
+    def test_corpus_better_than_worst_sentence(self):
+        references = [[3, 4, 5, 6], [7, 8, 9, 10]]
+        candidates = [[3, 4, 5, 6], [7, 8, 0, 0]]
+        score = corpus_bleu(candidates, references)
+        assert 0.0 < score < 100.0
+
+    def test_word_order_matters(self):
+        reference = [3, 4, 5, 6, 7]
+        assert bleu([7, 6, 5, 4, 3], reference) < bleu([3, 4, 5, 7, 6], reference)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([[1]], [[1], [2]])
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = (0.5, 0.5, 0.2, 0.2)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou((0.2, 0.2, 0.1, 0.1), (0.8, 0.8, 0.1, 0.1)) == 0.0
+
+    def test_half_overlap(self):
+        a = (0.25, 0.5, 0.5, 1.0)
+        b = (0.5, 0.5, 0.5, 1.0)
+        assert iou(a, b) == pytest.approx(1.0 / 3.0)
+
+
+class TestMeanAveragePrecision:
+    def test_perfect_detection(self):
+        ground_truth = [[(0.5, 0.5, 0.2, 0.2, 0)]]
+        predictions = [[(0.5, 0.5, 0.2, 0.2, 0, 0.9)]]
+        assert mean_average_precision(predictions, ground_truth, num_classes=1) == pytest.approx(100.0, abs=1.0)
+
+    def test_missed_detection_scores_zero(self):
+        ground_truth = [[(0.5, 0.5, 0.2, 0.2, 0)]]
+        predictions = [[]]
+        assert mean_average_precision(predictions, ground_truth, num_classes=1) == 0.0
+
+    def test_wrong_class_scores_zero(self):
+        ground_truth = [[(0.5, 0.5, 0.2, 0.2, 0)]]
+        predictions = [[(0.5, 0.5, 0.2, 0.2, 1, 0.9)]]
+        assert mean_average_precision(predictions, ground_truth, num_classes=2) == 0.0
+
+    def test_false_positives_lower_precision(self):
+        ground_truth = [[(0.5, 0.5, 0.2, 0.2, 0)]]
+        clean = [[(0.5, 0.5, 0.2, 0.2, 0, 0.9)]]
+        noisy = [[(0.5, 0.5, 0.2, 0.2, 0, 0.9), (0.1, 0.1, 0.2, 0.2, 0, 0.95)]]
+        assert mean_average_precision(noisy, ground_truth, 1) < \
+            mean_average_precision(clean, ground_truth, 1)
+
+    def test_partial_recall_halves_ap(self):
+        ground_truth = [[(0.25, 0.25, 0.2, 0.2, 0), (0.75, 0.75, 0.2, 0.2, 0)]]
+        predictions = [[(0.25, 0.25, 0.2, 0.2, 0, 0.9)]]  # only one of two objects found
+        score = mean_average_precision(predictions, ground_truth, 1)
+        assert score == pytest.approx(50.0, abs=2.0)
+
+    def test_localization_threshold(self):
+        ground_truth = [[(0.5, 0.5, 0.2, 0.2, 0)]]
+        offset = [[(0.62, 0.5, 0.2, 0.2, 0, 0.9)]]  # IoU well below 0.5
+        assert mean_average_precision(offset, ground_truth, 1, iou_threshold=0.5) == 0.0
+
+    def test_mismatched_image_counts_rejected(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([[]], [[], []], 1)

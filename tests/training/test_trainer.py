@@ -1,0 +1,123 @@
+"""Tests for the training loops (classification, seq2seq, detection)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import DataLoader, SyntheticDetectionDataset, SyntheticImageDataset, SyntheticTranslationDataset
+from repro.models import MLP, tiny_yolo, transformer_small
+from repro.training import (
+    ClassificationTrainer,
+    DetectionTrainer,
+    FASTSchedule,
+    FixedBFPSchedule,
+    FP32Schedule,
+    Seq2SeqTrainer,
+    TrainingResult,
+)
+
+
+def make_classification_setup(schedule=None, num_samples=96, seed=0):
+    dataset = SyntheticImageDataset(num_samples=num_samples, num_classes=4, image_size=8,
+                                    noise=0.4, seed=seed)
+    train, validation = dataset.split(0.75)
+    model = MLP(3 * 8 * 8, [32], 4, rng=np.random.default_rng(seed))
+    optimizer = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    trainer = ClassificationTrainer(model, optimizer, schedule)
+    return trainer, DataLoader(train, 24, seed=1), DataLoader(validation, 48, shuffle=False)
+
+
+class TestClassificationTrainer:
+    def test_fp32_training_learns(self):
+        trainer, train_loader, val_loader = make_classification_setup(FP32Schedule())
+        result = trainer.fit(train_loader, val_loader, epochs=3)
+        assert result.loss_history[-1] < result.loss_history[0]
+        assert result.val_metric_history[-1] > 50.0
+        assert result.epochs == 3
+        assert result.iterations == 3 * len(train_loader)
+
+    def test_bfp_training_learns(self):
+        trainer, train_loader, val_loader = make_classification_setup(FixedBFPSchedule(4))
+        result = trainer.fit(train_loader, val_loader, epochs=3)
+        assert result.val_metric_history[-1] > 50.0
+
+    def test_fast_adaptive_training_learns_and_records_precisions(self):
+        trainer, train_loader, val_loader = make_classification_setup(
+            FASTSchedule(evaluation_interval=4))
+        result = trainer.fit(train_loader, val_loader, epochs=2)
+        assert result.val_metric_history[-1] > 40.0
+        assert trainer.schedule.setting_history()
+        assert len(result.precision_history) == 2
+
+    def test_result_bookkeeping(self):
+        trainer, train_loader, _ = make_classification_setup(FP32Schedule())
+        result = trainer.fit(train_loader, epochs=1)
+        assert isinstance(result, TrainingResult)
+        assert result.schedule_name == "fp32"
+        assert result.val_metric_history == []
+        assert len(result.train_metric_history) == 1
+
+    def test_evaluate_does_not_update_weights(self):
+        trainer, train_loader, val_loader = make_classification_setup(FP32Schedule())
+        trainer.fit(train_loader, epochs=1)
+        weights_before = trainer.model.state_dict()
+        trainer.evaluate(val_loader)
+        for name, value in trainer.model.state_dict().items():
+            np.testing.assert_array_equal(value, weights_before[name])
+
+    def test_log_callback_invoked(self):
+        messages = []
+        trainer, train_loader, val_loader = make_classification_setup(FP32Schedule())
+        trainer.fit(train_loader, val_loader, epochs=1, log_fn=messages.append)
+        assert len(messages) == 1
+        assert "epoch 1/1" in messages[0]
+
+
+class TestTrainingResult:
+    def test_epochs_to_reach(self):
+        result = TrainingResult("fp32", val_metric_history=[10.0, 40.0, 70.0, 80.0])
+        assert result.epochs_to_reach(50.0) == 3
+        assert result.epochs_to_reach(90.0) is None
+        assert result.best_val_metric == 80.0
+        assert result.final_val_metric == 80.0
+
+    def test_empty_history(self):
+        result = TrainingResult("fp32")
+        assert np.isnan(result.final_val_metric)
+
+
+class TestSeq2SeqTrainer:
+    def test_transformer_learns_copy_task(self):
+        dataset = SyntheticTranslationDataset(num_samples=96, vocab_size=12, min_length=3,
+                                              max_length=5, seed=0)
+        train, validation = dataset.split(0.8)
+        model = transformer_small(vocab_size=12, max_length=dataset.sequence_length,
+                                  rng=np.random.default_rng(0))
+        optimizer = nn.Adam(model.parameters(), lr=3e-3)
+        trainer = Seq2SeqTrainer(model, optimizer, FP32Schedule(), pad_index=dataset.pad_index)
+        result = trainer.fit(train, validation, epochs=2, batch_size=16)
+        assert result.loss_history[-1] < result.loss_history[0]
+        assert len(result.val_metric_history) == 2
+        assert result.val_metric_history[-1] >= 0.0
+
+    def test_bleu_evaluation_returns_score(self):
+        dataset = SyntheticTranslationDataset(num_samples=16, vocab_size=10, seed=1)
+        model = transformer_small(vocab_size=10, max_length=dataset.sequence_length,
+                                  rng=np.random.default_rng(1))
+        optimizer = nn.Adam(model.parameters(), lr=1e-3)
+        trainer = Seq2SeqTrainer(model, optimizer)
+        score = trainer.evaluate_bleu(dataset, max_samples=8)
+        assert 0.0 <= score <= 100.0
+
+
+class TestDetectionTrainer:
+    def test_yolo_training_reduces_loss(self):
+        dataset = SyntheticDetectionDataset(num_samples=32, num_classes=2, image_size=16,
+                                            grid_size=2, max_objects=1, seed=0)
+        train, validation = dataset.split(0.75)
+        model = tiny_yolo(num_classes=2, image_size=16, width=4, rng=np.random.default_rng(0))
+        optimizer = nn.Adam(model.parameters(), lr=0.01)
+        trainer = DetectionTrainer(model, optimizer, FP32Schedule())
+        result = trainer.fit(train, validation, epochs=3, batch_size=8)
+        assert result.loss_history[-1] < result.loss_history[0]
+        assert 0.0 <= result.val_metric_history[-1] <= 100.0

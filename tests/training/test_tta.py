@@ -1,0 +1,85 @@
+"""Tests for the time-to-accuracy analysis."""
+
+import pytest
+
+from repro.training.tta import (
+    TTAEntry,
+    energy_to_accuracy,
+    iterations_to_target,
+    normalize_entries,
+    time_to_accuracy,
+)
+
+
+class TestIterationsToTarget:
+    def test_interpolates_between_points(self):
+        curve = [10.0, 30.0, 50.0, 70.0]
+        # Target 40 is halfway between epoch 2 (30) and epoch 3 (50).
+        assert iterations_to_target(curve, 40.0) == pytest.approx(2.5)
+
+    def test_exact_hit(self):
+        assert iterations_to_target([10.0, 50.0], 50.0) == pytest.approx(2.0)
+
+    def test_target_reached_at_first_point(self):
+        assert iterations_to_target([80.0, 90.0], 50.0) == pytest.approx(1.0)
+
+    def test_unreached_returns_none(self):
+        assert iterations_to_target([10.0, 20.0], 50.0) is None
+
+    def test_iterations_per_point_scaling(self):
+        assert iterations_to_target([10.0, 60.0], 60.0, iterations_per_point=100) == pytest.approx(200.0)
+
+    def test_empty_curve(self):
+        assert iterations_to_target([], 10.0) is None
+
+    def test_non_monotone_curve_uses_first_crossing(self):
+        curve = [10.0, 55.0, 40.0, 60.0]
+        assert iterations_to_target(curve, 50.0) < 2.0 + 1e-9
+
+
+class TestTTAEntries:
+    def test_total_time_and_energy(self):
+        entry = time_to_accuracy("fast", [50.0, 70.0], target=60.0,
+                                 seconds_per_iteration=0.1, power_watts=20.0,
+                                 iterations_per_point=100)
+        assert entry.reached
+        assert entry.total_seconds == pytest.approx(entry.iterations * 0.1)
+        assert entry.total_energy_joules == pytest.approx(entry.total_seconds * 20.0)
+
+    def test_unreached_entry(self):
+        entry = time_to_accuracy("int8", [10.0, 20.0], target=60.0, seconds_per_iteration=0.1)
+        assert not entry.reached
+        assert entry.total_seconds is None
+        assert entry.total_energy_joules is None
+
+
+class TestNormalization:
+    def make_entries(self):
+        return [
+            TTAEntry("fast_adaptive", True, 100.0, 0.01, 20.0),
+            TTAEntry("fp32", True, 110.0, 0.08, 20.0),
+            TTAEntry("int8", False, None, 0.02, 20.0),
+        ]
+
+    def test_baseline_is_one(self):
+        table = normalize_entries(self.make_entries(), "fast_adaptive")
+        assert table["fast_adaptive"]["time"] == pytest.approx(1.0)
+        assert table["fast_adaptive"]["energy"] == pytest.approx(1.0)
+
+    def test_slower_system_has_larger_ratio(self):
+        table = normalize_entries(self.make_entries(), "fast_adaptive")
+        assert table["fp32"]["time"] == pytest.approx(110 * 0.08 / (100 * 0.01))
+
+    def test_unreached_rendered_as_none(self):
+        table = normalize_entries(self.make_entries(), "fast_adaptive")
+        assert table["int8"]["time"] is None
+        assert table["int8"]["reached"] is False
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_entries(self.make_entries(), "tpu")
+
+    def test_energy_accessor(self):
+        energies = energy_to_accuracy(self.make_entries())
+        assert energies["int8"] is None
+        assert energies["fast_adaptive"] == pytest.approx(100 * 0.01 * 20.0)
