@@ -1,0 +1,182 @@
+"""Performance-regression benchmark: reference vs. fast-path BFP quantization.
+
+Times the seed reference implementation (`bfp_quantize_reference`) against the
+fused fast-path kernel that `bfp_quantize` now dispatches to, across tensor
+sizes, group sizes and rounding modes, and verifies on every run that the fast
+path is bit-exact (nearest/truncate) or seed-reproducible (stochastic) against
+the reference.  Emits a JSON report so CI can detect speed regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_quantization.py
+    PYTHONPATH=src python benchmarks/bench_perf_quantization.py --quick
+    PYTHONPATH=src python benchmarks/bench_perf_quantization.py --output results.json
+
+``--quick`` runs a reduced matrix suitable for CI and exits non-zero if the
+fast path is slower than the reference on the standard (m=4, g=16) nearest
+configuration -- the perf-regression gate.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kernels import bfp_quantize_fast, bfp_quantize_reference
+from repro.core.rounding import LFSR, VectorizedLFSR
+
+from bench_utils import print_banner, print_rows
+
+STANDARD_CASE = {"size": None, "group_size": 16, "mantissa_bits": 4, "rounding": "nearest"}
+
+
+def best_time(fn, repeats: int) -> float:
+    """Best-of-N wall time in seconds (first call warms caches)."""
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def make_input(size: int, dtype=np.float32) -> np.ndarray:
+    rng = np.random.default_rng(1234)
+    return (rng.standard_normal(size) * 10.0 ** rng.integers(-2, 3, size=size)).astype(dtype)
+
+
+def verify_equivalence() -> None:
+    """Assert fast-path correctness before trusting any timing."""
+    rng = np.random.default_rng(0)
+    for dtype in (np.float32, np.float64):
+        for group_size in (8, 16, 17):
+            values = (rng.standard_normal((7, 130))).astype(dtype)
+            for mode in ("nearest", "truncate"):
+                fast = bfp_quantize_fast(values, 4, group_size, 8, mode)
+                ref = bfp_quantize_reference(values, 4, group_size, 8, mode)
+                assert np.array_equal(fast, ref), (dtype, group_size, mode)
+    values = rng.standard_normal(4096)
+    fast = bfp_quantize_fast(values, 4, 16, 8, "stochastic", rng=np.random.default_rng(7))
+    ref = bfp_quantize_reference(values, 4, 16, 8, "stochastic", rng=np.random.default_rng(7))
+    assert np.array_equal(fast, ref), "stochastic path is not seed-reproducible"
+    fast = bfp_quantize_fast(values, 4, 16, 8, "stochastic", rng=VectorizedLFSR(seed=9))
+    ref = bfp_quantize_reference(values, 4, 16, 8, "stochastic", rng=LFSR(seed=9))
+    assert np.array_equal(fast, ref), "vectorized LFSR diverged from the scalar stream"
+
+
+def run_case(size, group_size, mantissa_bits, rounding, repeats, lfsr=False):
+    values = make_input(size)
+    if rounding == "stochastic":
+        if lfsr:
+            def run_ref():
+                return bfp_quantize_reference(values, mantissa_bits, group_size, 8,
+                                              "stochastic", rng=LFSR())
+
+            def run_fast():
+                return bfp_quantize_fast(values, mantissa_bits, group_size, 8,
+                                         "stochastic", rng=VectorizedLFSR())
+            # The scalar LFSR draws bits one Python call at a time; a single
+            # timed run is plenty (and the honest measurement).
+            ref_time = best_time(run_ref, 1)
+        else:
+            def run_ref():
+                return bfp_quantize_reference(values, mantissa_bits, group_size, 8,
+                                              "stochastic", rng=np.random.default_rng(0))
+
+            def run_fast():
+                return bfp_quantize_fast(values, mantissa_bits, group_size, 8,
+                                         "stochastic", rng=np.random.default_rng(0))
+            ref_time = best_time(run_ref, repeats)
+    else:
+        def run_ref():
+            return bfp_quantize_reference(values, mantissa_bits, group_size, 8, rounding)
+
+        def run_fast():
+            return bfp_quantize_fast(values, mantissa_bits, group_size, 8, rounding)
+        ref_time = best_time(run_ref, repeats)
+    fast_time = best_time(run_fast, repeats)
+    label = rounding + ("(lfsr)" if lfsr else "")
+    return {
+        "size": size,
+        "group_size": group_size,
+        "mantissa_bits": mantissa_bits,
+        "rounding": label,
+        "reference_ms": ref_time * 1e3,
+        "fast_ms": fast_time * 1e3,
+        "speedup": ref_time / fast_time,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced matrix + regression gate for CI")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "results" / "perf_quantization.json")
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    print_banner("BFP quantization: reference vs. fast-path kernels")
+    verify_equivalence()
+    print("equivalence harness: PASS (bit-exact deterministic, seed-reproducible stochastic)")
+
+    if args.quick:
+        sizes = [65_536]
+        repeats = args.repeats or 3
+        lfsr_sizes = [65_536]
+    else:
+        sizes = [65_536, 1_000_000]
+        repeats = args.repeats or 7
+        lfsr_sizes = [65_536, 1_000_000]
+
+    results = []
+    for size in sizes:
+        for group_size in (16, 64):
+            for mantissa_bits in (2, 4):
+                for rounding in ("nearest", "truncate", "stochastic"):
+                    results.append(run_case(size, group_size, mantissa_bits, rounding, repeats))
+    for size in lfsr_sizes:
+        results.append(run_case(size, 16, 4, "stochastic", repeats, lfsr=True))
+
+    rows = [
+        (f"{r['size']:,}", r["group_size"], r["mantissa_bits"], r["rounding"],
+         f"{r['reference_ms']:.2f}", f"{r['fast_ms']:.2f}", f"{r['speedup']:.1f}x")
+        for r in results
+    ]
+    print_rows(["size", "g", "m", "rounding", "ref (ms)", "fast (ms)", "speedup"], rows,
+               title="BFP quantization timings (best of {} runs)".format(repeats))
+
+    report = {
+        "benchmark": "bench_perf_quantization",
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "equivalence": "pass",
+        "results": results,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # Perf-regression gate on the standard configuration.
+    standard = [r for r in results
+                if r["group_size"] == 16 and r["mantissa_bits"] == 4 and r["rounding"] == "nearest"]
+    worst = min(standard, key=lambda r: r["speedup"])
+    print(f"standard (m=4, g=16, nearest) worst speedup: {worst['speedup']:.2f}x "
+          f"at size {worst['size']:,}")
+    if worst["speedup"] < 1.0:
+        print("FAIL: fast path slower than the reference on the standard configuration",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,9 +35,12 @@ def exponent_differences(values: np.ndarray, group_size: int, axis: int = -1) ->
     if pad:
         # Padded positions are zero, so the nonzero mask already excludes them.
         pass
+    # Per-value floor(log2 |x|) via exact frexp extraction (x = m * 2**e with
+    # m in [0.5, 1) implies floor(log2 x) == e - 1), vectorized over the
+    # whole tensor instead of a masked log2.
     exponents = np.full(groups.shape, MIN_EXPONENT, dtype=np.float64)
-    with np.errstate(divide="ignore"):
-        exponents[nonzero] = np.floor(np.log2(magnitudes[nonzero]))
+    raw = np.frexp(magnitudes)[1]
+    exponents[nonzero] = raw[nonzero].astype(np.float64) - 1.0
     differences = shared[..., None] - exponents
     return np.clip(differences[nonzero], 0, None)
 

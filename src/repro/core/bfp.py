@@ -27,7 +27,8 @@ from typing import Optional
 
 import numpy as np
 
-from .rounding import apply_rounding
+from . import kernels
+from .kernels import MIN_EXPONENT
 
 __all__ = [
     "BFPConfig",
@@ -39,10 +40,6 @@ __all__ = [
     "ungroup_values",
     "MIN_EXPONENT",
 ]
-
-#: Exponent assigned to all-zero groups.  Matches the smallest normal FP32
-#: exponent so that zero groups never dominate the shared-exponent window.
-MIN_EXPONENT = -126
 
 
 @dataclass(frozen=True)
@@ -111,19 +108,13 @@ def group_values(x: np.ndarray, group_size: int, axis: int = -1):
     appended to make the grouped axis divisible by ``group_size``, and
     ``moved_shape`` is the shape after moving ``axis`` to the end (needed to
     undo the transformation).
+
+    The floating dtype of ``x`` is preserved (integer inputs are promoted to
+    float64), and when the grouped axis is contiguous and already divisible by
+    ``group_size`` the returned ``groups`` is a view of ``x`` -- treat it as
+    read-only.
     """
-    x = np.asarray(x, dtype=np.float64)
-    if x.ndim == 0:
-        x = x.reshape(1)
-    moved = np.moveaxis(x, axis, -1)
-    moved_shape = moved.shape
-    length = moved_shape[-1]
-    rows = moved.reshape(-1, length)
-    pad = (-length) % group_size
-    if pad:
-        rows = np.concatenate([rows, np.zeros((rows.shape[0], pad))], axis=1)
-    groups = rows.reshape(rows.shape[0], -1, group_size)
-    return groups, pad, moved_shape
+    return kernels.group_for_quantization(x, group_size, axis=axis)
 
 
 def ungroup_values(groups: np.ndarray, pad: int, moved_shape, axis: int = -1) -> np.ndarray:
@@ -138,46 +129,14 @@ def ungroup_values(groups: np.ndarray, pad: int, moved_shape, axis: int = -1) ->
 def compute_group_exponents(groups: np.ndarray, exponent_bits: Optional[int] = None) -> np.ndarray:
     """Compute the shared exponent of each group (Figure 4a).
 
-    The shared exponent is ``floor(log2(max |x|))`` over the group.  All-zero
-    groups receive :data:`MIN_EXPONENT`.  When ``exponent_bits`` is given the
-    exponents are clamped to a window of ``2**exponent_bits`` values anchored
-    at the tensor-wide maximum.
+    The shared exponent is ``floor(log2(max |x|))`` over the group, derived
+    exactly from the float representation via ``np.frexp`` (see
+    :func:`repro.core.kernels.shared_exponents`).  All-zero groups receive
+    :data:`MIN_EXPONENT`.  When ``exponent_bits`` is given the exponents are
+    clamped to a window of ``2**exponent_bits`` values anchored at the
+    tensor-wide maximum.
     """
-    magnitudes = np.abs(groups)
-    group_max = magnitudes.max(axis=-1)
-    exponents = np.full(group_max.shape, MIN_EXPONENT, dtype=np.int64)
-    nonzero = group_max > 0
-    with np.errstate(divide="ignore"):
-        exponents[nonzero] = np.floor(np.log2(group_max[nonzero])).astype(np.int64)
-    if exponent_bits is not None and exponents.size and np.any(nonzero):
-        window = (1 << exponent_bits) - 1
-        top = int(exponents[nonzero].max())
-        floor_exp = top - window
-        exponents = np.maximum(exponents, floor_exp)
-    return exponents
-
-
-def _quantize_groups(
-    groups: np.ndarray,
-    exponents: np.ndarray,
-    mantissa_bits: int,
-    rounding: str,
-    rng,
-    noise_bits: int,
-):
-    """Quantize grouped values given per-group shared exponents.
-
-    Returns ``(quantized_float, signs, mantissas, scales)``.
-    """
-    scales = np.power(2.0, exponents.astype(np.float64) - (mantissa_bits - 1))
-    scaled = groups / scales[..., None]
-    rounded = apply_rounding(scaled, rounding, rng=rng, noise_bits=noise_bits)
-    limit = (1 << mantissa_bits) - 1
-    rounded = np.clip(rounded, -limit, limit)
-    signs = np.sign(rounded).astype(np.int8)
-    mantissas = np.abs(rounded).astype(np.int64)
-    quantized = rounded * scales[..., None]
-    return quantized, signs, mantissas, scales
+    return kernels.shared_exponents(groups, exponent_bits)
 
 
 def bfp_quantize(
@@ -194,15 +153,23 @@ def bfp_quantize(
 
     This is the ``BFP(X, m)`` function of Algorithm 1.  The output has the
     same shape and dtype-family as the input but every value is exactly
-    representable in the requested BFP format.
+    representable in the requested BFP format.  Dispatches to the fused
+    fast-path kernel (:func:`repro.core.kernels.bfp_quantize_fast`), which is
+    bit-compatible with the seed reference implementation wherever the old
+    ``floor(log2)`` exponent derivation was correct -- on values one ulp
+    below a power of two the frexp-based kernel is strictly more accurate
+    (the rounded log2 landed on the wrong integer there).
     """
-    x = np.asarray(x)
-    original_dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
-    groups, pad, moved_shape = group_values(x, group_size, axis=axis)
-    exponents = compute_group_exponents(groups, exponent_bits)
-    quantized, _, _, _ = _quantize_groups(groups, exponents, mantissa_bits, rounding, rng, noise_bits)
-    result = ungroup_values(quantized, pad, moved_shape, axis=axis)
-    return result.reshape(x.shape).astype(original_dtype)
+    return kernels.bfp_quantize_fast(
+        x,
+        mantissa_bits=mantissa_bits,
+        group_size=group_size,
+        exponent_bits=exponent_bits,
+        rounding=rounding,
+        axis=axis,
+        rng=rng,
+        noise_bits=noise_bits,
+    )
 
 
 @dataclass
@@ -253,10 +220,17 @@ class BFPTensor:
         return int(np.prod(self.shape))
 
     def to_float(self) -> np.ndarray:
-        """Dequantize back to floating point (values on the BFP grid)."""
-        scales = np.power(2.0, self.exponents.astype(np.float64) - (self.mantissa_bits - 1))
+        """Dequantize back to floating point (values on the BFP grid).
+
+        Scaling goes through ``np.ldexp`` rather than multiplying by
+        ``2.0**k``: for deep-subnormal shared exponents the scale itself
+        underflows to zero while ``mantissa * 2**k`` is still representable,
+        and ldexp computes that product exactly (matching the fast
+        quantization kernel).
+        """
         values = self.signs.astype(np.float64) * self.mantissas.astype(np.float64)
-        values = values * scales[..., None]
+        shift = (self.exponents - (self.mantissa_bits - 1)).astype(np.int32)
+        values = np.ldexp(values, shift[..., None])
         result = ungroup_values(values, self.pad, self._moved_shape, axis=self.axis)
         return result.reshape(self.shape)
 
@@ -300,8 +274,14 @@ def bfp_quantize_tensor(
     x = np.asarray(x)
     groups, pad, moved_shape = group_values(x, config.group_size, axis=axis)
     exponents = compute_group_exponents(groups, config.exponent_bits)
-    _, signs, mantissas, _ = _quantize_groups(
-        groups, exponents, config.mantissa_bits, config.rounding, rng, config.noise_bits
+    _, signs, mantissas = kernels.quantize_groups(
+        groups,
+        exponents,
+        config.mantissa_bits,
+        config.rounding,
+        rng=rng,
+        noise_bits=config.noise_bits,
+        return_packed=True,
     )
     return BFPTensor(
         signs=signs,

@@ -84,12 +84,12 @@ def decompose_mantissas(
     count = num_chunks(mantissa_bits, chunk_bits)
     total_bits = count * chunk_bits
     chunk_mask = (1 << chunk_bits) - 1
-    chunks = np.empty((count,) + mantissas.shape, dtype=np.int64)
-    offsets = []
-    for k in range(count):
-        shift = total_bits - (k + 1) * chunk_bits
-        chunks[k] = (mantissas >> shift) & chunk_mask
-        offsets.append(-(k * chunk_bits))
+    # One broadcast shift extracts every chunk of every mantissa at once
+    # (most significant chunk first).
+    shifts = total_bits - (np.arange(count, dtype=np.int64) + 1) * chunk_bits
+    shifts = shifts.reshape((count,) + (1,) * mantissas.ndim)
+    chunks = (mantissas[None, ...] >> shifts) & chunk_mask
+    offsets = [-(k * chunk_bits) for k in range(count)]
     return chunks, offsets
 
 
@@ -100,7 +100,6 @@ def reconstruct_mantissas(
     """Reassemble mantissas from chunks produced by :func:`decompose_mantissas`."""
     chunks = np.asarray(chunks, dtype=np.int64)
     count = chunks.shape[0]
-    result = np.zeros(chunks.shape[1:], dtype=np.int64)
-    for k in range(count):
-        result = (result << chunk_bits) | chunks[k]
-    return result
+    shifts = (np.arange(count - 1, -1, -1, dtype=np.int64) * chunk_bits)
+    shifts = shifts.reshape((count,) + (1,) * (chunks.ndim - 1))
+    return np.bitwise_or.reduce(chunks << shifts, axis=0)

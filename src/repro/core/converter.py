@@ -21,7 +21,8 @@ from typing import Optional
 
 import numpy as np
 
-from .bfp import BFPConfig, bfp_quantize, bfp_quantize_tensor, BFPTensor
+from . import kernels
+from .bfp import BFPConfig, bfp_quantize_tensor, BFPTensor
 
 __all__ = ["ConversionResult", "BFPConverter", "relative_improvement"]
 
@@ -34,24 +35,20 @@ def relative_improvement(x, config: Optional[BFPConfig] = None, low_bits: int = 
     A small value means the extra mantissa bits barely change the quantized
     tensor, so the cheaper low-precision format is good enough; a large value
     means low precision is losing significant information.
+
+    The shared exponents do not depend on the mantissa width, so the grouping
+    and exponent derivation are done once and reused for both precisions --
+    this function runs on every FAST-Adaptive precision decision, making it a
+    hot path in its own right.  Padded positions quantize to zero at both
+    precisions and therefore do not perturb either sum.
     """
     if config is None:
         config = BFPConfig()
     x = np.asarray(x, dtype=np.float64)
-    low = bfp_quantize(
-        x,
-        mantissa_bits=low_bits,
-        group_size=config.group_size,
-        exponent_bits=config.exponent_bits,
-        rounding="nearest",
-    )
-    high = bfp_quantize(
-        x,
-        mantissa_bits=high_bits,
-        group_size=config.group_size,
-        exponent_bits=config.exponent_bits,
-        rounding="nearest",
-    )
+    groups, _, _ = kernels.group_for_quantization(x, config.group_size, axis=-1)
+    exponents = kernels.shared_exponents(groups, config.exponent_bits)
+    low, _, _ = kernels.quantize_groups(groups, exponents, low_bits, "nearest")
+    high, _, _ = kernels.quantize_groups(groups, exponents, high_bits, "nearest")
     denominator = float(np.abs(low).sum())
     numerator = float(np.abs(high - low).sum())
     if denominator == 0.0:

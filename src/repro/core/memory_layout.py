@@ -118,19 +118,31 @@ class BFPMemoryLayout:
         return self.tensor_bits(num_values, mantissa_bits) / 8.0
 
     def pack_tensor(self, tensor: BFPTensor) -> List[Dict[str, object]]:
-        """Pack every group of a :class:`BFPTensor` into memory words."""
+        """Pack every group of a :class:`BFPTensor` into memory words.
+
+        The chunk decomposition runs once over the whole tensor instead of
+        once per group; the per-group word lists are then assembled from the
+        C-level ``tolist`` conversions, avoiding per-element ``int()`` calls.
+        """
         signs = tensor.signs.reshape(-1, tensor.group_size)
         mantissas = tensor.mantissas.reshape(-1, tensor.group_size)
         exponents = tensor.exponents.reshape(-1)
+        chunks, offsets = decompose_mantissas(mantissas, tensor.mantissa_bits, self.chunk_bits)
+        num_chunks = chunks.shape[0]
+        sign_rows = (signs < 0).astype(np.int64).tolist()
+        chunk_rows = [chunks[k].tolist() for k in range(num_chunks)]
+        exponent_list = exponents.tolist()
         packed = []
         for index in range(exponents.size):
+            sign_row = sign_rows[index]
+            words = [list(zip(sign_row, chunk_rows[k][index])) for k in range(num_chunks)]
             packed.append(
-                pack_group(
-                    signs[index],
-                    mantissas[index],
-                    int(exponents[index]),
-                    tensor.mantissa_bits,
-                    self.chunk_bits,
-                )
+                {
+                    "exponent": exponent_list[index],
+                    "words": words,
+                    "offsets": list(offsets),
+                    "mantissa_bits": tensor.mantissa_bits,
+                    "chunk_bits": self.chunk_bits,
+                }
             )
         return packed

@@ -20,14 +20,18 @@ significant mantissa bit.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 __all__ = [
     "RoundingMode",
     "LFSR",
+    "VectorizedLFSR",
     "round_nearest",
     "round_truncate",
     "round_stochastic",
+    "draw_noise",
     "apply_rounding",
     "VALID_MODES",
 ]
@@ -75,13 +79,18 @@ class LFSR:
         if seed == 0:
             raise ValueError("LFSR seed must be non-zero")
         self.state = seed
+        self._taps = tuple(min(t, width) for t in self._TAPS)
+        # XOR-fold the taps into a mask: a position toggled an even number of
+        # times cancels, which reproduces the XOR-of-duplicates semantics of
+        # the unclamped tap list for narrow registers.
+        tap_mask = 0
+        for tap in self._taps:
+            tap_mask ^= 1 << (tap - 1)
+        self._tap_mask = tap_mask
 
     def next_bit(self) -> int:
         """Advance the register by one step and return the output bit."""
-        taps = [min(t, self.width) for t in self._TAPS]
-        bit = 0
-        for tap in taps:
-            bit ^= (self.state >> (tap - 1)) & 1
+        bit = (self.state & self._tap_mask).bit_count() & 1
         self.state = ((self.state << 1) | bit) & self._mask
         return bit
 
@@ -101,6 +110,161 @@ class LFSR:
         """
         count = int(np.prod(shape)) if shape else 1
         draws = np.array([self.next_int(noise_bits) for _ in range(count)], dtype=np.float64)
+        draws /= float(1 << noise_bits)
+        return draws.reshape(shape)
+
+
+class VectorizedLFSR(LFSR):
+    """Batched LFSR producing the exact bit stream of the scalar :class:`LFSR`.
+
+    The register update is linear over GF(2), so the state after ``k`` steps
+    is a fixed bit-matrix applied to the current state.  Matrices are stored
+    as one mask per output bit (``out_j = parity(state & mask_j)``), composed
+    by XOR-folding, and applied to whole NumPy arrays of register states at
+    once.  A :meth:`uniform` draw of ``n`` values therefore costs
+
+    1. one logarithmic doubling phase that materializes the scalar stream's
+       register state at the start of every 64-bit block, and
+    2. 64 vectorized shift/XOR passes that advance all blocks in lockstep,
+
+    instead of ``n * noise_bits`` Python-level ``next_bit`` calls.  The
+    emitted stream -- and the register state left behind -- are bit-identical
+    to the scalar reference, which the equivalence tests assert.
+    """
+
+    #: Number of sequential steps each parallel register contributes.
+    _BLOCK = 64
+    #: Below this many bits the scalar path wins; it also guarantees the
+    #: vectorized path always has at least ``width`` bits to rebuild the
+    #: register from.
+    _SMALL = 256
+
+    def __init__(self, seed: int = 0xACE1, width: int = 16):
+        if width > 63:
+            raise ValueError("VectorizedLFSR supports widths up to 63 bits")
+        super().__init__(seed=seed, width=width)
+        self._jump_cache = {}
+
+    # ------------------------------------------------------------------ #
+    # GF(2) jump matrices (one mask per output bit)
+    # ------------------------------------------------------------------ #
+    def _step_masks(self):
+        """Masks of the single-step map: bit 0 is the feedback, others shift."""
+        return [self._tap_mask] + [1 << (j - 1) for j in range(1, self.width)]
+
+    @staticmethod
+    def _compose_masks(first, second):
+        """Masks of ``second∘first`` (apply ``first``, then ``second``)."""
+        combined = []
+        for target in second:
+            mask = 0
+            index = 0
+            remaining = int(target)
+            while remaining:
+                if remaining & 1:
+                    mask ^= int(first[index])
+                remaining >>= 1
+                index += 1
+            combined.append(mask)
+        return combined
+
+    def _jump_masks(self, steps: int):
+        """Masks advancing the register by ``steps`` steps (square-and-multiply)."""
+        cached = self._jump_cache.get(steps)
+        if cached is not None:
+            return cached
+        result = None
+        power = self._step_masks()
+        remaining = steps
+        while remaining:
+            if remaining & 1:
+                result = power if result is None else self._compose_masks(result, power)
+            remaining >>= 1
+            if remaining:
+                power = self._compose_masks(power, power)
+        self._jump_cache[steps] = result
+        return result
+
+    @staticmethod
+    def _apply_masks(masks, states: np.ndarray) -> np.ndarray:
+        """Apply a jump to an array of register states."""
+        out = np.zeros_like(states)
+        for j, mask in enumerate(masks):
+            parity = (np.bitwise_count(states & np.uint64(mask)) & 1).astype(np.uint64)
+            out |= parity << np.uint64(j)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Stream generation
+    # ------------------------------------------------------------------ #
+    def _stream_words(self, num_blocks: int, consumed: int) -> np.ndarray:
+        """Emit ``num_blocks * 64`` stream bits packed MSB-first into uint64 words.
+
+        Only the first ``consumed`` bits count as drawn from the stream: the
+        scalar register is rebuilt from bits ``consumed - width .. consumed``
+        so that subsequent scalar or vectorized draws continue seamlessly.
+        """
+        block = self._BLOCK
+        # Phase 1: register state at the start of every block, by doubling.
+        states = np.zeros(num_blocks, dtype=np.uint64)
+        states[0] = self.state
+        jump = self._jump_masks(block)
+        filled = 1
+        while filled < num_blocks:
+            take = min(filled, num_blocks - filled)
+            states[filled:filled + take] = self._apply_masks(jump, states[:take])
+            if filled + take < num_blocks:
+                jump = self._compose_masks(jump, jump)
+            filled += take
+        # Phase 2: advance every block in lockstep, packing the output bits.
+        words = np.zeros(num_blocks, dtype=np.uint64)
+        mask = np.uint64(self._mask)
+        tap_mask = np.uint64(self._tap_mask)
+        one = np.uint64(1)
+        for _ in range(block):
+            feedback = (np.bitwise_count(states & tap_mask) & 1).astype(np.uint64)
+            words = (words << one) | feedback
+            states = ((states << one) | feedback) & mask
+        # The register contents after n >= width steps are exactly the last
+        # ``width`` emitted bits (newest at the LSB).
+        state = 0
+        for t in range(consumed - self.width, consumed):
+            word, offset = divmod(t, block)
+            state = (state << 1) | ((int(words[word]) >> (block - 1 - offset)) & 1)
+        self.state = state
+        return words
+
+    def _next_bits(self, count: int) -> np.ndarray:
+        """The next ``count`` output bits of the stream as a ``uint8`` array."""
+        if count <= 0:
+            return np.zeros(0, dtype=np.uint8)
+        if count < self._SMALL:
+            return np.array([self.next_bit() for _ in range(count)], dtype=np.uint8)
+        num_blocks = -(-count // self._BLOCK)
+        words = self._stream_words(num_blocks, count)
+        shifts = np.arange(self._BLOCK - 1, -1, -1, dtype=np.uint64)
+        bits = ((words[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+        return bits.reshape(-1)[:count]
+
+    def uniform(self, shape, noise_bits: int = 8) -> np.ndarray:
+        """Vectorized, stream-compatible version of :meth:`LFSR.uniform`."""
+        count = int(np.prod(shape)) if shape else 1
+        total = count * noise_bits
+        if total >= self._SMALL and noise_bits <= self._BLOCK and self._BLOCK % noise_bits == 0:
+            # Fast path: extract whole noise values from the packed words.
+            num_blocks = -(-total // self._BLOCK)
+            words = self._stream_words(num_blocks, total)
+            per_word = self._BLOCK // noise_bits
+            values = np.empty(num_blocks * per_word, dtype=np.uint64)
+            field = np.uint64((1 << noise_bits) - 1)
+            for k in range(per_word):
+                shift = np.uint64(self._BLOCK - (k + 1) * noise_bits)
+                values[k::per_word] = (words >> shift) & field
+            draws = values[:count].astype(np.float64)
+        else:
+            bits = self._next_bits(total)
+            weights = np.left_shift(1, np.arange(noise_bits - 1, -1, -1, dtype=np.int64))
+            draws = (bits.reshape(count, noise_bits).astype(np.int64) @ weights).astype(np.float64)
         draws /= float(1 << noise_bits)
         return draws.reshape(shape)
 
@@ -146,17 +310,25 @@ def round_stochastic(x, rng=None, noise_bits: int = 8) -> np.ndarray:
         three bits (``q = 8``).
     """
     x = _as_float_array(x)
+    noise = draw_noise(rng, x.shape, noise_bits)
+    return np.sign(x) * np.floor(np.abs(x) + noise)
+
+
+def draw_noise(rng, shape, noise_bits: Optional[int] = 8) -> np.ndarray:
+    """Draw the additive stochastic-rounding noise for an array of ``shape``.
+
+    Shared by the reference and fast quantization paths so that both consume
+    the random stream identically (same source, same draw shape, same order),
+    which is what makes the fast path seed-reproducible against the reference.
+    """
     if rng is None:
         rng = np.random.default_rng()
     if isinstance(rng, LFSR):
-        noise = rng.uniform(x.shape, noise_bits=noise_bits)
-    else:
-        if noise_bits is None:
-            noise = rng.random(x.shape)
-        else:
-            levels = 1 << noise_bits
-            noise = rng.integers(0, levels, size=x.shape).astype(np.float64) / levels
-    return np.sign(x) * np.floor(np.abs(x) + noise)
+        return rng.uniform(shape, noise_bits=noise_bits)
+    if noise_bits is None:
+        return rng.random(shape)
+    levels = 1 << noise_bits
+    return rng.integers(0, levels, size=shape).astype(np.float64) / levels
 
 
 def apply_rounding(x, mode: str, rng=None, noise_bits: int = 8) -> np.ndarray:

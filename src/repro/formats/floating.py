@@ -62,7 +62,10 @@ def float_quantize(x, exponent_bits: int, mantissa_bits: int, rounding: str = "n
 
     values = x[nonzero]
     magnitudes = np.abs(values)
-    exponents = np.floor(np.log2(magnitudes))
+    # Exact floor(log2 |x|) from the float representation: frexp returns
+    # x = m * 2**e with m in [0.5, 1), so floor(log2 x) == e - 1 even at and
+    # just below exact powers of two where a rounded log2 can be off by one.
+    exponents = np.frexp(magnitudes)[1].astype(np.float64) - 1.0
     exponents = np.clip(exponents, min_exponent, max_exponent)
     scales = 2.0 ** (exponents - mantissa_bits)
     scaled = values / scales

@@ -132,19 +132,30 @@ def bfp_matmul(a: np.ndarray, b: np.ndarray, mantissa_bits_a: int = 4, mantissa_
                               exponent_bits=exponent_bits, axis=1)
     b_q = bfp_quantize_tensor(b.T, mantissa_bits=mantissa_bits_b, group_size=group_size,
                               exponent_bits=exponent_bits, axis=1)
-    result = np.zeros((rows, cols))
-    total_passes = 0
+
+    # Vectorized chunked evaluation: one integer einsum per chunk pair over
+    # all (row, col, group) triples replaces the per-group Python loop of
+    # fmac_group_dot.  The accumulation order (chunk pairs first, then groups)
+    # matches the scalar reference exactly, so the result is bit-identical.
+    chunks_a, offsets_a = decompose_mantissas(a_q.mantissas, mantissa_bits_a, chunk_bits)
+    chunks_b, offsets_b = decompose_mantissas(b_q.mantissas, mantissa_bits_b, chunk_bits)
+    signed_a = chunks_a * a_q.signs.astype(np.int64)[None]   # (Ca, rows, G, g)
+    signed_b = chunks_b * b_q.signs.astype(np.int64)[None]   # (Cb, cols, G, g)
     groups_per_row = a_q.exponents.shape[1]
-    for i in range(rows):
-        for j in range(cols):
-            for g in range(groups_per_row):
-                partial = fmac_group_dot(
-                    a_q.signs[i, g], a_q.mantissas[i, g], int(a_q.exponents[i, g]), mantissa_bits_a,
-                    b_q.signs[j, g], b_q.mantissas[j, g], int(b_q.exponents[j, g]), mantissa_bits_b,
-                    chunk_bits=chunk_bits,
-                )
-                result[i, j] += partial.value
-                total_passes += partial.passes
-    expected = rows * cols * groups_per_row * passes_required(mantissa_bits_a, mantissa_bits_b, chunk_bits)
-    assert total_passes == expected
+    scale_sum = (a_q.exponents[:, None, :] + b_q.exponents[None, :, :]
+                 - (mantissa_bits_a - 1) - (mantissa_bits_b - 1))
+    base = np.power(2.0, scale_sum)                          # (rows, cols, G), exact powers of two
+    base_shift = (mantissa_bits_a - chunk_bits) + (mantissa_bits_b - chunk_bits)
+    accumulator = np.zeros((rows, cols, groups_per_row))
+    for ka in range(chunks_a.shape[0]):
+        for kb in range(chunks_b.shape[0]):
+            partial = np.einsum("igk,jgk->ijg", signed_a[ka], signed_b[kb]).astype(np.float64)
+            shift = base_shift + offsets_a[ka] + offsets_b[kb]
+            accumulator += partial * (base * (2.0 ** shift))
+    result = np.zeros((rows, cols))
+    for g in range(groups_per_row):
+        result += accumulator[..., g]
+    total_passes = rows * cols * groups_per_row * passes_required(
+        mantissa_bits_a, mantissa_bits_b, chunk_bits
+    )
     return result, total_passes

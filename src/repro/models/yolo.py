@@ -66,24 +66,34 @@ def decode_predictions(raw: np.ndarray, threshold: float = 0.5) -> List[List[Tup
     """
     raw = np.asarray(raw)
     batch, grid_h, grid_w, _ = raw.shape
+    # Sigmoid over the whole objectness map at once; only the (usually few)
+    # confident cells are then decoded, in the same row-major order as the
+    # scalar per-cell loop this replaces.
+    objectness = 1.0 / (1.0 + np.exp(-raw[..., 4]))
     results = []
     for b in range(batch):
-        boxes = []
-        for i in range(grid_h):
-            for j in range(grid_w):
-                cell = raw[b, i, j]
-                objectness = 1.0 / (1.0 + np.exp(-cell[4]))
-                if objectness < threshold:
-                    continue
-                tx, ty = 1.0 / (1.0 + np.exp(-cell[0])), 1.0 / (1.0 + np.exp(-cell[1]))
-                tw, th = np.exp(np.clip(cell[2], -6, 6)), np.exp(np.clip(cell[3], -6, 6))
-                x_center = float((j + tx) / grid_w)
-                y_center = float((i + ty) / grid_h)
-                width = float(min(tw / grid_w, 1.0))
-                height = float(min(th / grid_h, 1.0))
-                class_id = int(np.argmax(cell[5:]))
-                boxes.append((x_center, y_center, width, height, class_id, float(objectness)))
-        results.append(boxes)
+        # Negated comparison so NaN objectness passes the gate, exactly like
+        # the scalar loop's ``if objectness < threshold: continue``.
+        mask = ~(objectness[b] < threshold)
+        if not mask.any():
+            results.append([])
+            continue
+        rows, cols = np.nonzero(mask)
+        cells = raw[b, rows, cols]
+        tx = 1.0 / (1.0 + np.exp(-cells[:, 0]))
+        ty = 1.0 / (1.0 + np.exp(-cells[:, 1]))
+        tw = np.exp(np.clip(cells[:, 2], -6, 6))
+        th = np.exp(np.clip(cells[:, 3], -6, 6))
+        x_center = (cols + tx) / grid_w
+        y_center = (rows + ty) / grid_h
+        width = np.minimum(tw / grid_w, 1.0)
+        height = np.minimum(th / grid_h, 1.0)
+        class_id = np.argmax(cells[:, 5:], axis=1)
+        confidence = objectness[b, rows, cols]
+        results.append(list(zip(
+            x_center.tolist(), y_center.tolist(), width.tolist(), height.tolist(),
+            class_id.tolist(), confidence.tolist(),
+        )))
     return results
 
 

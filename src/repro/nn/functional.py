@@ -85,8 +85,12 @@ def col2im(
 ) -> np.ndarray:
     """Scatter columns back into image space (adjoint of :func:`im2col`)."""
     batch, channels, height, width = input_shape
+    cols = np.asarray(cols)
+    scatter_dtype = cols.dtype if np.issubdtype(cols.dtype, np.floating) else np.float64
     k, i, j, _, _ = im2col_indices(input_shape, kernel_h, kernel_w, stride, padding)
-    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=scatter_dtype
+    )
     np.add.at(padded, (slice(None), k, i, j), cols)
     if padding == 0:
         return padded

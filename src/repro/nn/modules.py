@@ -43,10 +43,22 @@ __all__ = [
 
 
 class Parameter(Tensor):
-    """A tensor that is a learnable parameter of a module."""
+    """A tensor that is a learnable parameter of a module.
+
+    Carries a monotonically increasing ``version`` counter that optimizers
+    bump on every in-place update.  Quantized layers key their cached
+    quantized weights on it, so unchanged weights (eval, TTA, repeated
+    forward passes) are never re-quantized.  Code that mutates ``data``
+    directly should call :meth:`bump_version` to invalidate those caches.
+    """
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Mark the parameter as modified (invalidates quantization caches)."""
+        self.version += 1
 
 
 class Module:
@@ -127,6 +139,8 @@ class Module:
         for name, param in self.named_parameters():
             if name in state:
                 param.data = np.array(state[name], dtype=np.float64).reshape(param.shape)
+                if isinstance(param, Parameter):
+                    param.bump_version()
 
     def num_parameters(self) -> int:
         return sum(param.size for param in self.parameters())

@@ -32,6 +32,13 @@ class Optimizer:
         for param in self.parameters:
             param.zero_grad()
 
+    @staticmethod
+    def _mark_updated(param: Parameter) -> None:
+        """Bump the parameter's version so weight-quantization caches refresh."""
+        bump = getattr(param, "bump_version", None)
+        if bump is not None:
+            bump()
+
     def step(self) -> None:
         raise NotImplementedError
 
@@ -70,6 +77,7 @@ class SGD(Optimizer):
             if self.update_quantizer is not None:
                 updated = self.update_quantizer(updated)
             param.data = updated
+            self._mark_updated(param)
 
 
 class Adam(Optimizer):
@@ -111,3 +119,4 @@ class Adam(Optimizer):
             if self.update_quantizer is not None:
                 updated = self.update_quantizer(updated)
             param.data = updated
+            self._mark_updated(param)

@@ -66,6 +66,18 @@ class QuantizationScheme:
         """Mantissa widths used for (W, A, G); ``None`` when not applicable."""
         return {"weight": None, "activation": None, "gradient": None}
 
+    def weight_cache_token(self):
+        """Hashable token identifying the weight-quantization function.
+
+        When this returns a token, quantized layers may cache the quantized
+        weight array and reuse it while the token and the parameter's
+        ``version`` counter both stay unchanged.  Schemes whose weight
+        quantization is stateful or non-deterministic (e.g. the FAST-Adaptive
+        policy, which records a decision per call) return ``None`` to opt
+        out of caching.
+        """
+        return None
+
     @property
     def is_identity(self) -> bool:
         return False
@@ -148,6 +160,16 @@ class BFPScheme(QuantizationScheme):
     def quantize_gradient(self, values: np.ndarray) -> np.ndarray:
         return self._quantize(values, TensorKind.GRADIENT)
 
+    def weight_cache_token(self):
+        # Weights always use deterministic nearest rounding, so the quantized
+        # weight is a pure function of (weight data, these parameters).
+        return (
+            "bfp",
+            self.bits[TensorKind.WEIGHT],
+            self.config.group_size,
+            self.config.exponent_bits,
+        )
+
     def precision_setting(self) -> Dict[str, Optional[int]]:
         return {
             "weight": self.bits[TensorKind.WEIGHT],
@@ -215,7 +237,41 @@ class FASTScheme(QuantizationScheme):
         }
 
 
-class QuantizedLinear(Linear):
+class WeightCacheMixin:
+    """Caches the quantized weight array keyed on the parameter version.
+
+    The cache key combines the weight parameter's ``version`` counter (bumped
+    by the optimizer on every update) with the scheme's
+    :meth:`QuantizationScheme.weight_cache_token`.  While both are unchanged
+    -- eval loops, test-time adaptation inference, repeated forwards between
+    optimizer steps -- the weight is quantized once and reused; gradients
+    still flow to the full-precision master copy through the usual
+    straight-through estimator.
+    """
+
+    def _init_weight_cache(self) -> None:
+        self._weight_cache_key = None
+        self._weight_cache_value = None
+
+    def clear_weight_cache(self) -> None:
+        """Drop the cached quantized weight (e.g. after mutating ``weight.data``)."""
+        self._weight_cache_key = None
+        self._weight_cache_value = None
+
+    def _quantized_weight(self) -> Tensor:
+        token = self.scheme.weight_cache_token()
+        version = getattr(self.weight, "version", None)
+        if token is None or version is None:
+            return F.fake_quantize(self.weight, self.scheme.quantize_weight)
+        key = (version, token)
+        if key != self._weight_cache_key:
+            self._weight_cache_value = self.scheme.quantize_weight(self.weight.data)
+            self._weight_cache_key = key
+        cached = self._weight_cache_value
+        return F.fake_quantize(self.weight, lambda _values: cached)
+
+
+class QuantizedLinear(WeightCacheMixin, Linear):
     """A :class:`Linear` layer with W/A/G quantization hooks."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
@@ -223,18 +279,19 @@ class QuantizedLinear(Linear):
         super().__init__(in_features, out_features, bias=bias, rng=rng)
         self.scheme = scheme if scheme is not None else IdentityScheme()
         self.layer_index = 0
+        self._init_weight_cache()
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
         if self.scheme.is_identity:
             return F.linear(x, self.weight, self.bias)
-        quantized_weight = F.fake_quantize(self.weight, self.scheme.quantize_weight)
+        quantized_weight = self._quantized_weight()
         quantized_input = F.fake_quantize(x, self.scheme.quantize_activation)
         output = F.linear(quantized_input, quantized_weight, self.bias)
         return F.quantize_gradient(output, self.scheme.quantize_gradient)
 
 
-class QuantizedConv2d(Conv2d):
+class QuantizedConv2d(WeightCacheMixin, Conv2d):
     """A :class:`Conv2d` layer with W/A/G quantization hooks."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
@@ -244,15 +301,16 @@ class QuantizedConv2d(Conv2d):
                          padding=padding, bias=bias, groups=groups, rng=rng)
         self.scheme = scheme if scheme is not None else IdentityScheme()
         self.layer_index = 0
+        self._init_weight_cache()
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
         if self.scheme.is_identity:
-            return super().forward(x)
+            return Conv2d.forward(self, x)
         quantized_input = F.fake_quantize(x, self.scheme.quantize_activation)
         # Temporarily swap in the quantized weight tensor so the parent class
         # handles both the grouped and ungrouped convolution paths.
-        quantized_weight = F.fake_quantize(self.weight, self.scheme.quantize_weight)
+        quantized_weight = self._quantized_weight()
         original_weight = self.weight
         object.__setattr__(self, "weight", quantized_weight)
         try:

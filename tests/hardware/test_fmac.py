@@ -134,3 +134,33 @@ def test_property_chunked_dot_equals_direct_integer_dot(seed, precision):
     )
     expected = float(np.dot(qa.to_float(), qb.to_float()))
     assert result.value == pytest.approx(expected, rel=1e-10, abs=1e-18)
+
+
+class TestVectorizedMatmulEquivalence:
+    """The einsum-based bfp_matmul must be bit-exact with the per-group fMAC loop."""
+
+    @pytest.mark.parametrize("shape,bits_a,bits_b", [
+        ((3, 32, 2), 4, 4), ((2, 16, 2), 2, 2), ((4, 48, 3), 4, 2), ((2, 20, 2), 3, 5),
+    ])
+    def test_matches_scalar_group_dot_loop(self, rng, shape, bits_a, bits_b):
+        rows, inner, cols = shape
+        a = rng.standard_normal((rows, inner))
+        b = rng.standard_normal((inner, cols))
+        result, passes = bfp_matmul(a, b, bits_a, bits_b, group_size=16, exponent_bits=8)
+
+        a_q = bfp_quantize_tensor(a, mantissa_bits=bits_a, group_size=16, exponent_bits=8, axis=1)
+        b_q = bfp_quantize_tensor(b.T, mantissa_bits=bits_b, group_size=16, exponent_bits=8, axis=1)
+        expected = np.zeros((rows, cols))
+        expected_passes = 0
+        groups = a_q.exponents.shape[1]
+        for i in range(rows):
+            for j in range(cols):
+                for g in range(groups):
+                    partial = fmac_group_dot(
+                        a_q.signs[i, g], a_q.mantissas[i, g], int(a_q.exponents[i, g]), bits_a,
+                        b_q.signs[j, g], b_q.mantissas[j, g], int(b_q.exponents[j, g]), bits_b,
+                    )
+                    expected[i, j] += partial.value
+                    expected_passes += partial.passes
+        np.testing.assert_array_equal(result, expected)
+        assert passes == expected_passes

@@ -99,3 +99,53 @@ class TestYoloLoss:
         yolo_loss(prediction, target).backward()
         assert prediction.grad is not None
         assert np.all(np.isfinite(prediction.grad))
+
+
+class TestVectorizedDecodeEquivalence:
+    """The vectorized decoder must reproduce the per-cell loop exactly."""
+
+    @staticmethod
+    def scalar_decode(raw, threshold=0.5):
+        raw = np.asarray(raw)
+        batch, grid_h, grid_w, _ = raw.shape
+        results = []
+        for b in range(batch):
+            boxes = []
+            for i in range(grid_h):
+                for j in range(grid_w):
+                    cell = raw[b, i, j]
+                    objectness = 1.0 / (1.0 + np.exp(-cell[4]))
+                    if objectness < threshold:
+                        continue
+                    tx, ty = 1.0 / (1.0 + np.exp(-cell[0])), 1.0 / (1.0 + np.exp(-cell[1]))
+                    tw, th = np.exp(np.clip(cell[2], -6, 6)), np.exp(np.clip(cell[3], -6, 6))
+                    boxes.append((float((j + tx) / grid_w), float((i + ty) / grid_h),
+                                  float(min(tw / grid_w, 1.0)), float(min(th / grid_h, 1.0)),
+                                  int(np.argmax(cell[5:])), float(objectness)))
+            results.append(boxes)
+        return results
+
+    def test_matches_scalar_loop_on_random_grids(self):
+        rng = np.random.default_rng(11)
+        raw = rng.standard_normal((3, 5, 5, 8)) * 3
+        for threshold in (0.3, 0.5, 0.9):
+            assert decode_predictions(raw, threshold) == self.scalar_decode(raw, threshold)
+
+    def test_matches_scalar_loop_when_everything_confident(self):
+        rng = np.random.default_rng(12)
+        raw = rng.standard_normal((2, 4, 4, 8))
+        raw[..., 4] = 10.0
+        assert decode_predictions(raw, 0.5) == self.scalar_decode(raw, 0.5)
+
+    def test_nan_objectness_kept_like_scalar_loop(self):
+        """NaN < threshold is False, so the scalar loop emitted the cell."""
+        rng = np.random.default_rng(13)
+        raw = rng.standard_normal((1, 3, 3, 8))
+        raw[..., 4] = -10.0
+        raw[0, 1, 1, 4] = np.nan
+        vectorized = decode_predictions(raw, 0.5)
+        scalar = self.scalar_decode(raw, 0.5)
+        assert len(vectorized[0]) == len(scalar[0]) == 1
+        # Tuple equality fails on NaN confidence; compare fields explicitly.
+        for v_field, s_field in zip(vectorized[0][0], scalar[0][0]):
+            assert (v_field == s_field) or (np.isnan(v_field) and np.isnan(s_field))

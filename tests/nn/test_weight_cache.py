@@ -1,0 +1,145 @@
+"""Tests for the version-keyed weight-quantization cache of quantized layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.bfp import BFPConfig
+from repro.core.precision_policy import FASTAdaptivePolicy
+from repro.nn.quantized import BFPScheme, FASTScheme, QuantizedConv2d, QuantizedLinear
+from repro.nn.tensor import Tensor
+
+
+class CountingBFPScheme(BFPScheme):
+    """BFPScheme that counts weight-quantization invocations."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.weight_calls = 0
+
+    def quantize_weight(self, values):
+        self.weight_calls += 1
+        return super().quantize_weight(values)
+
+
+def make_linear(rng_seed=0):
+    scheme = CountingBFPScheme(stochastic_gradients=False)
+    layer = QuantizedLinear(8, 4, scheme=scheme, rng=np.random.default_rng(rng_seed))
+    return layer, scheme
+
+
+class TestCacheHits:
+    def test_repeated_forward_quantizes_once(self, rng):
+        layer, scheme = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        outputs = [layer(x).data for _ in range(5)]
+        assert scheme.weight_calls == 1
+        for out in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], out)
+
+    def test_cached_output_matches_uncached(self, rng):
+        layer, scheme = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        cached = layer(x).data
+        expected = scheme.quantize_activation(x.data) @ scheme.quantize_weight(layer.weight.data).T \
+            + layer.bias.data
+        np.testing.assert_allclose(cached, expected)
+
+    def test_conv_layer_caches_too(self, rng):
+        scheme = CountingBFPScheme(stochastic_gradients=False)
+        layer = QuantizedConv2d(3, 4, 3, padding=1, scheme=scheme, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)))
+        a = layer(x).data
+        b = layer(x).data
+        assert scheme.weight_calls == 1
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInvalidation:
+    def test_optimizer_step_bumps_version_and_invalidates(self, rng):
+        layer, scheme = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        version_before = layer.weight.version
+        layer(x).sum().backward()
+        optimizer = nn.SGD(layer.parameters(), lr=0.5)
+        optimizer.step()
+        assert layer.weight.version == version_before + 1
+        before = scheme.weight_calls
+        layer(x)
+        assert scheme.weight_calls == before + 1
+
+    def test_changing_scheme_bits_invalidates(self, rng):
+        layer, scheme = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer(x)
+        scheme.set_bits("weight", 2)
+        layer(x)
+        assert scheme.weight_calls == 2
+
+    def test_load_state_dict_invalidates(self, rng):
+        layer, scheme = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        out_before = layer(x).data.copy()
+        state = {name: value * 2.0 for name, value in layer.state_dict().items()}
+        layer.load_state_dict(state)
+        out_after = layer(x).data
+        assert scheme.weight_calls == 2
+        assert not np.allclose(out_before, out_after)
+
+    def test_clear_weight_cache_forces_requantization(self, rng):
+        layer, scheme = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer(x)
+        layer.clear_weight_cache()
+        layer(x)
+        assert scheme.weight_calls == 2
+
+    def test_gradients_flow_with_cache_active(self, rng):
+        layer, _ = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)), requires_grad=True)
+        layer(x)  # prime the cache
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.shape
+        assert x.grad is not None
+
+
+class TestUncachedSchemes:
+    def test_fast_scheme_opts_out_of_caching(self, rng):
+        """FASTScheme records a policy decision per call, so it must not cache."""
+        policy = FASTAdaptivePolicy(total_layers=2, total_iterations=10,
+                                    config=BFPConfig(exponent_bits=8))
+        scheme = FASTScheme(policy)
+        assert scheme.weight_cache_token() is None
+        layer = QuantizedLinear(8, 4, scheme=scheme, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((3, 8)))
+        history_len = len(policy.history)
+        layer(x)
+        layer(x)
+        assert len(policy.history) > history_len + 1  # one decision per forward, per kind
+
+    def test_base_scheme_token_is_none(self):
+        from repro.nn.quantized import QuantizationScheme
+        assert QuantizationScheme().weight_cache_token() is None
+
+
+class TestParameterVersioning:
+    def test_parameter_starts_at_version_zero(self):
+        param = nn.Parameter(np.zeros(3))
+        assert param.version == 0
+        param.bump_version()
+        assert param.version == 1
+
+    def test_adam_bumps_versions(self, rng):
+        layer, _ = make_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer(x).sum().backward()
+        optimizer = nn.Adam(layer.parameters(), lr=0.01)
+        optimizer.step()
+        assert layer.weight.version == 1
+
+    def test_params_without_grad_not_bumped(self, rng):
+        layer, _ = make_linear()
+        optimizer = nn.SGD(layer.parameters(), lr=0.1)
+        optimizer.step()  # no gradients accumulated
+        assert layer.weight.version == 0
