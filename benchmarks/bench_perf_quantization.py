@@ -27,7 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.kernels import bfp_quantize_fast, bfp_quantize_reference
-from repro.core.rounding import LFSR, VectorizedLFSR
+from repro.core.rounding import LFSR, NoisePool, VectorizedLFSR
 
 from bench_utils import print_banner, print_rows
 
@@ -67,12 +67,28 @@ def verify_equivalence() -> None:
     fast = bfp_quantize_fast(values, 4, 16, 8, "stochastic", rng=VectorizedLFSR(seed=9))
     ref = bfp_quantize_reference(values, 4, 16, 8, "stochastic", rng=LFSR(seed=9))
     assert np.array_equal(fast, ref), "vectorized LFSR diverged from the scalar stream"
+    fast = bfp_quantize_fast(values, 4, 16, 8, "stochastic", rng=NoisePool(11))
+    ref = bfp_quantize_reference(values, 4, 16, 8, "stochastic", rng=NoisePool(11))
+    assert np.array_equal(fast, ref), "pooled noise is not seed-reproducible"
 
 
-def run_case(size, group_size, mantissa_bits, rounding, repeats, lfsr=False):
+def run_case(size, group_size, mantissa_bits, rounding, repeats, lfsr=False, pool=False):
     values = make_input(size)
     if rounding == "stochastic":
-        if lfsr:
+        if pool:
+            # Reference stays the per-call Generator draw (the PR-1 bound);
+            # the fast path draws from a refilled NoisePool.
+            def run_ref():
+                return bfp_quantize_reference(values, mantissa_bits, group_size, 8,
+                                              "stochastic", rng=np.random.default_rng(0))
+
+            noise_pool = NoisePool(0, capacity=1 << 21)
+
+            def run_fast():
+                return bfp_quantize_fast(values, mantissa_bits, group_size, 8,
+                                         "stochastic", rng=noise_pool)
+            ref_time = best_time(run_ref, repeats)
+        elif lfsr:
             def run_ref():
                 return bfp_quantize_reference(values, mantissa_bits, group_size, 8,
                                               "stochastic", rng=LFSR())
@@ -100,7 +116,7 @@ def run_case(size, group_size, mantissa_bits, rounding, repeats, lfsr=False):
             return bfp_quantize_fast(values, mantissa_bits, group_size, 8, rounding)
         ref_time = best_time(run_ref, repeats)
     fast_time = best_time(run_fast, repeats)
-    label = rounding + ("(lfsr)" if lfsr else "")
+    label = rounding + ("(lfsr)" if lfsr else "") + ("(pool)" if pool else "")
     return {
         "size": size,
         "group_size": group_size,
@@ -142,6 +158,8 @@ def main(argv=None) -> int:
                     results.append(run_case(size, group_size, mantissa_bits, rounding, repeats))
     for size in lfsr_sizes:
         results.append(run_case(size, 16, 4, "stochastic", repeats, lfsr=True))
+    for size in sizes:
+        results.append(run_case(size, 16, 4, "stochastic", repeats, pool=True))
 
     rows = [
         (f"{r['size']:,}", r["group_size"], r["mantissa_bits"], r["rounding"],

@@ -1,0 +1,119 @@
+"""Append benchmark summaries to the committed performance trajectory.
+
+`benchmarks/results/perf_quantization.json` and `perf_train_step.json` are
+full reports overwritten on every run; this script distills each into one
+compact JSON line and appends it to `benchmarks/results/perf_trajectory.jsonl`
+so performance can be tracked *over time* (per ROADMAP) instead of only gated
+fast-vs-reference.  CI runs it after the `--quick` benchmarks and uploads the
+trajectory as a workflow artifact; developers run it after a full benchmark
+pass and commit the appended lines with the PR that changed performance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/track_perf.py
+    PYTHONPATH=src python benchmarks/track_perf.py --label pr2 --results-dir results
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def git_commit(repo_root: Path) -> str:
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def summarize_quantization(report: dict) -> dict:
+    """Headline numbers: worst standard-config speedup plus per-mode bests."""
+    results = report.get("results", [])
+    standard = [r for r in results if r["group_size"] == 16 and r["mantissa_bits"] == 4
+                and r["rounding"] == "nearest"]
+    by_rounding = {}
+    for row in results:
+        if row["group_size"] == 16 and row["mantissa_bits"] == 4:
+            label = row["rounding"]
+            best = by_rounding.get(label)
+            if best is None or row["size"] > best["size"]:
+                by_rounding[label] = row
+    return {
+        "standard_worst_speedup": min((r["speedup"] for r in standard), default=None),
+        "largest_case_ms": {
+            label: {"reference_ms": row["reference_ms"], "fast_ms": row["fast_ms"],
+                    "speedup": row["speedup"]}
+            for label, row in sorted(by_rounding.items())
+        },
+    }
+
+
+def summarize_train_step(report: dict) -> dict:
+    return {
+        "per_case": {
+            f"{r['config']}/{r['scheme']}": {
+                "uncached_ms_per_step": r["uncached_ms_per_step"],
+                "fast_ms_per_step": r["fast_ms_per_step"],
+                "speedup": r["speedup"],
+            }
+            for r in report.get("results", [])
+        },
+        "noise_pool": report.get("noise_pool"),
+        "worst_relative_loss_deviation": report.get("worst_relative_loss_deviation"),
+    }
+
+
+SUMMARIZERS = {
+    "perf_quantization.json": ("bench_perf_quantization", summarize_quantization),
+    "perf_train_step.json": ("bench_perf_train_step", summarize_train_step),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results-dir", type=Path,
+                        default=Path(__file__).parent / "results")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="trajectory file (default: <results-dir>/perf_trajectory.jsonl)")
+    parser.add_argument("--label", default=None,
+                        help="optional tag for this entry (e.g. a PR number)")
+    args = parser.parse_args(argv)
+
+    output = args.output or args.results_dir / "perf_trajectory.jsonl"
+    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    commit = git_commit(Path(__file__).resolve().parent.parent)
+
+    appended = 0
+    with output.open("a") as handle:
+        for filename, (benchmark, summarize) in SUMMARIZERS.items():
+            path = args.results_dir / filename
+            if not path.exists():
+                print(f"skip {filename}: not found", file=sys.stderr)
+                continue
+            report = json.loads(path.read_text())
+            entry = {
+                "recorded_at": recorded_at,
+                "commit": commit,
+                "benchmark": benchmark,
+                "mode": report.get("mode"),
+                "numpy": report.get("numpy"),
+                "machine": report.get("machine"),
+                "summary": summarize(report),
+            }
+            if args.label:
+                entry["label"] = args.label
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            appended += 1
+    print(f"appended {appended} entries to {output}")
+    return 0 if appended else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

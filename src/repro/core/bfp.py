@@ -148,6 +148,7 @@ def bfp_quantize(
     axis: int = -1,
     rng=None,
     noise_bits: int = 8,
+    layout=None,
 ) -> np.ndarray:
     """Fake-quantize ``x`` onto the BFP grid and return an FP array.
 
@@ -159,6 +160,11 @@ def bfp_quantize(
     ``floor(log2)`` exponent derivation was correct -- on values one ulp
     below a power of two the frexp-based kernel is strictly more accurate
     (the rounded log2 landed on the wrong integer there).
+
+    ``layout`` optionally passes a precomputed
+    :class:`~repro.core.kernels.GroupedLayout` (see
+    :class:`~repro.core.kernels.LayoutCache`); quantized layers keep one per
+    tensor so repeated conversions skip layout re-derivation entirely.
     """
     return kernels.bfp_quantize_fast(
         x,
@@ -169,6 +175,7 @@ def bfp_quantize(
         axis=axis,
         rng=rng,
         noise_bits=noise_bits,
+        layout=layout,
     )
 
 
@@ -272,7 +279,7 @@ def bfp_quantize_tensor(
         config = BFPConfig(**params)
 
     x = np.asarray(x)
-    groups, pad, moved_shape = group_values(x, config.group_size, axis=axis)
+    groups, pad, moved_shape = kernels.resolve_groups(x, config.group_size, axis=axis)
     exponents = compute_group_exponents(groups, config.exponent_bits)
     _, signs, mantissas = kernels.quantize_groups(
         groups,

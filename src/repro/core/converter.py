@@ -45,7 +45,7 @@ def relative_improvement(x, config: Optional[BFPConfig] = None, low_bits: int = 
     if config is None:
         config = BFPConfig()
     x = np.asarray(x, dtype=np.float64)
-    groups, _, _ = kernels.group_for_quantization(x, config.group_size, axis=-1)
+    groups, _, _ = kernels.resolve_groups(x, config.group_size, axis=-1)
     exponents = kernels.shared_exponents(groups, config.exponent_bits)
     low, _, _ = kernels.quantize_groups(groups, exponents, low_bits, "nearest")
     high, _, _ = kernels.quantize_groups(groups, exponents, high_bits, "nearest")

@@ -27,6 +27,7 @@ golden model for the equivalence tests and the baseline for
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -35,6 +36,12 @@ from .rounding import RoundingMode, VALID_MODES, apply_rounding, draw_noise
 
 __all__ = [
     "MIN_EXPONENT",
+    "GroupedLayout",
+    "LayoutCache",
+    "default_layout_cache",
+    "layout_cache_enabled",
+    "set_layout_cache_enabled",
+    "resolve_groups",
     "group_for_quantization",
     "shared_exponents",
     "quantize_groups",
@@ -48,6 +55,190 @@ __all__ = [
 #: Exponent assigned to all-zero groups.  Matches the smallest normal FP32
 #: exponent so that zero groups never dominate the shared-exponent window.
 MIN_EXPONENT = -126
+
+
+# --------------------------------------------------------------------------- #
+# Persistent grouped layouts
+# --------------------------------------------------------------------------- #
+class GroupedLayout:
+    """Precomputed BFP grouping for one ``(shape, dtype, axis, group_size)``.
+
+    Quantizing a tensor first reshapes it into ``(rows, n_groups, group_size)``
+    groups.  The layout of that reshape -- moved shape, row count, pad width --
+    depends only on the tensor's shape, dtype, grouped axis and group size, all
+    of which are invariant across training iterations for a given layer tensor.
+    A ``GroupedLayout`` derives them once and additionally owns a reusable
+    zero-padded workspace so that padded or non-contiguous tensors are copied
+    into the *same* buffer every call instead of allocating (and re-zeroing)
+    a fresh one.
+
+    The workspace makes :meth:`group` results transient: they are valid only
+    until the next :meth:`group` call on the same layout.  Quantization
+    consumes the groups within a single call and never returns a view of
+    them, so this is invisible to callers of ``bfp_quantize``.  It also makes
+    a shared layout non-reentrant: concurrent conversions of same-shaped
+    padded tensors through one layout (e.g. the process-wide default cache
+    from multiple threads) would race on the workspace.  The training
+    substrate is single-threaded; multi-threaded callers must pass explicit
+    per-thread layouts or disable the default cache.
+    """
+
+    __slots__ = (
+        "shape", "dtype", "group_size", "axis", "moved_shape",
+        "length", "rows", "pad", "n_groups", "_workspace",
+    )
+
+    def __init__(self, shape, dtype, group_size: int, axis: int = -1):
+        shape = tuple(int(s) for s in shape) if len(tuple(shape)) else (1,)
+        ndim = len(shape)
+        axis = axis if axis >= 0 else axis + ndim
+        if not 0 <= axis < ndim:
+            raise ValueError(f"axis {axis} out of range for shape {shape}")
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.group_size = int(group_size)
+        self.axis = axis
+        self.moved_shape = shape[:axis] + shape[axis + 1:] + (shape[axis],)
+        self.length = self.moved_shape[-1]
+        self.rows = int(np.prod(self.moved_shape[:-1])) if ndim > 1 else 1
+        self.pad = (-self.length) % self.group_size
+        self.n_groups = (self.length + self.pad) // self.group_size
+        self._workspace = None
+
+    def group(self, x: np.ndarray) -> np.ndarray:
+        """Reshape ``x`` into ``(rows, n_groups, group_size)`` groups.
+
+        Returns a read-only-by-convention view of ``x`` when no pad or copy
+        is needed, otherwise a view of the layout's reusable workspace (valid
+        until the next call).
+        """
+        if x.ndim == 0:
+            x = x.reshape(1)
+        if x.shape != self.shape:
+            raise ValueError(f"layout built for shape {self.shape}, got {x.shape}")
+        moved = np.moveaxis(x, self.axis, -1)
+        if self.pad == 0 and moved.flags.c_contiguous:
+            return moved.reshape(self.rows, self.n_groups, self.group_size)
+        workspace = self._workspace
+        if workspace is None:
+            # Pad columns are zeroed once here and never written afterwards
+            # (only [:, :length] is assigned), so they stay zero across reuse.
+            workspace = np.zeros((self.rows, self.length + self.pad), dtype=self.dtype)
+            self._workspace = workspace
+        destination = workspace[:, :self.length].reshape(self.moved_shape)
+        if destination.base is None:  # pragma: no cover - reshape made a copy
+            # Splitting the row axis of the strided slice is always expressible
+            # as a view in practice; keep a correct (slower) fallback anyway.
+            workspace[:, :self.length] = moved.reshape(self.rows, self.length)
+        else:
+            np.copyto(destination, moved)
+        return workspace.reshape(self.rows, self.n_groups, self.group_size)
+
+    def ungroup(self, groups: np.ndarray, original_shape) -> np.ndarray:
+        """Invert :meth:`group`, restoring ``original_shape``."""
+        result = ungroup_values_reference(groups, self.pad, self.moved_shape, axis=self.axis)
+        return result.reshape(original_shape)
+
+
+class LayoutCache:
+    """LRU cache of :class:`GroupedLayout` descriptors.
+
+    Keyed on ``(shape, dtype, group_size, axis)``; bounded so that shape
+    churn (e.g. ragged final batches) cannot grow workspaces without limit.
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, GroupedLayout]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(self, shape, dtype, group_size: int, axis: int = -1) -> GroupedLayout:
+        shape = tuple(shape) or (1,)
+        axis = int(axis)
+        if axis < 0:
+            # Normalize so axis=-1 and axis=ndim-1 share one entry (and one
+            # workspace); GroupedLayout validates the range.
+            axis += len(shape)
+        key = (shape, np.dtype(dtype).str, int(group_size), axis)
+        layout = self._entries.get(key)
+        if layout is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return layout
+        self.misses += 1
+        layout = GroupedLayout(shape, dtype, group_size, axis=axis)
+        self._entries[key] = layout
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return layout
+
+    def layout_for(self, x: np.ndarray, group_size: int, axis: int = -1) -> GroupedLayout:
+        """Layout for an array, resolving non-float dtypes the way grouping does."""
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+        shape = x.shape if x.ndim else (1,)
+        return self.get(shape, dtype, group_size, axis=axis)
+
+
+_DEFAULT_LAYOUT_CACHE = LayoutCache()
+_LAYOUT_CACHE_ENABLED = True
+
+
+def default_layout_cache() -> LayoutCache:
+    """The process-wide layout cache used when no explicit layout is passed."""
+    return _DEFAULT_LAYOUT_CACHE
+
+
+def layout_cache_enabled() -> bool:
+    return _LAYOUT_CACHE_ENABLED
+
+
+def set_layout_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable the default layout cache; returns the previous setting.
+
+    Benchmarks use this to time the uncached path; the cached and uncached
+    paths are bit-identical (asserted by ``tests/core/test_layout_cache.py``).
+    """
+    global _LAYOUT_CACHE_ENABLED
+    previous = _LAYOUT_CACHE_ENABLED
+    _LAYOUT_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def resolve_groups(x, group_size: int, axis: int = -1, layout: Optional[GroupedLayout] = None):
+    """Group ``x`` for quantization through a layout when one is available.
+
+    Single entry point for the three grouping consumers (fake quantization,
+    packed quantization, ``relative_improvement``): an explicit ``layout`` is
+    validated and used, otherwise one comes from the default cache (when
+    enabled), otherwise the uncached :func:`group_for_quantization` runs.
+    Returns ``(groups, pad, moved_shape)``.
+    """
+    x = np.asarray(x)
+    if layout is not None:
+        ndim = max(x.ndim, 1)
+        normalized_axis = axis + ndim if axis < 0 else axis
+        expected_dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+        if (layout.group_size != int(group_size) or layout.axis != normalized_axis
+                or layout.dtype != expected_dtype):
+            raise ValueError(
+                f"layout built for (group_size={layout.group_size}, axis={layout.axis}, "
+                f"dtype={layout.dtype}); got (group_size={group_size}, "
+                f"axis={normalized_axis}, dtype={expected_dtype})")
+    elif _LAYOUT_CACHE_ENABLED:
+        layout = _DEFAULT_LAYOUT_CACHE.layout_for(x, group_size, axis=axis)
+    if layout is not None:
+        values = x if x.dtype == layout.dtype else x.astype(layout.dtype)
+        return layout.group(values), layout.pad, layout.moved_shape
+    return group_for_quantization(x, group_size, axis=axis)
 
 
 # --------------------------------------------------------------------------- #
@@ -218,11 +409,19 @@ def bfp_quantize_fast(
     axis: int = -1,
     rng=None,
     noise_bits: Optional[int] = 8,
+    layout: Optional[GroupedLayout] = None,
 ) -> np.ndarray:
-    """Fast-path fake quantization (same contract as the reference ``BFP(X, m)``)."""
+    """Fast-path fake quantization (same contract as the reference ``BFP(X, m)``).
+
+    ``layout`` may pass a :class:`GroupedLayout` for the input's exact
+    ``(shape, dtype, axis, group_size)``; when omitted one is fetched from the
+    default :class:`LayoutCache` (if enabled) so repeated conversions of
+    same-shaped tensors -- the per-iteration W/A/G pattern of training --
+    skip layout re-derivation and reuse the padded-grouping workspace.
+    """
     x = np.asarray(x)
     original_dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
-    groups, pad, moved_shape = group_for_quantization(x, group_size, axis=axis)
+    groups, pad, moved_shape = resolve_groups(x, group_size, axis=axis, layout=layout)
     magnitudes = np.abs(groups)
     group_max = _fold_group_max(magnitudes)
     exponents = _exponents_from_group_max(group_max, exponent_bits)

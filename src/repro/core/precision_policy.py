@@ -99,7 +99,16 @@ class PrecisionDecision:
 
 
 class PrecisionPolicy:
-    """Base class for precision policies."""
+    """Base class for precision policies.
+
+    Subclasses implement :meth:`decide`, which maps ``(tensor_kind,
+    layer_index, iteration, tensor)`` to a :class:`PrecisionDecision`
+    *without* appending to :attr:`history`.  Keeping the decision function
+    side-effect-free is what lets quantized layers fold the chosen bits into
+    their weight-cache key: the bits for a given ``(kind, layer, iteration,
+    tensor)`` can be (re)computed at cache-lookup time, and recording happens
+    exactly once per quantize call via :meth:`select`.
+    """
 
     #: Mantissa widths this policy may return (used by cost models).
     supported_bits: Tuple[int, ...] = (2, 4)
@@ -107,9 +116,16 @@ class PrecisionPolicy:
     def __init__(self):
         self.history: List[PrecisionDecision] = []
 
-    def select(self, tensor_kind: str, layer_index: int, iteration: int, tensor=None) -> int:
-        """Return the mantissa bitwidth for the given tensor."""
+    def decide(self, tensor_kind: str, layer_index: int, iteration: int,
+               tensor=None) -> PrecisionDecision:
+        """Choose the mantissa bitwidth for the given tensor (no recording)."""
         raise NotImplementedError
+
+    def select(self, tensor_kind: str, layer_index: int, iteration: int, tensor=None) -> int:
+        """Return the mantissa bitwidth for the given tensor and record it."""
+        decision = self.decide(tensor_kind, layer_index, iteration, tensor=tensor)
+        self.record(decision)
+        return decision.mantissa_bits
 
     def record(self, decision: PrecisionDecision) -> None:
         self.history.append(decision)
@@ -135,10 +151,9 @@ class FixedPrecisionPolicy(PrecisionPolicy):
         self.mantissa_bits = mantissa_bits
         self.supported_bits = (mantissa_bits,)
 
-    def select(self, tensor_kind: str, layer_index: int, iteration: int, tensor=None) -> int:
-        decision = PrecisionDecision(layer_index, iteration, tensor_kind, self.mantissa_bits)
-        self.record(decision)
-        return self.mantissa_bits
+    def decide(self, tensor_kind: str, layer_index: int, iteration: int,
+               tensor=None) -> PrecisionDecision:
+        return PrecisionDecision(layer_index, iteration, tensor_kind, self.mantissa_bits)
 
 
 class TemporalPrecisionPolicy(PrecisionPolicy):
@@ -166,15 +181,15 @@ class TemporalPrecisionPolicy(PrecisionPolicy):
         self.low_to_high = low_to_high
         self.supported_bits = (low_bits, high_bits)
 
-    def select(self, tensor_kind: str, layer_index: int, iteration: int, tensor=None) -> int:
+    def decide(self, tensor_kind: str, layer_index: int, iteration: int,
+               tensor=None) -> PrecisionDecision:
         progress = iteration / self.total_iterations
         in_second_half = progress >= self.switch_fraction
         if self.low_to_high:
             bits = self.high_bits if in_second_half else self.low_bits
         else:
             bits = self.low_bits if in_second_half else self.high_bits
-        self.record(PrecisionDecision(layer_index, iteration, tensor_kind, bits))
-        return bits
+        return PrecisionDecision(layer_index, iteration, tensor_kind, bits)
 
 
 class LayerwisePrecisionPolicy(PrecisionPolicy):
@@ -202,15 +217,15 @@ class LayerwisePrecisionPolicy(PrecisionPolicy):
         self.low_to_high = low_to_high
         self.supported_bits = (low_bits, high_bits)
 
-    def select(self, tensor_kind: str, layer_index: int, iteration: int, tensor=None) -> int:
+    def decide(self, tensor_kind: str, layer_index: int, iteration: int,
+               tensor=None) -> PrecisionDecision:
         depth_fraction = layer_index / self.total_layers
         in_deep_half = depth_fraction >= self.switch_fraction
         if self.low_to_high:
             bits = self.high_bits if in_deep_half else self.low_bits
         else:
             bits = self.low_bits if in_deep_half else self.high_bits
-        self.record(PrecisionDecision(layer_index, iteration, tensor_kind, bits))
-        return bits
+        return PrecisionDecision(layer_index, iteration, tensor_kind, bits)
 
 
 class FASTAdaptivePolicy(PrecisionPolicy):
@@ -276,9 +291,19 @@ class FASTAdaptivePolicy(PrecisionPolicy):
             self.beta,
         )
 
-    def select(self, tensor_kind: str, layer_index: int, iteration: int, tensor=None) -> int:
+    def decide(self, tensor_kind: str, layer_index: int, iteration: int,
+               tensor=None) -> PrecisionDecision:
+        """Evaluate Algorithm 1 for one tensor without recording the decision.
+
+        Deterministic given ``(tensor_kind, layer_index, iteration, tensor)``:
+        the only internal state touched is the ``evaluation_interval`` memo,
+        which caches the *same* decision that a fresh evaluation at its
+        recorded iteration would produce.  Calling ``decide`` twice for the
+        same arguments therefore returns identical bits, which is what lets
+        quantized layers consult it from their weight-cache key.
+        """
         if tensor is None:
-            raise ValueError("FASTAdaptivePolicy.select requires the tensor values")
+            raise ValueError("FASTAdaptivePolicy.decide requires the tensor values")
         key = (tensor_kind, layer_index)
         cached = self._cache.get(key)
         if cached is not None and iteration - cached[0] < self.evaluation_interval:
@@ -291,7 +316,7 @@ class FASTAdaptivePolicy(PrecisionPolicy):
             eps = self.threshold(layer_index, iteration)
             bits = self.low_bits if r_value < eps else self.high_bits
             self._cache[key] = (iteration, bits, r_value)
-        decision = PrecisionDecision(
+        return PrecisionDecision(
             layer_index,
             iteration,
             tensor_kind,
@@ -299,5 +324,3 @@ class FASTAdaptivePolicy(PrecisionPolicy):
             relative_improvement=r_value,
             threshold=self.threshold(layer_index, iteration),
         )
-        self.record(decision)
-        return bits

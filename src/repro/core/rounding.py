@@ -28,6 +28,7 @@ __all__ = [
     "RoundingMode",
     "LFSR",
     "VectorizedLFSR",
+    "NoisePool",
     "round_nearest",
     "round_truncate",
     "round_stochastic",
@@ -269,6 +270,124 @@ class VectorizedLFSR(LFSR):
         return draws.reshape(shape)
 
 
+class NoisePool:
+    """Pooled stochastic-rounding noise drawn in large refill batches.
+
+    The per-call cost of the stochastic path is dominated by noise drawing:
+    ``Generator.integers`` produces one int64 per value and the quotient is
+    materialized in float64 on every quantize call.  The pool removes that
+    bound by refilling a large buffer of ready-to-add noise values in one
+    bulk draw (narrow unsigned integers, converted once) and serving
+    subsequent :meth:`uniform` calls as zero-copy slices behind a cursor.
+
+    Determinism contract (asserted by ``tests/core/test_noise_pool.py``):
+
+    * the emitted value stream for a fixed ``noise_bits`` is a pure function
+      of the seed/source and the *total number of values drawn* -- it does
+      not depend on how draws are partitioned into calls, because refills
+      always consume the source in fixed ``capacity``-sized blocks;
+    * two pools built from equal seeds produce identical streams, so a
+      training run is reproducible whether noise is pooled or not (as long
+      as both runs pool).
+
+    The pool is *not* stream-compatible with handing the same raw
+    ``Generator`` to :func:`draw_noise` call-by-call (it consumes the
+    underlying bit stream in a different dtype and cadence); it is a
+    distinct, deterministic noise source, exactly like :class:`LFSR`.
+
+    Parameters
+    ----------
+    source:
+        ``None`` (fresh default generator), an integer seed, a
+        :class:`numpy.random.Generator` (e.g. built on ``Philox`` for
+        counter-based streams), or an :class:`LFSR`/:class:`VectorizedLFSR`.
+    capacity:
+        Number of noise values per refill batch (per ``noise_bits`` stream).
+    """
+
+    def __init__(self, source=None, capacity: int = 1 << 20):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if source is None:
+            source = np.random.default_rng()
+        elif isinstance(source, (int, np.integer)):
+            source = np.random.default_rng(int(source))
+        self.source = source
+        self.capacity = int(capacity)
+        # One buffer+cursor per noise_bits value; ``None`` keys full-precision
+        # float64 draws.  In practice a training run uses a single width.
+        self._buffers = {}
+
+    def _refill(self, noise_bits: Optional[int]) -> np.ndarray:
+        if isinstance(self.source, LFSR):
+            if noise_bits is None:
+                raise ValueError("LFSR noise sources require an explicit noise_bits")
+            return self.source.uniform((self.capacity,), noise_bits=noise_bits)
+        if noise_bits is None:
+            return self.source.random(self.capacity)
+        levels = 1 << noise_bits
+        if noise_bits <= 8:
+            raw_dtype = np.uint8
+        elif noise_bits <= 16:
+            raw_dtype = np.uint16
+        else:
+            raw_dtype = np.uint64
+        raw = self.source.integers(0, levels, size=self.capacity, dtype=raw_dtype)
+        # k / 2**noise_bits is exact in float32 for noise_bits <= 24, and the
+        # narrower dtype halves the memory traffic of the later add.
+        out_dtype = np.float32 if noise_bits <= 24 else np.float64
+        buffer = raw.astype(out_dtype)
+        buffer /= out_dtype(levels)
+        return buffer
+
+    def _refill_readonly(self, noise_bits: Optional[int]) -> np.ndarray:
+        buffer = np.asarray(self._refill(noise_bits))
+        # Draws are served as views of this buffer; freezing it turns an
+        # accidental in-place mutation (which would corrupt the stream for
+        # every later draw from the same block) into an immediate error.
+        buffer.flags.writeable = False
+        return buffer
+
+    def uniform(self, shape, noise_bits: Optional[int] = 8) -> np.ndarray:
+        """Draw an array of quantized uniform noise values in ``[0, 1)``.
+
+        Mirrors :meth:`LFSR.uniform` so :func:`draw_noise` can treat the pool
+        as a drop-in noise source.  Served slices are read-only views of the
+        pool buffer whenever the request fits in the current batch.
+        """
+        count = int(np.prod(shape)) if shape else 1
+        state = self._buffers.get(noise_bits)
+        if state is None:
+            state = [self._refill_readonly(noise_bits), 0]
+            self._buffers[noise_bits] = state
+        buffer, cursor = state
+        if count <= buffer.shape[0] - cursor:
+            draws = buffer[cursor:cursor + count]
+            state[1] = cursor + count
+            return draws.reshape(shape)
+        # Assemble large draws from whole refill blocks so the value stream
+        # stays independent of how callers partition their requests.
+        draws = np.empty(count, dtype=buffer.dtype)
+        filled = 0
+        while filled < count:
+            available = buffer.shape[0] - cursor
+            if available == 0:
+                buffer = self._refill_readonly(noise_bits)
+                cursor = 0
+                available = buffer.shape[0]
+            take = min(available, count - filled)
+            draws[filled:filled + take] = buffer[cursor:cursor + take]
+            cursor += take
+            filled += take
+        state[0] = buffer
+        state[1] = cursor
+        return draws.reshape(shape)
+
+    def reset(self) -> None:
+        """Drop all buffered noise (the underlying source state is kept)."""
+        self._buffers.clear()
+
+
 def _as_float_array(x) -> np.ndarray:
     return np.asarray(x, dtype=np.float64)
 
@@ -302,8 +421,8 @@ def round_stochastic(x, rng=None, noise_bits: int = 8) -> np.ndarray:
     x:
         Values scaled so that the quantization step is one unit.
     rng:
-        Either a :class:`numpy.random.Generator`, an :class:`LFSR`, or
-        ``None`` (a fresh default generator).
+        Either a :class:`numpy.random.Generator`, an :class:`LFSR`, a
+        :class:`NoisePool`, or ``None`` (a fresh default generator).
     noise_bits:
         Number of random bits added below the truncation point.  The paper's
         hardware uses 8-bit LFSR streams; its worked example in Figure 4 uses
@@ -323,7 +442,7 @@ def draw_noise(rng, shape, noise_bits: Optional[int] = 8) -> np.ndarray:
     """
     if rng is None:
         rng = np.random.default_rng()
-    if isinstance(rng, LFSR):
+    if isinstance(rng, (LFSR, NoisePool)):
         return rng.uniform(shape, noise_bits=noise_bits)
     if noise_bits is None:
         return rng.random(shape)

@@ -15,6 +15,7 @@ hooks used by the fake-quantized training substrate:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -34,26 +35,73 @@ __all__ = [
     "quantize_gradient",
     "one_hot",
     "linear",
+    "im2col_cache_enabled",
+    "set_im2col_cache_enabled",
+    "clear_im2col_cache",
+    "conv_fast_path_enabled",
+    "set_conv_fast_path_enabled",
 ]
+
+#: When enabled (default), convolution forward/backward products run through
+#: BLAS ``matmul`` instead of ``np.einsum`` and ``col2im`` scatters through a
+#: single ``np.bincount`` instead of the unbuffered ``np.add.at``.  The
+#: bincount scatter walks the same (index, value) sequence as ``add.at`` and
+#: is bit-identical; the BLAS products use a different (blocked) accumulation
+#: order and agree to rounding error.  Benchmarks disable this to time the
+#: pre-fast-path step.
+_CONV_FAST_ENABLED = True
+
+
+def conv_fast_path_enabled() -> bool:
+    return _CONV_FAST_ENABLED
+
+
+def set_conv_fast_path_enabled(enabled: bool) -> bool:
+    """Enable/disable the BLAS/bincount convolution path; returns the previous setting."""
+    global _CONV_FAST_ENABLED
+    previous = _CONV_FAST_ENABLED
+    _CONV_FAST_ENABLED = bool(enabled)
+    return previous
 
 
 # --------------------------------------------------------------------------- #
 # im2col-based convolution
 # --------------------------------------------------------------------------- #
-def im2col_indices(
-    input_shape: Tuple[int, int, int, int],
-    kernel_h: int,
-    kernel_w: int,
-    stride: int,
-    padding: int,
-):
-    """Index arrays that gather convolution patches from a padded input."""
-    _, channels, height, width = input_shape
+#: Memoized gather-index arrays keyed on the convolution geometry.  Layer
+#: geometry is fixed across a training run, so each conv/pool layer derives
+#: its (k, i, j) arrays exactly once instead of several times per step (the
+#: forward previously built them twice -- inside ``im2col`` and again for the
+#: output size -- and the backward a third time for ``col2im``).
+_IM2COL_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_IM2COL_CACHE_MAX = 256
+_IM2COL_CACHE_ENABLED = True
+
+
+def im2col_cache_enabled() -> bool:
+    return _IM2COL_CACHE_ENABLED
+
+
+def set_im2col_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable im2col index memoization; returns the previous setting."""
+    global _IM2COL_CACHE_ENABLED
+    previous = _IM2COL_CACHE_ENABLED
+    _IM2COL_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def clear_im2col_cache() -> None:
+    """Drop all memoized gather *and* scatter index arrays."""
+    _IM2COL_CACHE.clear()
+    _SCATTER_CACHE.clear()
+
+
+def _build_im2col_indices(channels, height, width, kernel_h, kernel_w, stride, padding):
     out_h = (height + 2 * padding - kernel_h) // stride + 1
     out_w = (width + 2 * padding - kernel_w) // stride + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError(
-            f"convolution output would be empty for input {input_shape}, "
+            f"convolution output would be empty for input "
+            f"(N, {channels}, {height}, {width}), "
             f"kernel ({kernel_h}, {kernel_w}), stride {stride}, padding {padding}"
         )
 
@@ -65,14 +113,75 @@ def im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    for array in (k, i, j):
+        array.flags.writeable = False
     return k, i, j, out_h, out_w
+
+
+def im2col_indices(
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+):
+    """Index arrays that gather convolution patches from a padded input.
+
+    The arrays depend only on ``(C, H, W, kernel, stride, padding)`` -- not
+    the batch size -- and are memoized on that key (returned read-only; do
+    not mutate them).  Disable with :func:`set_im2col_cache_enabled` to
+    measure the uncached path.
+    """
+    _, channels, height, width = input_shape
+    key = (channels, height, width, kernel_h, kernel_w, stride, padding)
+    if _IM2COL_CACHE_ENABLED:
+        cached = _IM2COL_CACHE.get(key)
+        if cached is not None:
+            _IM2COL_CACHE.move_to_end(key)
+            return cached
+    entry = _build_im2col_indices(channels, height, width, kernel_h, kernel_w,
+                                  stride, padding)
+    if _IM2COL_CACHE_ENABLED:
+        _IM2COL_CACHE[key] = entry
+        while len(_IM2COL_CACHE) > _IM2COL_CACHE_MAX:
+            _IM2COL_CACHE.popitem(last=False)
+    return entry
+
+
+def _gather_patches(x: np.ndarray, k, i, j, padding: int) -> np.ndarray:
+    """Gather convolution patches with precomputed indices."""
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    return x[:, k, i, j]
 
 
 def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int) -> np.ndarray:
     """Rearrange image patches into columns: output (N, C*kh*kw, out_h*out_w)."""
     k, i, j, _, _ = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
-    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    return padded[:, k, i, j]
+    return _gather_patches(x, k, i, j, padding)
+
+
+_SCATTER_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_SCATTER_CACHE_MAX = 64
+
+
+def _scatter_indices(input_shape, kernel_h, kernel_w, stride, padding, k, i, j):
+    """Flattened (C*kh*kw, out_h*out_w) scatter positions into the padded image."""
+    _, channels, height, width = input_shape
+    key = (channels, height, width, kernel_h, kernel_w, stride, padding)
+    if _IM2COL_CACHE_ENABLED:
+        cached = _SCATTER_CACHE.get(key)
+        if cached is not None:
+            _SCATTER_CACHE.move_to_end(key)
+            return cached
+    padded_w = width + 2 * padding
+    flat = (k * (height + 2 * padding) + i) * padded_w + j
+    flat.flags.writeable = False
+    if _IM2COL_CACHE_ENABLED:
+        _SCATTER_CACHE[key] = flat
+        while len(_SCATTER_CACHE) > _SCATTER_CACHE_MAX:
+            _SCATTER_CACHE.popitem(last=False)
+    return flat
 
 
 def col2im(
@@ -83,15 +192,39 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Scatter columns back into image space (adjoint of :func:`im2col`)."""
+    """Scatter columns back into image space (adjoint of :func:`im2col`).
+
+    On the fast path the scatter is a single ``np.bincount`` over flattened
+    positions, which is several times faster than the unbuffered
+    ``np.add.at`` and bit-identical to it: both walk the same (index, value)
+    sequence in the same order, so every output element accumulates its
+    contributions identically.
+    """
     batch, channels, height, width = input_shape
     cols = np.asarray(cols)
     scatter_dtype = cols.dtype if np.issubdtype(cols.dtype, np.floating) else np.float64
     k, i, j, _, _ = im2col_indices(input_shape, kernel_h, kernel_w, stride, padding)
-    padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=scatter_dtype
-    )
-    np.add.at(padded, (slice(None), k, i, j), cols)
+    padded_h = height + 2 * padding
+    padded_w = width + 2 * padding
+    if _CONV_FAST_ENABLED and scatter_dtype == np.float64:
+        # bincount accumulates in float64 only, which is exactly the dtype
+        # this scatter runs in throughout the training substrate.  One
+        # bincount per image over the memoized flat positions: batch images
+        # scatter to disjoint outputs, so this equals (and walks values in
+        # the same order as) a single offset scatter, without materializing
+        # a batch-sized int64 positions array every backward pass.
+        flat = _scatter_indices(input_shape, kernel_h, kernel_w, stride, padding, k, i, j)
+        positions = flat.ravel()
+        per_image = channels * padded_h * padded_w
+        weights = np.ascontiguousarray(cols, dtype=np.float64).reshape(batch, -1)
+        padded = np.empty((batch, per_image))
+        for image in range(batch):
+            padded[image] = np.bincount(positions, weights=weights[image],
+                                        minlength=per_image)
+        padded = padded.reshape(batch, channels, padded_h, padded_w)
+    else:
+        padded = np.zeros((batch, channels, padded_h, padded_w), dtype=scatter_dtype)
+        np.add.at(padded, (slice(None), k, i, j), cols)
     if padding == 0:
         return padded
     return padded[:, :, padding:-padding, padding:-padding]
@@ -114,10 +247,16 @@ def conv2d(
     weight = as_tensor(weight)
     batch, _, _, _ = x.shape
     out_channels, _, kernel_h, kernel_w = weight.shape
-    cols = im2col(x.data, kernel_h, kernel_w, stride, padding)
-    _, _, _, out_h, out_w = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    k, i, j, out_h, out_w = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    cols = _gather_patches(x.data, k, i, j, padding)
     weight_matrix = weight.data.reshape(out_channels, -1)
-    out_data = np.einsum("of,nfl->nol", weight_matrix, cols)
+    fast = _CONV_FAST_ENABLED
+    if fast:
+        # BLAS batched matmul; agrees with the einsum contraction to rounding
+        # error (blocked accumulation order) and is several times faster.
+        out_data = np.matmul(weight_matrix, cols)
+    else:
+        out_data = np.einsum("of,nfl->nol", weight_matrix, cols)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, -1, 1)
     out_data = out_data.reshape(batch, out_channels, out_h, out_w)
@@ -127,12 +266,20 @@ def conv2d(
     def backward(grad):
         grad_matrix = grad.reshape(batch, out_channels, -1)
         if weight.requires_grad:
-            grad_weight = np.einsum("nol,nfl->of", grad_matrix, cols)
+            if fast:
+                # One large GEMM over the (batch, position) axes; no batched
+                # (N, O, F) intermediate to materialize and reduce.
+                grad_weight = np.tensordot(grad_matrix, cols, axes=([0, 2], [0, 2]))
+            else:
+                grad_weight = np.einsum("nol,nfl->of", grad_matrix, cols)
             weight._accumulate(grad_weight.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_matrix.sum(axis=(0, 2)))
         if x.requires_grad:
-            grad_cols = np.einsum("of,nol->nfl", weight_matrix, grad_matrix)
+            if fast:
+                grad_cols = np.matmul(weight_matrix.T, grad_matrix)
+            else:
+                grad_cols = np.einsum("of,nol->nfl", weight_matrix, grad_matrix)
             grad_x = col2im(grad_cols, input_shape, kernel_h, kernel_w, stride, padding)
             x._accumulate(grad_x)
 
@@ -144,13 +291,50 @@ def conv2d(
 # Pooling
 # --------------------------------------------------------------------------- #
 def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
-    """Max pooling over square windows (NCHW layout)."""
+    """Max pooling over square windows (NCHW layout).
+
+    Non-overlapping pooling (``stride == kernel_size``, dimensions divisible)
+    takes a reshape-based fast path: windows become the (contiguous) last
+    axis, whose argmax is several times faster than the strided axis-1 argmax
+    of the im2col path.  Window elements appear in the same row-major order
+    either way and no window overlaps another, so outputs and gradients are
+    bit-identical between the two paths.
+    """
     x = as_tensor(x)
     stride = stride if stride is not None else kernel_size
     batch, channels, height, width = x.shape
+    if (_CONV_FAST_ENABLED and stride == kernel_size
+            and height % kernel_size == 0 and width % kernel_size == 0):
+        out_h, out_w = height // kernel_size, width // kernel_size
+        window = kernel_size * kernel_size
+        windows = (
+            x.data.reshape(batch, channels, out_h, kernel_size, out_w, kernel_size)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(batch, channels, out_h, out_w, window)
+        )
+        max_idx = windows.argmax(axis=-1)
+        out_data = np.take_along_axis(windows, max_idx[..., None], axis=-1)[..., 0]
+
+        def backward(grad):
+            if not x.requires_grad:
+                return
+            grad_windows = np.zeros_like(windows)
+            np.put_along_axis(
+                grad_windows, max_idx[..., None],
+                grad.reshape(batch, channels, out_h, out_w, 1), axis=-1,
+            )
+            grad_x = (
+                grad_windows.reshape(batch, channels, out_h, out_w, kernel_size, kernel_size)
+                .transpose(0, 1, 2, 4, 3, 5)
+                .reshape(x.shape)
+            )
+            x._accumulate(grad_x)
+
+        return Tensor._make(out_data, (x,), backward, "max_pool2d")
+
     folded = x.data.reshape(batch * channels, 1, height, width)
-    cols = im2col(folded, kernel_size, kernel_size, stride, 0)
-    _, _, _, out_h, out_w = im2col_indices(folded.shape, kernel_size, kernel_size, stride, 0)
+    k, i, j, out_h, out_w = im2col_indices(folded.shape, kernel_size, kernel_size, stride, 0)
+    cols = _gather_patches(folded, k, i, j, 0)
     max_idx = cols.argmax(axis=1)
     out_data = np.take_along_axis(cols, max_idx[:, None, :], axis=1)[:, 0, :]
     out_data = out_data.reshape(batch, channels, out_h, out_w)
@@ -173,8 +357,8 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     stride = stride if stride is not None else kernel_size
     batch, channels, height, width = x.shape
     folded_shape = (batch * channels, 1, height, width)
-    cols = im2col(x.data.reshape(folded_shape), kernel_size, kernel_size, stride, 0)
-    _, _, _, out_h, out_w = im2col_indices(folded_shape, kernel_size, kernel_size, stride, 0)
+    k, i, j, out_h, out_w = im2col_indices(folded_shape, kernel_size, kernel_size, stride, 0)
+    cols = _gather_patches(x.data.reshape(folded_shape), k, i, j, 0)
     out_data = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
     window = kernel_size * kernel_size
 
@@ -208,13 +392,19 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool = True, rng=None) -> Tensor:
-    """Inverted dropout: zero a fraction ``p`` of values and rescale the rest."""
+    """Inverted dropout: zero a fraction ``p`` of values and rescale the rest.
+
+    The mask is built in the input's floating dtype so float32 activation
+    pipelines are not silently upcast to float64 by the multiply.
+    """
     x = as_tensor(x)
     if not training or p <= 0.0:
         return x
     if rng is None:
         rng = np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    dtype = x.data.dtype if np.issubdtype(x.data.dtype, np.floating) else np.float64
+    mask = (rng.random(x.shape) >= p).astype(dtype)
+    mask *= 1.0 / (1.0 - p)
     out_data = x.data * mask
 
     def backward(grad):
@@ -224,10 +414,14 @@ def dropout(x: Tensor, p: float, training: bool = True, rng=None) -> Tensor:
     return Tensor._make(out_data, (x,), backward, "dropout")
 
 
-def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
-    """One-hot encode integer class indices."""
+def one_hot(indices: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """One-hot encode integer class indices.
+
+    ``dtype`` selects the floating dtype of the encoding; losses pass their
+    logits dtype so float32 pipelines are not upcast by the target tensor.
+    """
     indices = np.asarray(indices, dtype=np.int64).reshape(-1)
-    encoded = np.zeros((indices.size, num_classes), dtype=np.float64)
+    encoded = np.zeros((indices.size, num_classes), dtype=dtype)
     encoded[np.arange(indices.size), indices] = 1.0
     return encoded
 

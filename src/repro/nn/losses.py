@@ -28,7 +28,7 @@ def cross_entropy(logits: Tensor, targets, label_smoothing: float = 0.0) -> Tens
     targets = np.asarray(targets, dtype=np.int64)
     num_classes = logits.shape[-1]
     flat_logits = logits.reshape(-1, num_classes)
-    encoded = one_hot(targets.reshape(-1), num_classes)
+    encoded = one_hot(targets.reshape(-1), num_classes, dtype=flat_logits.data.dtype)
     if label_smoothing > 0.0:
         encoded = encoded * (1.0 - label_smoothing) + label_smoothing / num_classes
     log_probs = flat_logits.log_softmax(axis=-1)
@@ -48,7 +48,7 @@ def sequence_cross_entropy(logits: Tensor, targets, pad_index: Optional[int] = N
     vocab = logits.shape[-1]
     flat_logits = logits.reshape(-1, vocab)
     flat_targets = targets.reshape(-1)
-    encoded = one_hot(flat_targets, vocab)
+    encoded = one_hot(flat_targets, vocab, dtype=flat_logits.data.dtype)
     if label_smoothing > 0.0:
         encoded = encoded * (1.0 - label_smoothing) + label_smoothing / vocab
     if pad_index is not None:

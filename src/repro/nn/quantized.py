@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.bfp import BFPConfig, bfp_quantize
+from ..core.kernels import LayoutCache, layout_cache_enabled
 from ..core.precision_policy import PrecisionPolicy
 from ..formats.base import NumberFormat, TensorKind
 from . import functional as F
@@ -66,15 +67,17 @@ class QuantizationScheme:
         """Mantissa widths used for (W, A, G); ``None`` when not applicable."""
         return {"weight": None, "activation": None, "gradient": None}
 
-    def weight_cache_token(self):
+    def weight_cache_token(self, values: Optional[np.ndarray] = None):
         """Hashable token identifying the weight-quantization function.
 
         When this returns a token, quantized layers may cache the quantized
         weight array and reuse it while the token and the parameter's
-        ``version`` counter both stay unchanged.  Schemes whose weight
-        quantization is stateful or non-deterministic (e.g. the FAST-Adaptive
-        policy, which records a decision per call) return ``None`` to opt
-        out of caching.
+        ``version`` counter both stay unchanged.  ``values`` passes the weight
+        array for schemes whose token depends on the data (the FAST-Adaptive
+        policy evaluates ``r(W)`` to choose the mantissa width; the chosen
+        bits join the token so a changed decision invalidates the cache).
+        Schemes with stateful or non-deterministic weight quantization return
+        ``None`` to opt out of caching.
         """
         return None
 
@@ -132,6 +135,10 @@ class BFPScheme(QuantizationScheme):
         }
         self.stochastic_gradients = stochastic_gradients
         self.rng = rng if rng is not None else np.random.default_rng()
+        # Per-scheme grouped-layout cache: a layer's W/A/G shapes repeat every
+        # iteration, so their grouping descriptors and padded workspaces are
+        # derived once and reused across the whole training run.
+        self._layouts = LayoutCache(max_entries=16)
 
     def set_bits(self, kind: str, bits: int) -> None:
         if kind not in self.bits:
@@ -142,6 +149,12 @@ class BFPScheme(QuantizationScheme):
         rounding = "nearest"
         if kind == TensorKind.GRADIENT and self.stochastic_gradients:
             rounding = "stochastic"
+        values = np.asarray(values)
+        # The global switch governs scheme-level layouts too, so disabling
+        # the cache (benchmarks timing the uncached path) really does force
+        # per-call layout derivation everywhere.
+        layout = (self._layouts.layout_for(values, self.config.group_size)
+                  if layout_cache_enabled() else None)
         return bfp_quantize(
             values,
             mantissa_bits=self.bits[kind],
@@ -149,6 +162,7 @@ class BFPScheme(QuantizationScheme):
             exponent_bits=self.config.exponent_bits,
             rounding=rounding,
             rng=self.rng,
+            layout=layout,
         )
 
     def quantize_weight(self, values: np.ndarray) -> np.ndarray:
@@ -160,7 +174,7 @@ class BFPScheme(QuantizationScheme):
     def quantize_gradient(self, values: np.ndarray) -> np.ndarray:
         return self._quantize(values, TensorKind.GRADIENT)
 
-    def weight_cache_token(self):
+    def weight_cache_token(self, values: Optional[np.ndarray] = None):
         # Weights always use deterministic nearest rounding, so the quantized
         # weight is a pure function of (weight data, these parameters).
         return (
@@ -187,6 +201,14 @@ class FASTScheme(QuantizationScheme):
     quantizes with it -- mirroring how the hardware BFP converter evaluates
     ``r(X)`` as a by-product of conversion and picks the chunk count for the
     very tensor being converted.
+
+    Decision selection is split from quantization: the policy's
+    :meth:`~repro.core.precision_policy.PrecisionPolicy.decide` is pure, so
+    the chosen weight bits can join the weight-cache key
+    (:meth:`weight_cache_token`).  Adaptive training therefore caches
+    quantized weights exactly like the fixed schemes -- repeated forwards and
+    eval loops re-select (cheaply, via the policy's evaluation-interval memo)
+    but only re-quantize when the version or the bits decision changes.
     """
 
     def __init__(
@@ -204,13 +226,20 @@ class FASTScheme(QuantizationScheme):
         self.stochastic_gradients = stochastic_gradients
         self.rng = rng if rng is not None else np.random.default_rng()
         self._last_bits: Dict[str, int] = {}
+        self._layouts = LayoutCache(max_entries=16)
+        # Bits chosen by the most recent weight_cache_token() call, tagged
+        # with its iteration so quantize_weight can reuse the decision
+        # instead of asking (and recording with) the policy a second time.
+        self._pending_weight_bits = None
 
-    def _quantize(self, values: np.ndarray, kind: str) -> np.ndarray:
-        bits = self.policy.select(kind, self.layer_index, self.iteration, tensor=values)
+    def _quantize_with_bits(self, values: np.ndarray, kind: str, bits: int) -> np.ndarray:
         self._last_bits[kind] = bits
         rounding = "nearest"
         if kind == TensorKind.GRADIENT and self.stochastic_gradients:
             rounding = "stochastic"
+        values = np.asarray(values)
+        layout = (self._layouts.layout_for(values, self.config.group_size)
+                  if layout_cache_enabled() else None)
         return bfp_quantize(
             values,
             mantissa_bits=bits,
@@ -218,9 +247,33 @@ class FASTScheme(QuantizationScheme):
             exponent_bits=self.config.exponent_bits,
             rounding=rounding,
             rng=self.rng,
+            layout=layout,
         )
 
+    def _quantize(self, values: np.ndarray, kind: str) -> np.ndarray:
+        bits = self.policy.select(kind, self.layer_index, self.iteration, tensor=values)
+        return self._quantize_with_bits(values, kind, bits)
+
+    def weight_cache_token(self, values: Optional[np.ndarray] = None):
+        if values is None:
+            # Without the weight data the policy cannot evaluate r(W).
+            return None
+        bits = self.policy.select(
+            TensorKind.WEIGHT, self.layer_index, self.iteration, tensor=values
+        )
+        self._last_bits[TensorKind.WEIGHT] = bits
+        self._pending_weight_bits = (self.iteration, bits, values)
+        return ("fast", bits, self.config.group_size, self.config.exponent_bits)
+
     def quantize_weight(self, values: np.ndarray) -> np.ndarray:
+        # Reuse the pending decision only for the exact array it was made for
+        # at the current iteration; a stale entry (e.g. left behind by a
+        # cache-hit forward) must not leak its bits onto another tensor, and
+        # standalone calls must still select (and record) freshly.
+        pending = self._pending_weight_bits
+        self._pending_weight_bits = None
+        if pending is not None and pending[0] == self.iteration and pending[2] is values:
+            return self._quantize_with_bits(values, TensorKind.WEIGHT, pending[1])
         return self._quantize(values, TensorKind.WEIGHT)
 
     def quantize_activation(self, values: np.ndarray) -> np.ndarray:
@@ -247,6 +300,11 @@ class WeightCacheMixin:
     optimizer steps -- the weight is quantized once and reused; gradients
     still flow to the full-precision master copy through the usual
     straight-through estimator.
+
+    The token call receives the weight array so data-dependent schemes
+    (FAST-Adaptive) can fold their bits decision into the key: a policy that
+    flips a layer from 2 to 4 bits invalidates that layer's cached weight
+    even when the parameter version is unchanged.
     """
 
     def _init_weight_cache(self) -> None:
@@ -259,7 +317,7 @@ class WeightCacheMixin:
         self._weight_cache_value = None
 
     def _quantized_weight(self) -> Tensor:
-        token = self.scheme.weight_cache_token()
+        token = self.scheme.weight_cache_token(self.weight.data)
         version = getattr(self.weight, "version", None)
         if token is None or version is None:
             return F.fake_quantize(self.weight, self.scheme.quantize_weight)

@@ -71,7 +71,10 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, parents: Sequence["Tensor"] = (), op: str = ""):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        # float32 is preserved so low-precision activation pipelines are not
+        # silently upcast; every other dtype is promoted to float64 as before.
+        array = np.asarray(data)
+        self.data = array if array.dtype == np.float32 else np.asarray(array, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None

@@ -30,6 +30,7 @@ from ..core.precision_policy import (
     LayerwisePrecisionPolicy,
     TemporalPrecisionPolicy,
 )
+from ..core.rounding import NoisePool
 from ..formats.base import NumberFormat, TensorKind
 from ..formats.registry import get_format
 from ..nn.modules import Module
@@ -53,6 +54,20 @@ __all__ = [
 ]
 
 _DEFAULT_BFP_CONFIG = BFPConfig(exponent_bits=3, group_size=16)
+
+
+def _layer_noise_source(seed: int, index: int, stochastic: bool, pooled: bool):
+    """Per-layer noise source for stochastic gradient rounding.
+
+    Pooled sources draw noise in large refill batches
+    (:class:`~repro.core.rounding.NoisePool`), which removes the per-call
+    ``Generator.integers`` bound from the quantized training step while
+    staying seed-deterministic (same seed -> same stream, independent of how
+    gradient shapes partition the draws).
+    """
+    if stochastic and pooled:
+        return NoisePool(seed + index)
+    return np.random.default_rng(seed + index)
 
 
 class PrecisionSchedule:
@@ -118,17 +133,20 @@ class FixedBFPSchedule(PrecisionSchedule):
     """BFP with a fixed mantissa width for W, A and G in every layer."""
 
     def __init__(self, mantissa_bits: int, config: Optional[BFPConfig] = None,
-                 stochastic_gradients: bool = True, seed: int = 0):
+                 stochastic_gradients: bool = True, seed: int = 0,
+                 noise_pool: bool = True):
         super().__init__()
         self.mantissa_bits = mantissa_bits
         self.config = config if config is not None else _DEFAULT_BFP_CONFIG
         self.stochastic_gradients = stochastic_gradients
         self.seed = seed
+        self.noise_pool = noise_pool
         self.name = f"bfp_m{mantissa_bits}"
 
     def _attach(self) -> None:
         for index, layer in enumerate(self.layers):
-            rng = np.random.default_rng(self.seed + index)
+            rng = _layer_noise_source(self.seed, index, self.stochastic_gradients,
+                                      self.noise_pool)
             layer.scheme = BFPScheme(
                 config=self.config,
                 weight_bits=self.mantissa_bits,
@@ -143,13 +161,14 @@ class _PolicyDrivenSchedule(PrecisionSchedule):
     """Shared implementation for temporal/layerwise policy schedules."""
 
     def __init__(self, low_bits: int, high_bits: int, config: Optional[BFPConfig],
-                 stochastic_gradients: bool, seed: int):
+                 stochastic_gradients: bool, seed: int, noise_pool: bool = True):
         super().__init__()
         self.low_bits = low_bits
         self.high_bits = high_bits
         self.config = config if config is not None else _DEFAULT_BFP_CONFIG
         self.stochastic_gradients = stochastic_gradients
         self.seed = seed
+        self.noise_pool = noise_pool
         self.policy = None
 
     def _build_policy(self):
@@ -158,7 +177,8 @@ class _PolicyDrivenSchedule(PrecisionSchedule):
     def _attach(self) -> None:
         self.policy = self._build_policy()
         for index, layer in enumerate(self.layers):
-            rng = np.random.default_rng(self.seed + index)
+            rng = _layer_noise_source(self.seed, index, self.stochastic_gradients,
+                                      self.noise_pool)
             layer.scheme = BFPScheme(
                 config=self.config,
                 weight_bits=self.low_bits,
@@ -181,8 +201,9 @@ class TemporalSchedule(_PolicyDrivenSchedule):
 
     def __init__(self, low_to_high: bool = True, low_bits: int = 2, high_bits: int = 4,
                  switch_fraction: float = 0.5, config: Optional[BFPConfig] = None,
-                 stochastic_gradients: bool = True, seed: int = 0):
-        super().__init__(low_bits, high_bits, config, stochastic_gradients, seed)
+                 stochastic_gradients: bool = True, seed: int = 0, noise_pool: bool = True):
+        super().__init__(low_bits, high_bits, config, stochastic_gradients, seed,
+                         noise_pool=noise_pool)
         self.low_to_high = low_to_high
         self.switch_fraction = switch_fraction
         self.name = "temporal_low_to_high" if low_to_high else "temporal_high_to_low"
@@ -202,8 +223,9 @@ class LayerwiseSchedule(_PolicyDrivenSchedule):
 
     def __init__(self, low_to_high: bool = True, low_bits: int = 2, high_bits: int = 4,
                  switch_fraction: float = 0.5, config: Optional[BFPConfig] = None,
-                 stochastic_gradients: bool = True, seed: int = 0):
-        super().__init__(low_bits, high_bits, config, stochastic_gradients, seed)
+                 stochastic_gradients: bool = True, seed: int = 0, noise_pool: bool = True):
+        super().__init__(low_bits, high_bits, config, stochastic_gradients, seed,
+                         noise_pool=noise_pool)
         self.low_to_high = low_to_high
         self.switch_fraction = switch_fraction
         self.name = "layerwise_low_to_high" if low_to_high else "layerwise_high_to_low"
@@ -225,7 +247,8 @@ class FASTSchedule(PrecisionSchedule):
 
     def __init__(self, alpha: float = 0.6, beta: float = 0.3, low_bits: int = 2,
                  high_bits: int = 4, config: Optional[BFPConfig] = None,
-                 stochastic_gradients: bool = True, evaluation_interval: int = 1, seed: int = 0):
+                 stochastic_gradients: bool = True, evaluation_interval: int = 1, seed: int = 0,
+                 noise_pool: bool = True):
         super().__init__()
         self.alpha = alpha
         self.beta = beta
@@ -235,6 +258,7 @@ class FASTSchedule(PrecisionSchedule):
         self.stochastic_gradients = stochastic_gradients
         self.evaluation_interval = evaluation_interval
         self.seed = seed
+        self.noise_pool = noise_pool
         self.policy: Optional[FASTAdaptivePolicy] = None
 
     def _attach(self) -> None:
@@ -249,7 +273,8 @@ class FASTSchedule(PrecisionSchedule):
             evaluation_interval=self.evaluation_interval,
         )
         for index, layer in enumerate(self.layers):
-            rng = np.random.default_rng(self.seed + index)
+            rng = _layer_noise_source(self.seed, index, self.stochastic_gradients,
+                                      self.noise_pool)
             layer.scheme = FASTScheme(
                 policy=self.policy,
                 layer_index=index,

@@ -15,6 +15,7 @@ performance model.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -41,6 +42,7 @@ class TrainingResult:
     train_metric_history: List[float] = field(default_factory=list)
     val_metric_history: List[float] = field(default_factory=list)
     precision_history: List[List[Dict[str, Optional[int]]]] = field(default_factory=list)
+    epoch_time_history: List[float] = field(default_factory=list)
 
     @property
     def final_val_metric(self) -> float:
@@ -56,6 +58,13 @@ class TrainingResult:
             if value >= target:
                 return epoch
         return None
+
+    @property
+    def mean_step_time(self) -> float:
+        """Average wall-clock seconds per optimization step across training."""
+        if not self.epoch_time_history or not self.iterations:
+            return float("nan")
+        return sum(self.epoch_time_history) / self.iterations
 
 
 class _BaseTrainer:
@@ -110,6 +119,7 @@ class ClassificationTrainer(_BaseTrainer):
         result = TrainingResult(schedule_name=self.schedule.name)
         self.model.train()
         for epoch in range(epochs):
+            epoch_start = time.perf_counter()
             epoch_losses = []
             epoch_accuracy = []
             for inputs, labels in train_loader:
@@ -122,6 +132,7 @@ class ClassificationTrainer(_BaseTrainer):
                 epoch_losses.append(loss.item())
                 epoch_accuracy.append(accuracy(logits.data, labels))
                 self._post_step()
+            result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
             result.train_metric_history.append(float(np.mean(epoch_accuracy)))
             if val_loader is not None:
@@ -172,6 +183,7 @@ class Seq2SeqTrainer(_BaseTrainer):
         result = TrainingResult(schedule_name=self.schedule.name)
         self.model.train()
         for epoch in range(epochs):
+            epoch_start = time.perf_counter()
             epoch_losses = []
             for sources, (decoder_inputs, decoder_targets) in loader:
                 self._pre_step()
@@ -182,6 +194,7 @@ class Seq2SeqTrainer(_BaseTrainer):
                 self.optimizer.step()
                 epoch_losses.append(loss.item())
                 self._post_step()
+            result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
             result.train_metric_history.append(-result.loss_history[-1])
             if val_dataset is not None:
@@ -223,6 +236,7 @@ class DetectionTrainer(_BaseTrainer):
         result = TrainingResult(schedule_name=self.schedule.name)
         self.model.train()
         for epoch in range(epochs):
+            epoch_start = time.perf_counter()
             epoch_losses = []
             for images, targets in loader:
                 self._pre_step()
@@ -233,6 +247,7 @@ class DetectionTrainer(_BaseTrainer):
                 self.optimizer.step()
                 epoch_losses.append(loss.item())
                 self._post_step()
+            result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
             result.train_metric_history.append(-result.loss_history[-1])
             if val_dataset is not None:

@@ -164,3 +164,43 @@ class TestVectorizedMatmulEquivalence:
                     expected_passes += partial.passes
         np.testing.assert_array_equal(result, expected)
         assert passes == expected_passes
+
+
+class TestVectorizedDotProduct:
+    """fmac_dot_product routes through the chunk-pair einsum; the scalar
+    per-group walk is kept as fmac_dot_product_reference and must agree
+    bit-for-bit (value, passes and multiplication counts)."""
+
+    @pytest.mark.parametrize("size", [16, 33, 64, 100, 7])
+    @pytest.mark.parametrize("bits_a,bits_b", [(4, 4), (2, 4), (4, 2), (2, 2), (5, 3)])
+    def test_matches_scalar_reference(self, rng, size, bits_a, bits_b):
+        from repro.hardware.fmac import fmac_dot_product_reference
+        a = quantize_vector(rng.standard_normal(size) * 10.0 ** rng.integers(-3, 3, size=size),
+                            bits_a)
+        b = quantize_vector(rng.standard_normal(size), bits_b)
+        fast = fmac_dot_product(a, b)
+        ref = fmac_dot_product_reference(a, b)
+        assert fast.value == ref.value
+        assert fast.passes == ref.passes
+        assert fast.multiplications == ref.multiplications
+
+    def test_wide_chunks_match_scalar_reference(self, rng):
+        from repro.hardware.fmac import fmac_dot_product_reference
+        a = quantize_vector(rng.standard_normal(48), 6)
+        b = quantize_vector(rng.standard_normal(48), 6)
+        fast = fmac_dot_product(a, b, chunk_bits=3)
+        ref = fmac_dot_product_reference(a, b, chunk_bits=3)
+        assert fast.value == ref.value
+        assert fast.passes == ref.passes
+
+    def test_mismatched_shapes_rejected(self, rng):
+        a = quantize_vector(rng.standard_normal(32), 4)
+        b = quantize_vector(rng.standard_normal(16), 4)
+        with pytest.raises(ValueError, match="same shape"):
+            fmac_dot_product(a, b)
+
+    def test_mismatched_group_size_rejected(self, rng):
+        a = quantize_vector(rng.standard_normal(32), 4, group_size=16)
+        b = quantize_vector(rng.standard_normal(32), 4, group_size=8)
+        with pytest.raises(ValueError, match="group size"):
+            fmac_dot_product(a, b)

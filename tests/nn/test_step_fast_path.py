@@ -1,0 +1,147 @@
+"""Tests for the step-level fast paths in ``repro.nn.functional``:
+
+* memoized im2col/scatter indices (and their cached/uncached equivalence),
+* the BLAS/bincount convolution path vs. the einsum/add.at reference,
+* the reshape-based non-overlapping max-pool fast path,
+* dtype preservation in ``dropout`` and ``one_hot``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _fast_path_defaults():
+    """Each test starts from the enabled defaults with empty index caches."""
+    prev_cache = F.set_im2col_cache_enabled(True)
+    prev_conv = F.set_conv_fast_path_enabled(True)
+    F.clear_im2col_cache()
+    yield
+    F.set_im2col_cache_enabled(prev_cache)
+    F.set_conv_fast_path_enabled(prev_conv)
+    F.clear_im2col_cache()
+
+
+class TestIm2colMemoization:
+    def test_hit_returns_identical_objects(self):
+        shape = (2, 3, 8, 8)
+        first = F.im2col_indices(shape, 3, 3, 1, 1)
+        second = F.im2col_indices(shape, 3, 3, 1, 1)
+        assert all(a is b for a, b in zip(first[:3], second[:3]))
+
+    def test_batch_size_does_not_split_the_cache(self):
+        first = F.im2col_indices((2, 3, 8, 8), 3, 3, 1, 1)
+        second = F.im2col_indices((64, 3, 8, 8), 3, 3, 1, 1)
+        assert first[0] is second[0]
+
+    def test_memoized_indices_match_fresh_build(self):
+        shape = (4, 5, 9, 7)
+        cached = F.im2col_indices(shape, 3, 2, 2, 1)
+        F.set_im2col_cache_enabled(False)
+        fresh = F.im2col_indices(shape, 3, 2, 2, 1)
+        for a, b in zip(cached, fresh):
+            np.testing.assert_array_equal(a, b)
+
+    def test_cached_arrays_are_read_only(self):
+        k, i, j, _, _ = F.im2col_indices((2, 3, 8, 8), 3, 3, 1, 1)
+        with pytest.raises(ValueError):
+            k[0, 0] = 99
+
+    def test_empty_output_still_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            F.im2col_indices((1, 1, 2, 2), 5, 5, 1, 0)
+
+    def test_disabled_cache_stores_nothing(self):
+        F.set_im2col_cache_enabled(False)
+        F.clear_im2col_cache()
+        F.im2col_indices((2, 3, 8, 8), 3, 3, 1, 1)
+        assert not F.im2col_cache_enabled()
+        F.set_im2col_cache_enabled(True)
+        first = F.im2col_indices((2, 3, 8, 8), 3, 3, 1, 1)
+        assert first[0] is F.im2col_indices((2, 3, 8, 8), 3, 3, 1, 1)[0]
+
+
+class TestConvFastPath:
+    def run_conv(self, rng, fast, stride=1, padding=1):
+        F.set_conv_fast_path_enabled(fast)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        out = F.conv2d(x, w, b, stride=stride, padding=padding)
+        out.sum().backward()
+        return out.data, x.grad, w.grad, b.grad
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 0), (1, 2)])
+    def test_matmul_path_matches_einsum(self, stride, padding):
+        fast = self.run_conv(np.random.default_rng(0), True, stride, padding)
+        slow = self.run_conv(np.random.default_rng(0), False, stride, padding)
+        for fast_arr, slow_arr in zip(fast, slow):
+            np.testing.assert_allclose(fast_arr, slow_arr, rtol=1e-12, atol=1e-12)
+
+    def test_col2im_bincount_bit_equals_add_at(self, rng):
+        shape = (3, 3, 8, 8)
+        out_side = (8 + 2 * 1 - 2) // 1 + 1
+        cols = rng.standard_normal((3, 3 * 4, out_side * out_side))
+        fast = F.col2im(cols, shape, 2, 2, 1, 1)
+        F.set_conv_fast_path_enabled(False)
+        slow = F.col2im(cols, shape, 2, 2, 1, 1)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_col2im_float32_keeps_dtype(self, rng):
+        cols = rng.standard_normal((2, 4, 16)).astype(np.float32)
+        out = F.col2im(cols, (2, 1, 8, 8), 2, 2, 2, 0)
+        assert out.dtype == np.float32
+
+
+class TestMaxPoolFastPath:
+    def run_pool(self, x, fast, kernel, stride=None):
+        F.set_conv_fast_path_enabled(fast)
+        tensor = Tensor(x, requires_grad=True)
+        out = F.max_pool2d(tensor, kernel, stride)
+        out.sum().backward()
+        return out.data, tensor.grad
+
+    @pytest.mark.parametrize("shape,kernel", [((2, 3, 8, 8), 2), ((1, 2, 6, 6), 3)])
+    def test_reshape_path_bit_equals_im2col(self, rng, shape, kernel):
+        # Integer values create ties; both paths must pick the same winner.
+        x = rng.integers(-3, 4, size=shape).astype(float)
+        fast_out, fast_grad = self.run_pool(x, True, kernel)
+        slow_out, slow_grad = self.run_pool(x, False, kernel)
+        np.testing.assert_array_equal(fast_out, slow_out)
+        np.testing.assert_array_equal(fast_grad, slow_grad)
+
+    def test_overlapping_windows_use_im2col_path(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        fast_out, fast_grad = self.run_pool(x, True, 3, stride=2)
+        slow_out, slow_grad = self.run_pool(x, False, 3, stride=2)
+        np.testing.assert_array_equal(fast_out, slow_out)
+        np.testing.assert_array_equal(fast_grad, slow_grad)
+
+
+class TestDtypePreservation:
+    def test_dropout_mask_keeps_float32(self):
+        x = Tensor(np.ones((64, 64), dtype=np.float32))
+        assert x.data.dtype == np.float32  # Tensor preserves float32
+        out = F.dropout(x, 0.5, training=True, rng=np.random.default_rng(0))
+        assert out.data.dtype == np.float32
+
+    def test_dropout_float64_values_unchanged_semantics(self):
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        x = Tensor(np.ones((32, 32)))
+        out = F.dropout(x, 0.25, training=True, rng=rng_a)
+        mask = (rng_b.random((32, 32)) >= 0.25).astype(np.float64) / 0.75
+        np.testing.assert_array_equal(out.data, mask)
+
+    def test_one_hot_default_float64(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        assert encoded.dtype == np.float64
+        np.testing.assert_array_equal(encoded.sum(axis=1), np.ones(3))
+
+    def test_one_hot_dtype_override(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3, dtype=np.float32)
+        assert encoded.dtype == np.float32
+        np.testing.assert_array_equal(
+            encoded, F.one_hot(np.array([0, 2, 1]), 3).astype(np.float32))

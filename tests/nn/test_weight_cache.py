@@ -104,23 +104,144 @@ class TestInvalidation:
         assert x.grad is not None
 
 
-class TestUncachedSchemes:
-    def test_fast_scheme_opts_out_of_caching(self, rng):
-        """FASTScheme records a policy decision per call, so it must not cache."""
-        policy = FASTAdaptivePolicy(total_layers=2, total_iterations=10,
-                                    config=BFPConfig(exponent_bits=8))
-        scheme = FASTScheme(policy)
-        assert scheme.weight_cache_token() is None
-        layer = QuantizedLinear(8, 4, scheme=scheme, rng=np.random.default_rng(0))
-        x = Tensor(rng.standard_normal((3, 8)))
-        history_len = len(policy.history)
-        layer(x)
-        layer(x)
-        assert len(policy.history) > history_len + 1  # one decision per forward, per kind
+class CountingFASTScheme(FASTScheme):
+    """FASTScheme that counts weight-quantization invocations."""
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.weight_calls = 0
+
+    def _quantize_with_bits(self, values, kind, bits):
+        from repro.formats.base import TensorKind
+        if kind == TensorKind.WEIGHT:
+            self.weight_calls += 1
+        return super()._quantize_with_bits(values, kind, bits)
+
+
+class TogglePolicy:
+    """Minimal pure policy whose bits decision tests can flip at will."""
+
+    def __init__(self, bits=2):
+        self.bits = bits
+        self.history = []
+
+    def decide(self, tensor_kind, layer_index, iteration, tensor=None):
+        from repro.core.precision_policy import PrecisionDecision
+        return PrecisionDecision(layer_index, iteration, tensor_kind, self.bits)
+
+    def select(self, tensor_kind, layer_index, iteration, tensor=None):
+        decision = self.decide(tensor_kind, layer_index, iteration, tensor=tensor)
+        self.history.append(decision)
+        return decision.mantissa_bits
+
+
+class TestFASTSchemeCaching:
+    """The decision/quantization split lets adaptive training cache weights."""
+
+    def make_fast_linear(self, policy=None):
+        if policy is None:
+            policy = FASTAdaptivePolicy(total_layers=2, total_iterations=10,
+                                        config=BFPConfig(exponent_bits=8))
+        scheme = CountingFASTScheme(policy, stochastic_gradients=False,
+                                    config=BFPConfig(exponent_bits=8))
+        layer = QuantizedLinear(8, 4, scheme=scheme, rng=np.random.default_rng(0))
+        return layer, scheme, policy
+
+    def test_repeated_forwards_quantize_once(self, rng):
+        layer, scheme, _ = self.make_fast_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        outputs = [layer(x).data for _ in range(5)]
+        assert scheme.weight_calls == 1
+        for out in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], out)
+
+    def test_every_forward_still_records_a_weight_decision(self, rng):
+        layer, _, policy = self.make_fast_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer(x)
+        weight_decisions = sum(1 for d in policy.history if d.tensor_kind == "weight")
+        layer(x)  # cache hit: decision recorded, quantization skipped
+        after = sum(1 for d in policy.history if d.tensor_kind == "weight")
+        assert after == weight_decisions + 1
+
+    def test_version_bump_invalidates(self, rng):
+        layer, scheme, _ = self.make_fast_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer(x).sum().backward()
+        nn.SGD(layer.parameters(), lr=0.5).step()
+        before = scheme.weight_calls
+        layer(x)
+        assert scheme.weight_calls == before + 1
+
+    def test_bits_flip_invalidates_without_version_change(self, rng):
+        """A changed policy decision must refresh the cached weight even when
+        the parameter version is unchanged."""
+        policy = TogglePolicy(bits=2)
+        layer, scheme, _ = self.make_fast_linear(policy)
+        x = Tensor(rng.standard_normal((3, 8)))
+        low = layer(x).data.copy()
+        assert scheme.weight_calls == 1
+        policy.bits = 4
+        high = layer(x).data
+        assert scheme.weight_calls == 2
+        assert not np.allclose(low, high)
+        assert scheme.precision_setting()["weight"] == 4
+
+    def test_adaptive_threshold_flip_invalidates(self, rng):
+        """Same, driven through the real FASTAdaptivePolicy threshold."""
+        from repro.core.converter import relative_improvement
+        layer, scheme, _ = self.make_fast_linear()
+        r_value = relative_improvement(layer.weight.data,
+                                       BFPConfig(exponent_bits=8), 2, 4)
+        # Pin the threshold just above r(W) at iteration 0 (choose 2 bits)
+        # and well below it at the final iteration (choose 4 bits).
+        policy = FASTAdaptivePolicy(total_layers=1, total_iterations=10,
+                                    alpha=r_value + 0.01, beta=0.5,
+                                    config=BFPConfig(exponent_bits=8))
+        scheme.policy = policy
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer.clear_weight_cache()
+        scheme.weight_calls = 0
+        layer(x)
+        assert scheme.precision_setting()["weight"] == 2
+        scheme.iteration = 10
+        layer(x)
+        assert scheme.precision_setting()["weight"] == 4
+        assert scheme.weight_calls == 2
+
+    def test_token_requires_weight_values(self, rng):
+        layer, scheme, _ = self.make_fast_linear()
+        assert scheme.weight_cache_token() is None
+        token = scheme.weight_cache_token(layer.weight.data)
+        assert token is not None and token[0] == "fast"
+        assert token[1] in (2, 4)
+
+    def test_standalone_quantize_weight_selects_fresh(self, rng):
+        layer, scheme, policy = self.make_fast_linear()
+        values = rng.standard_normal((4, 32))
+        before = len(policy.history)
+        scheme.quantize_weight(values)
+        assert len(policy.history) == before + 1
+
+    def test_stale_pending_bits_not_reused_after_cache_hit(self, rng):
+        """A cache-hit forward leaves a pending weight decision unconsumed; a
+        later standalone quantize_weight on a different array must still
+        select (and record) freshly instead of inheriting those bits."""
+        layer, scheme, policy = self.make_fast_linear()
+        x = Tensor(rng.standard_normal((3, 8)))
+        layer(x)
+        layer(x)  # cache hit: weight_cache_token sets pending, nothing consumes it
+        other = rng.standard_normal((4, 32))
+        before = len(policy.history)
+        scheme.quantize_weight(other)
+        assert len(policy.history) == before + 1
+
+
+class TestUncachedSchemes:
     def test_base_scheme_token_is_none(self):
         from repro.nn.quantized import QuantizationScheme
         assert QuantizationScheme().weight_cache_token() is None
+        assert QuantizationScheme().weight_cache_token(np.zeros(4)) is None
 
 
 class TestParameterVersioning:
