@@ -1,0 +1,299 @@
+"""Performance benchmark: frozen-model serving, single-request vs. batched.
+
+PR 3 added the serving subsystem (``repro.serving``): frozen BFP model
+export, ``.npz`` checkpoints, and a dynamic micro-batching request server.
+This benchmark measures what serving buys per model family:
+
+* **single-request latency** -- every request runs alone through the engine
+  (a ``max_batch_size=1`` server), which is what one-at-a-time submission
+  costs,
+* **batched throughput** -- the same requests submitted concurrently and
+  coalesced by the micro-batching queue.
+
+An equivalence harness runs first -- timings of a wrong serving path are
+worthless: per family it asserts that frozen logits are **bit-identical**
+to the live quantized model in eval mode and that a save/load round trip
+through the checkpoint format is also bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_serving.py
+    PYTHONPATH=src python benchmarks/bench_perf_serving.py --quick
+    PYTHONPATH=src python benchmarks/bench_perf_serving.py --output results.json
+
+Exit status is non-zero if the equivalence harness fails or if batched
+serving of the standard CNN workload does not reach 2x the one-at-a-time
+request throughput.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.core.bfp import BFPConfig
+from repro.models import MLP, mobilenet_v2, resnet20, tiny_yolo, transformer_small, vgg11
+from repro.nn.quantized import QuantizedConv2d, QuantizedLinear
+from repro.serving import (
+    BatchingConfig,
+    InferenceEngine,
+    InferenceServer,
+    freeze,
+    load_frozen,
+    save_frozen,
+)
+from repro.training.schedules import FixedBFPSchedule
+
+from bench_utils import print_banner, print_rows
+
+STANDARD_CONFIG = "cnn"
+SPEEDUP_GATE = 2.0
+#: Paper-standard 8-bit exponent window: batch composition never changes the
+#: shared-exponent clamping, so batched and single-request quantization agree.
+BFP_CONFIG = BFPConfig(exponent_bits=8, group_size=16)
+
+
+# --------------------------------------------------------------------------- #
+# Model families
+# --------------------------------------------------------------------------- #
+def build_cnn(seed=0):
+    """The standard serving CNN: the train-step benchmark's two-conv
+    architecture at the repo's usual CPU-scale width (16/32 channels)."""
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(
+        QuantizedConv2d(3, 16, 3, padding=1, rng=rng),
+        nn.ReLU(), nn.MaxPool2d(2),
+        QuantizedConv2d(16, 32, 3, padding=1, rng=rng),
+        nn.ReLU(), nn.MaxPool2d(2),
+        nn.Flatten(),
+        QuantizedLinear(32 * 8 * 8, 10, rng=rng),
+    )
+    return model, (3, 32, 32)
+
+
+def build_mlp(seed=0):
+    return MLP(784, [256, 128], 10, rng=np.random.default_rng(seed)), (784,)
+
+
+def build_vgg(seed=0):
+    return vgg11(width=8, rng=np.random.default_rng(seed)), (3, 32, 32)
+
+
+def build_resnet(seed=0):
+    return resnet20(width=8, rng=np.random.default_rng(seed)), (3, 32, 32)
+
+
+def build_mobilenet(seed=0):
+    return mobilenet_v2(width=8, rng=np.random.default_rng(seed)), (3, 32, 32)
+
+
+def build_yolo(seed=0):
+    return tiny_yolo(num_classes=3, image_size=32, rng=np.random.default_rng(seed)), (3, 32, 32)
+
+
+FAMILY_BUILDERS = {
+    "cnn": build_cnn,
+    "mlp": build_mlp,
+    "vgg": build_vgg,
+    "resnet": build_resnet,
+    "mobilenet": build_mobilenet,
+    "yolo": build_yolo,
+}
+
+#: Per-family batch caps (a per-deployment serving knob).  MobileNet's
+#: depthwise/1x1 structure is memory-bandwidth-bound: large batches overflow
+#: cache and run *slower* per sample, so it serves best with a small cap.
+FAMILY_BATCH_CAPS = {"mobilenet": 8}
+DEFAULT_BATCH_CAP = 32
+
+
+def frozen_engine(family: str, seed=0, compute_dtype=None):
+    model, input_shape = FAMILY_BUILDERS[family](seed)
+    FixedBFPSchedule(4, config=BFP_CONFIG, stochastic_gradients=False,
+                     seed=0).prepare(model, 1)
+    model.eval()
+    frozen = freeze(model)
+    if compute_dtype is not None:
+        frozen.cast(compute_dtype)
+    return model, InferenceEngine(frozen), input_shape
+
+
+# --------------------------------------------------------------------------- #
+# Equivalence harness
+# --------------------------------------------------------------------------- #
+def verify_family(family: str, rng) -> None:
+    model, engine, input_shape = frozen_engine(family)
+    inputs = rng.standard_normal((4,) + input_shape)
+    with nn.no_grad():
+        live = model(inputs).data
+    frozen_out = engine.model.predict(inputs)
+    assert np.array_equal(frozen_out, live), f"{family}: frozen logits diverge from live"
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_frozen(engine.model, Path(tmp) / f"{family}.npz")
+        reloaded = load_frozen(path)
+        assert np.array_equal(reloaded.predict(inputs), live), \
+            f"{family}: checkpoint round trip diverges"
+    # The float32 serving cast leaves every BFP grid value exact; only the
+    # accumulations run at single precision, so logits agree tightly.
+    _, engine32, _ = frozen_engine(family, compute_dtype=np.float32)
+    served = engine32.model.predict(inputs)
+    assert served.dtype == np.float32, f"{family}: float32 cast not applied"
+    assert np.allclose(served, live, rtol=1e-4, atol=1e-5), \
+        f"{family}: float32 serving drifted from the float64 reference"
+
+
+def verify_transformer(rng) -> None:
+    model = transformer_small(vocab_size=40, max_length=16, rng=np.random.default_rng(0))
+    FixedBFPSchedule(4, config=BFP_CONFIG, stochastic_gradients=False,
+                     seed=0).prepare(model, 1)
+    model.eval()
+    src = rng.integers(3, 40, size=(4, 12))
+    tgt = rng.integers(3, 40, size=(4, 12))
+    with nn.no_grad():
+        live = model(src, tgt).data
+    frozen = freeze(model, meta={"bos_index": 1, "eos_index": 2})
+    assert np.array_equal(frozen.forward_logits(src, tgt), live), \
+        "transformer: frozen logits diverge from live"
+    live_decode = model.greedy_decode(src, 1, 2)
+    assert np.array_equal(frozen.predict(src), live_decode), \
+        "transformer: frozen greedy decode diverges"
+    with tempfile.TemporaryDirectory() as tmp:
+        reloaded = load_frozen(save_frozen(frozen, Path(tmp) / "transformer.npz"))
+        assert np.array_equal(reloaded.forward_logits(src, tgt), live), \
+            "transformer: checkpoint round trip diverges"
+
+
+# --------------------------------------------------------------------------- #
+# Serving measurements
+# --------------------------------------------------------------------------- #
+def bench_family(family: str, num_requests: int, max_batch_size: int, rng) -> dict:
+    # Serve in float32 (the production mode): BFP grid values are exact in
+    # float32, and half the memory traffic is what batched GEMMs feed on.
+    _, engine, input_shape = frozen_engine(family, compute_dtype=np.float32)
+    requests = rng.standard_normal((num_requests,) + input_shape).astype(np.float32)
+    # Warm both serving shapes: index/layout caches plus the allocator's
+    # large-block pools for the full-batch activations.
+    engine.warmup(requests[:1])
+    engine.warmup(requests[:max_batch_size])
+
+    # Single-request latency: a server restricted to batches of one, fed
+    # synchronously (each request waits for its result).
+    engine.reset_stats()
+    single_config = BatchingConfig(max_batch_size=1, max_delay_ms=0.0)
+    latencies = []
+    with InferenceServer(engine, single_config) as server:
+        start = time.perf_counter()
+        for request in requests:
+            result = server.predict(request, timeout=120)
+            latencies.append(result.timing.total_ms)
+        single_wall = time.perf_counter() - start
+    single_rps = num_requests / single_wall
+
+    # Batched throughput: the same requests submitted all at once and
+    # coalesced by the micro-batching queue.
+    engine.reset_stats()
+    batched_config = BatchingConfig(max_batch_size=max_batch_size, max_delay_ms=2.0)
+    with InferenceServer(engine, batched_config) as server:
+        start = time.perf_counter()
+        futures = [server.submit(request) for request in requests]
+        results = [future.result(timeout=300) for future in futures]
+        batched_wall = time.perf_counter() - start
+        stats = server.stats()
+    batched_rps = num_requests / batched_wall
+    mean_batch = stats["mean_batch_size"]
+    batched_latency_p50 = float(np.percentile([r.timing.total_ms for r in results], 50))
+
+    return {
+        "family": family,
+        "requests": num_requests,
+        "max_batch_size": max_batch_size,
+        "single_latency_ms_p50": float(np.percentile(latencies, 50)),
+        "single_latency_ms_p95": float(np.percentile(latencies, 95)),
+        "single_rps": single_rps,
+        "batched_rps": batched_rps,
+        "batched_latency_ms_p50": batched_latency_p50,
+        "mean_batch_size": mean_batch,
+        "speedup": batched_rps / single_rps,
+    }
+
+
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced family matrix + request counts for CI")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "results" / "perf_serving.json")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per family measurement")
+    args = parser.parse_args(argv)
+
+    print_banner("Frozen-model serving: single-request vs. dynamic batching")
+
+    rng = np.random.default_rng(1234)
+    if args.quick:
+        families = ["cnn", "mlp"]
+        num_requests = args.requests or 96
+    else:
+        families = ["cnn", "mlp", "vgg", "resnet", "mobilenet", "yolo"]
+        num_requests = args.requests or 96
+
+    for family in families:
+        verify_family(family, rng)
+    verify_transformer(rng)
+    print("equivalence harness: PASS (frozen logits and checkpoint round trips "
+          "bit-identical to the live quantized models, greedy decode included)")
+
+    results = [
+        bench_family(family, num_requests,
+                     max_batch_size=FAMILY_BATCH_CAPS.get(family, DEFAULT_BATCH_CAP),
+                     rng=rng)
+        for family in families
+    ]
+
+    rows = [(r["family"], str(r["max_batch_size"]), f"{r['single_latency_ms_p50']:.2f}",
+             f"{r['single_rps']:.0f}", f"{r['batched_rps']:.0f}",
+             f"{r['mean_batch_size']:.1f}", f"{r['speedup']:.2f}x")
+            for r in results]
+    print_rows(["family", "cap", "single p50 (ms)", "single (req/s)",
+                "batched (req/s)", "mean batch", "speedup"],
+               rows, title=f"Serving throughput ({num_requests} requests)")
+
+    # Storage accounting for the standard CNN export.
+    _, engine, _ = frozen_engine(STANDARD_CONFIG)
+    storage = engine.model.storage_report()
+    print(f"\nfrozen {STANDARD_CONFIG} storage: {storage['total_bytes'] / 1024:.1f} KiB "
+          f"({storage['compression_vs_fp32']:.2f}x vs FP32 under the chunked BFP layout)")
+
+    report = {
+        "benchmark": "bench_perf_serving",
+        "mode": "quick" if args.quick else "full",
+        "requests": num_requests,
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "equivalence": "pass",
+        "storage_standard": storage,
+        "results": results,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    standard = next(r for r in results if r["family"] == STANDARD_CONFIG)
+    print(f"standard ({STANDARD_CONFIG}) batched-vs-single speedup: "
+          f"{standard['speedup']:.2f}x (gate {SPEEDUP_GATE:.1f}x)")
+    if standard["speedup"] < SPEEDUP_GATE:
+        print("FAIL: batched serving speedup below the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,9 +70,26 @@ def summarize_train_step(report: dict) -> dict:
     }
 
 
+def summarize_serving(report: dict) -> dict:
+    return {
+        "per_family": {
+            r["family"]: {
+                "single_latency_ms_p50": r["single_latency_ms_p50"],
+                "single_rps": r["single_rps"],
+                "batched_rps": r["batched_rps"],
+                "max_batch_size": r["max_batch_size"],
+                "speedup": r["speedup"],
+            }
+            for r in report.get("results", [])
+        },
+        "storage_standard": report.get("storage_standard"),
+    }
+
+
 SUMMARIZERS = {
     "perf_quantization.json": ("bench_perf_quantization", summarize_quantization),
     "perf_train_step.json": ("bench_perf_train_step", summarize_train_step),
+    "perf_serving.json": ("bench_perf_serving", summarize_serving),
 }
 
 

@@ -13,13 +13,15 @@ Package layout (see DESIGN.md for the full system inventory):
   IWSLT14/VOC.
 * :mod:`repro.training`  -- quantized training loops, precision schedules,
   metrics and time-to-accuracy analysis.
+* :mod:`repro.serving`   -- frozen BFP model export, npz checkpoints, and a
+  dynamic-batching inference server.
 * :mod:`repro.hardware`  -- fMAC/systolic-array/SRAM/system models and the
   training time/energy model.
 * :mod:`repro.analysis`  -- exponent statistics, sensitivity sweeps, report
   rendering.
 """
 
-from . import analysis, core, data, formats, hardware, models, nn, training
+from . import analysis, core, data, formats, hardware, models, nn, serving, training
 from .core import BFPConfig, BFPTensor, bfp_quantize, bfp_quantize_tensor, relative_improvement
 from .formats import get_format
 from .training import ClassificationTrainer, FASTSchedule, build_schedule
@@ -33,6 +35,7 @@ __all__ = [
     "models",
     "data",
     "training",
+    "serving",
     "hardware",
     "analysis",
     "BFPConfig",

@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .bfp import BFPTensor
+from .bfp import BFPConfig, BFPTensor
 from .chunks import decompose_mantissas, reconstruct_mantissas
 
 __all__ = [
@@ -31,6 +31,8 @@ __all__ = [
     "bits_per_value",
     "pack_group",
     "unpack_group",
+    "compact_bfp_arrays",
+    "restore_bfp_tensor",
 ]
 
 
@@ -89,6 +91,48 @@ def unpack_group(packed: Dict[str, object]) -> Tuple[np.ndarray, np.ndarray, int
     signs = np.where(mantissas == 0, 0, signs).astype(np.int8)
     assert len(signs) == group_size
     return signs, mantissas, int(packed["exponent"])
+
+
+def compact_bfp_arrays(tensor: BFPTensor) -> Dict[str, np.ndarray]:
+    """Smallest integer arrays that losslessly hold a packed :class:`BFPTensor`.
+
+    The serving checkpoint format stores these three arrays per quantized
+    weight instead of the dequantized floats: signs fit ``int8``, mantissa
+    magnitudes fit ``uint8``/``uint16`` (``m`` bits each), and shared
+    exponents fit ``int16`` (FP32-range exponents).  Together with the group
+    geometry recorded by the caller this is exactly the information content
+    of the Figure 15 layout, one word-sized array per field.
+    """
+    mantissa_dtype = np.uint8 if tensor.mantissa_bits <= 8 else np.uint16
+    exponents = tensor.exponents
+    if exponents.min() < np.iinfo(np.int16).min or exponents.max() > np.iinfo(np.int16).max:
+        raise ValueError("shared exponents exceed the int16 storage range")
+    return {
+        "signs": tensor.signs.astype(np.int8, copy=False),
+        "mantissas": tensor.mantissas.astype(mantissa_dtype),
+        "exponents": exponents.astype(np.int16),
+    }
+
+
+def restore_bfp_tensor(
+    arrays: Dict[str, np.ndarray],
+    config: BFPConfig,
+    shape,
+    axis: int,
+    pad: int,
+    moved_shape,
+) -> BFPTensor:
+    """Rebuild a :class:`BFPTensor` from :func:`compact_bfp_arrays` output."""
+    return BFPTensor(
+        signs=np.asarray(arrays["signs"], dtype=np.int8),
+        mantissas=np.asarray(arrays["mantissas"], dtype=np.int64),
+        exponents=np.asarray(arrays["exponents"], dtype=np.int64),
+        config=config,
+        shape=tuple(int(s) for s in shape),
+        axis=int(axis),
+        pad=int(pad),
+        _moved_shape=tuple(int(s) for s in moved_shape),
+    )
 
 
 @dataclass

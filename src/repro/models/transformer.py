@@ -89,23 +89,34 @@ class Seq2SeqTransformer(nn.Module):
 
     def greedy_decode(self, src_tokens: np.ndarray, bos_index: int, eos_index: int,
                       max_length: Optional[int] = None) -> np.ndarray:
-        """Greedy autoregressive decoding; returns generated token ids."""
+        """Greedy autoregressive decoding; returns generated token ids.
+
+        Always runs in eval mode (training-only branches such as dropout are
+        disabled for the duration of the decode) and restores the previous
+        mode on exit, so generation is deterministic regardless of the
+        caller's training state.
+        """
         max_length = max_length if max_length is not None else self.max_length
         src_tokens = np.asarray(src_tokens, dtype=np.int64)
         batch = src_tokens.shape[0]
-        with nn.no_grad():
-            memory = self.encode(src_tokens)
-            generated = np.full((batch, 1), bos_index, dtype=np.int64)
-            finished = np.zeros(batch, dtype=bool)
-            for _ in range(max_length - 1):
-                decoded = self.decode(generated, memory)
-                logits = self.output_projection(decoded).data[:, -1, :]
-                next_tokens = logits.argmax(axis=-1)
-                next_tokens = np.where(finished, self.pad_index, next_tokens)
-                generated = np.concatenate([generated, next_tokens[:, None]], axis=1)
-                finished = finished | (next_tokens == eos_index)
-                if finished.all():
-                    break
+        was_training = self.training
+        self.eval()
+        try:
+            with nn.no_grad():
+                memory = self.encode(src_tokens)
+                generated = np.full((batch, 1), bos_index, dtype=np.int64)
+                finished = np.zeros(batch, dtype=bool)
+                for _ in range(max_length - 1):
+                    decoded = self.decode(generated, memory)
+                    logits = self.output_projection(decoded).data[:, -1, :]
+                    next_tokens = logits.argmax(axis=-1)
+                    next_tokens = np.where(finished, self.pad_index, next_tokens)
+                    generated = np.concatenate([generated, next_tokens[:, None]], axis=1)
+                    finished = finished | (next_tokens == eos_index)
+                    if finished.all():
+                        break
+        finally:
+            self.train(was_training)
         return generated
 
 

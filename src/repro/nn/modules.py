@@ -67,6 +67,7 @@ class Module:
     def __init__(self):
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", [])
         object.__setattr__(self, "training", True)
 
     # ------------------------------------------------------------------ #
@@ -77,6 +78,11 @@ class Module:
             self._parameters[name] = value
         elif isinstance(value, Module):
             self._modules[name] = value
+            # A submodule attached after ``eval()``/``train()`` inherits the
+            # parent's current mode, so one toggle on the root governs every
+            # training-only branch (dropout, batch-norm statistics).
+            if value.training != self.training:
+                value.train(self.training)
         object.__setattr__(self, name, value)
 
     def register_parameter(self, name: str, value: Optional[Parameter]) -> None:
@@ -84,8 +90,28 @@ class Module:
             self._parameters[name] = value
         object.__setattr__(self, name, value)
 
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable state array (e.g. batch-norm statistics).
+
+        Buffers join :meth:`state_dict`/:meth:`load_state_dict` so running
+        statistics survive checkpointing, but they are not returned by
+        :meth:`parameters` and receive no gradients.  Reassigning the
+        attribute updates the buffer (the name stays registered).
+        """
+        if name not in self._buffers:
+            self._buffers.append(name)
+        object.__setattr__(self, name, np.asarray(value))
+
+    def named_buffers(self, prefix: str = "") -> List[Tuple[str, np.ndarray]]:
+        result = [(prefix + name, getattr(self, name)) for name in self._buffers]
+        for name, module in self._modules.items():
+            result.extend(module.named_buffers(prefix=prefix + name + "."))
+        return result
+
     def add_module(self, name: str, module: "Module") -> None:
         self._modules[name] = module
+        if module.training != self.training:
+            module.train(self.training)
         object.__setattr__(self, name, module)
 
     # ------------------------------------------------------------------ #
@@ -132,8 +158,11 @@ class Module:
             param.zero_grad()
 
     def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
-        """A flat name -> array snapshot of all parameters."""
-        return {name: param.data.copy() for name, param in self.named_parameters(prefix)}
+        """A flat name -> array snapshot of all parameters and buffers."""
+        state = {name: param.data.copy() for name, param in self.named_parameters(prefix)}
+        for name, value in self.named_buffers(prefix):
+            state[name] = np.array(value)
+        return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         for name, param in self.named_parameters():
@@ -141,6 +170,12 @@ class Module:
                 param.data = np.array(state[name], dtype=np.float64).reshape(param.shape)
                 if isinstance(param, Parameter):
                     param.bump_version()
+        for path, module in self.named_modules():
+            prefix = path + "." if path else ""
+            for name in module._buffers:
+                key = prefix + name
+                if key in state:
+                    object.__setattr__(module, name, np.array(state[key]))
 
     def num_parameters(self) -> int:
         return sum(param.size for param in self.parameters())
@@ -201,9 +236,12 @@ class Conv2d(Module):
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
-        if self.groups == 1:
-            return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
-        # Grouped convolution (needed for MobileNet's depthwise layers): run
+        if self.groups == 1 or F.conv_fast_path_enabled():
+            # Grouped convolutions run as one batched product over the group
+            # axis inside F.conv2d (bit-identical to the per-group loop).
+            return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                            padding=self.padding, groups=self.groups)
+        # Reference grouped path (fast path disabled for benchmarking): run
         # each group independently and concatenate along the channel axis.
         in_per_group = self.in_channels // self.groups
         out_per_group = self.out_channels // self.groups
@@ -226,8 +264,8 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.weight = Parameter(init.ones(num_features))
         self.bias = Parameter(init.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)

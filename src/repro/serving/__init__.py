@@ -1,0 +1,55 @@
+"""Quantized inference serving: frozen BFP exports + a dynamic-batching server.
+
+The training side of this repository simulates FAST's quantized training;
+this package is the inference side.  A trained model is *frozen* -- weights
+quantized once into packed BFP artifacts, training-only branches stripped,
+every forward replaced by a grad-free NumPy replica that is bit-identical to
+the live model in eval mode -- then served through an engine with latency
+accounting and an in-process request server that coalesces concurrent
+requests into batches.
+
+Typical flow::
+
+    from repro import serving
+
+    frozen = serving.freeze(model)                      # quantize once
+    serving.save_frozen(frozen, "model.npz")            # compact checkpoint
+    frozen = serving.load_frozen("model.npz")           # bit-identical reload
+
+    engine = serving.InferenceEngine(frozen)
+    engine.warmup(example_batch)                        # prime index/layout caches
+    with serving.InferenceServer(engine) as server:
+        future = server.submit(image)                   # async
+        result = server.predict(image)                  # sync
+        print(result.timing.total_ms, server.stats())
+"""
+
+from .checkpoint import load_frozen, load_state, save_frozen, save_state
+from .engine import InferenceEngine
+from .frozen import (
+    FrozenModel,
+    FrozenOp,
+    freeze,
+    freeze_module,
+    frozen_op_types,
+    register_freezer,
+)
+from .server import BatchingConfig, InferenceResult, InferenceServer, RequestTiming
+
+__all__ = [
+    "freeze",
+    "freeze_module",
+    "register_freezer",
+    "frozen_op_types",
+    "FrozenModel",
+    "FrozenOp",
+    "save_state",
+    "load_state",
+    "save_frozen",
+    "load_frozen",
+    "InferenceEngine",
+    "InferenceServer",
+    "BatchingConfig",
+    "InferenceResult",
+    "RequestTiming",
+]

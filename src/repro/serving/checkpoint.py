@@ -1,0 +1,137 @@
+"""``.npz``-based checkpointing for live models and frozen exports.
+
+Two formats live here:
+
+* **State checkpoints** (:func:`save_state` / :func:`load_state`) -- a flat
+  dump of a live module's ``state_dict`` (parameters *and* buffers, so
+  batch-norm running statistics survive).  Loading requires a compatible
+  model instance, exactly like ``torch.load_state_dict``.
+* **Frozen checkpoints** (:func:`save_frozen` / :func:`load_frozen`) -- a
+  self-describing serialization of a :class:`~repro.serving.frozen.FrozenModel`:
+  a JSON spec tree describing the op graph plus one compact array per
+  tensor.  Quantized weights are stored as packed BFP integer arrays
+  (int8 signs, uint8/16 mantissas, int16 shared exponents -- the information
+  content of the Figure 15 memory layout), so a 4-bit-mantissa checkpoint is
+  a fraction of the FP32 size and reloads **bit-identically**:
+  dequantization via ``BFPTensor.to_float`` reproduces the exact grid values
+  the live model computes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from ..nn.modules import Module
+from .frozen import FrozenModel, FrozenOp, frozen_op_types
+
+__all__ = ["save_state", "load_state", "save_frozen", "load_frozen"]
+
+_SPEC_KEY = "__spec__"
+
+
+# --------------------------------------------------------------------------- #
+# Live-module state checkpoints
+# --------------------------------------------------------------------------- #
+def save_state(module: Module, path) -> Path:
+    """Write a module's parameters and buffers to a compressed ``.npz``."""
+    path = Path(path)
+    state = module.state_dict()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_state(module: Module, path) -> Module:
+    """Load a :func:`save_state` checkpoint into a compatible module."""
+    with np.load(Path(path)) as data:
+        state = {key: data[key] for key in data.files}
+    module.load_state_dict(state)
+    return module
+
+
+# --------------------------------------------------------------------------- #
+# Frozen-model checkpoints
+# --------------------------------------------------------------------------- #
+def _collect(op: FrozenOp, path: str, arrays_out: Dict[str, np.ndarray]) -> dict:
+    config, arrays, children = op.state()
+    for name, array in arrays.items():
+        arrays_out[f"{path}/{name}"] = array
+    child_specs = {}
+    for name, child in children.items():
+        if isinstance(child, (list, tuple)):
+            child_specs[name] = [
+                _collect(item, f"{path}/{name}.{index}", arrays_out)
+                for index, item in enumerate(child)
+            ]
+        else:
+            child_specs[name] = _collect(child, f"{path}/{name}", arrays_out)
+    return {"type": op.kind, "config": config, "children": child_specs}
+
+
+def _build(spec: dict, path: str, arrays_by_dir: Dict[str, Dict[str, np.ndarray]]) -> FrozenOp:
+    children = {}
+    for name, child_spec in spec["children"].items():
+        if isinstance(child_spec, list):
+            children[name] = [
+                _build(item, f"{path}/{name}.{index}", arrays_by_dir)
+                for index, item in enumerate(child_spec)
+            ]
+        else:
+            children[name] = _build(child_spec, f"{path}/{name}", arrays_by_dir)
+    op_types = frozen_op_types()
+    kind = spec["type"]
+    if kind not in op_types:
+        raise ValueError(f"unknown frozen op type {kind!r} in checkpoint")
+    return op_types[kind].from_state(spec["config"], arrays_by_dir.get(path, {}), children)
+
+
+def save_frozen(model: FrozenModel, path) -> Path:
+    """Serialize a frozen model (spec JSON + compact arrays) to ``.npz``."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    root_spec = _collect(model.root, "root", arrays)
+    spec = {
+        "format": "repro-frozen",
+        "version": FrozenModel.FORMAT_VERSION,
+        "family": model.family,
+        "meta": model.meta,
+        "root": root_spec,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{_SPEC_KEY: np.array(json.dumps(spec))}, **arrays)
+    return path
+
+
+def load_frozen(path) -> FrozenModel:
+    """Reconstruct a :func:`save_frozen` checkpoint.
+
+    The returned model's outputs are bit-identical to the model that was
+    saved: packed weights decode to the exact BFP grid values, raw arrays
+    round-trip untouched.
+    """
+    with np.load(Path(path)) as data:
+        if _SPEC_KEY not in data.files:
+            raise ValueError(f"{path} is not a frozen-model checkpoint")
+        spec = json.loads(str(data[_SPEC_KEY][()]))
+        arrays_by_dir: Dict[str, Dict[str, np.ndarray]] = {}
+        for key in data.files:
+            if key == _SPEC_KEY:
+                continue
+            directory, _, name = key.rpartition("/")
+            arrays_by_dir.setdefault(directory, {})[name] = data[key]
+    if spec.get("format") != "repro-frozen":
+        raise ValueError(f"unsupported checkpoint format {spec.get('format')!r}")
+    if spec.get("version") != FrozenModel.FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {spec.get('version')!r}")
+    root = _build(spec["root"], "root", arrays_by_dir)
+    model = FrozenModel(root, spec["family"], meta=spec.get("meta"))
+    compute_dtype = model.meta.get("compute_dtype")
+    if compute_dtype is not None:
+        # Packed weights always dequantize to float64; re-apply the saved
+        # serving dtype so a cast model round-trips as cast.
+        model.cast(compute_dtype)
+    return model

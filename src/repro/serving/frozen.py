@@ -1,0 +1,1361 @@
+"""Frozen-model export: one-time weight quantization + grad-free forwards.
+
+Training runs every forward through the autograd substrate: weights are
+re-quantized per call (or looked up in the version-keyed cache), dropout
+branches are evaluated, and every op allocates a :class:`~repro.nn.tensor.Tensor`
+with a backward closure.  Serving needs none of that.  :func:`freeze` walks a
+trained model once and converts it into a tree of *frozen ops*:
+
+* quantized layers quantize their weights **once** into a packed
+  :class:`~repro.core.bfp.BFPTensor` (the Figure 15 storage layout) and keep
+  the dequantized grid values for the matrix products,
+* dropout and every other training-only branch is stripped,
+* each op's ``run`` is a plain-NumPy replica of the live eval-mode forward --
+  same gather indices, same matmuls, same reduction expressions -- so frozen
+  logits are **bit-identical** to the live quantized model in eval mode,
+* convolution/pooling reuse the shared forward helpers and memoized im2col
+  indices of :mod:`repro.nn.functional`, and activation quantizers keep their
+  own persistent :class:`~repro.core.kernels.LayoutCache`.
+
+Every frozen op serializes to a JSON spec plus flat arrays, which
+:mod:`repro.serving.checkpoint` stores in an ``.npz`` file; packed weights
+are stored as compact integer arrays (signs/mantissas/exponents) rather than
+floats.
+
+Supported model families out of the box: ``Sequential`` compositions, MLP,
+VGG, ResNet (basic + bottleneck), MobileNet-v2, TinyYOLO, and the
+encoder-decoder Transformer (including greedy decoding).  New architectures
+register a freezer with :func:`register_freezer`.
+
+One serving-relevant caveat: BFP activation quantization shares its exponent
+window across the whole tensor, so with a narrow window (``exponent_bits``
+of 2-3) a request's quantization can depend on its batch companions.  The
+paper-standard 8-bit window never clamps in practice; serving configurations
+should prefer it when exact batch-invariance matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.bfp import BFPConfig, BFPTensor, bfp_quantize, bfp_quantize_tensor
+from ..core.kernels import LayoutCache, layout_cache_enabled
+from ..core.memory_layout import compact_bfp_arrays, restore_bfp_tensor
+from ..formats.base import TensorKind
+from ..formats.registry import get_format
+from ..models.mlp import MLP
+from ..models.mobilenet import InvertedResidual, MobileNetV2
+from ..models.resnet import BasicBlock, BottleneckBlock, ResNet
+from ..models.transformer import Seq2SeqTransformer
+from ..models.vgg import VGG
+from ..models.yolo import TinyYOLO
+from ..nn import attention as attention_mod
+from ..nn import functional as F
+from ..nn import modules as M
+from ..nn.attention import causal_mask
+from ..nn.quantized import (
+    BFPScheme,
+    FASTScheme,
+    FormatScheme,
+    QuantizedConv2d,
+    QuantizedLinear,
+)
+
+__all__ = [
+    "FrozenOp",
+    "FrozenModel",
+    "freeze",
+    "freeze_module",
+    "register_freezer",
+    "frozen_op_types",
+]
+
+
+def _as_float(x) -> np.ndarray:
+    """Promote like :class:`Tensor`: float32 stays, everything else -> float64."""
+    array = np.asarray(x)
+    return array if array.dtype == np.float32 else np.asarray(array, dtype=np.float64)
+
+
+# --------------------------------------------------------------------------- #
+# Activation quantizers
+# --------------------------------------------------------------------------- #
+class ActivationQuantizer:
+    """Deterministic nearest-rounding BFP quantizer with a persistent layout cache.
+
+    Applies exactly the same quantization a :class:`BFPScheme` applies to
+    activations in eval mode, so frozen activations match the live model bit
+    for bit.
+    """
+
+    def __init__(self, mantissa_bits: int, group_size: int, exponent_bits: Optional[int]):
+        self.mantissa_bits = int(mantissa_bits)
+        self.group_size = int(group_size)
+        self.exponent_bits = None if exponent_bits is None else int(exponent_bits)
+        self._layouts = LayoutCache(max_entries=16)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        layout = (self._layouts.layout_for(values, self.group_size)
+                  if layout_cache_enabled() else None)
+        return bfp_quantize(
+            values,
+            mantissa_bits=self.mantissa_bits,
+            group_size=self.group_size,
+            exponent_bits=self.exponent_bits,
+            rounding="nearest",
+            layout=layout,
+        )
+
+    def config(self) -> dict:
+        return {
+            "type": "bfp",
+            "mantissa_bits": self.mantissa_bits,
+            "group_size": self.group_size,
+            "exponent_bits": self.exponent_bits,
+        }
+
+
+class FormatActivationQuantizer:
+    """Activation quantizer backed by a registered scalar/block NumberFormat."""
+
+    def __init__(self, format_name: str):
+        self.format_name = format_name
+        self.number_format = get_format(format_name)
+        self._rng = np.random.default_rng(0)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.number_format.quantize(values, kind=TensorKind.ACTIVATION, rng=self._rng)
+
+    def config(self) -> dict:
+        return {"type": "format", "name": self.format_name}
+
+
+def _quantizer_from_config(config: Optional[dict]):
+    if config is None:
+        return None
+    if config["type"] == "bfp":
+        return ActivationQuantizer(config["mantissa_bits"], config["group_size"],
+                                   config["exponent_bits"])
+    if config["type"] == "format":
+        return FormatActivationQuantizer(config["name"])
+    raise ValueError(f"unknown activation quantizer config {config!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Frozen weights
+# --------------------------------------------------------------------------- #
+def _pack_weight(weight_data: np.ndarray, mantissa_bits: int, group_size: int,
+                 exponent_bits: Optional[int]) -> Tuple[BFPTensor, np.ndarray]:
+    """Quantize a weight once into packed BFP; returns (packed, grid values).
+
+    ``BFPTensor.to_float`` reconstructs exactly the values the live model's
+    fake-quantization produces (the packed integers are a lossless encoding
+    of the BFP grid points), which is what makes the frozen forward and the
+    checkpoint round-trip bit-identical.
+    """
+    packed = bfp_quantize_tensor(
+        np.asarray(weight_data),
+        mantissa_bits=mantissa_bits,
+        group_size=group_size,
+        exponent_bits=exponent_bits,
+        rounding="nearest",
+    )
+    return packed, packed.to_float()
+
+
+def _packed_meta(packed: BFPTensor) -> dict:
+    return {
+        "shape": list(packed.shape),
+        "axis": packed.axis,
+        "pad": packed.pad,
+        "moved_shape": list(packed._moved_shape),
+        "mantissa_bits": packed.config.mantissa_bits,
+        "group_size": packed.config.group_size,
+        "exponent_bits": packed.config.exponent_bits,
+    }
+
+
+def _packed_from_meta(meta: dict, arrays: Dict[str, np.ndarray]) -> BFPTensor:
+    config = BFPConfig(
+        mantissa_bits=meta["mantissa_bits"],
+        group_size=meta["group_size"],
+        exponent_bits=meta["exponent_bits"],
+        rounding="nearest",
+    )
+    return restore_bfp_tensor(arrays, config, meta["shape"], meta["axis"],
+                              meta["pad"], meta["moved_shape"])
+
+
+def _freeze_scheme(scheme, weight_data: np.ndarray):
+    """Resolve a quantization scheme into frozen-layer pieces.
+
+    Returns ``(weight_values, packed, activation_quantizer, descriptor)``.
+    The FAST-Adaptive scheme is resolved to a fixed-precision snapshot: the
+    weight keeps the bits the policy decided for it at freeze time, and
+    activations conservatively use the policy's high precision (their
+    per-call data-dependent decision cannot be replayed without the policy
+    state).
+    """
+    weight_data = np.asarray(weight_data)
+    if scheme is None or scheme.is_identity:
+        return np.array(weight_data), None, None, {"kind": "identity"}
+    if isinstance(scheme, FASTScheme):
+        # `decide` is the pure selection path: freezing must not record into
+        # (or advance the memo of) the live policy it snapshots.
+        weight_bits = scheme.policy.decide(
+            TensorKind.WEIGHT, scheme.layer_index, scheme.iteration,
+            tensor=weight_data).mantissa_bits
+        # Every policy defines supported_bits; high_bits is specific to the
+        # two-level policies, so the conservative snapshot is the widest
+        # mantissa the policy can choose.
+        activation_bits = max(scheme.policy.supported_bits)
+        config = scheme.config
+        packed, values = _pack_weight(weight_data, weight_bits,
+                                      config.group_size, config.exponent_bits)
+        quantizer = ActivationQuantizer(activation_bits, config.group_size,
+                                        config.exponent_bits)
+        descriptor = {"kind": "bfp", "weight_bits": int(weight_bits),
+                      "activation_bits": int(activation_bits),
+                      "group_size": config.group_size,
+                      "exponent_bits": config.exponent_bits,
+                      "frozen_from": "fast_adaptive"}
+        return values, packed, quantizer, descriptor
+    if isinstance(scheme, BFPScheme):
+        weight_bits = scheme.bits[TensorKind.WEIGHT]
+        activation_bits = scheme.bits[TensorKind.ACTIVATION]
+        config = scheme.config
+        packed, values = _pack_weight(weight_data, weight_bits,
+                                      config.group_size, config.exponent_bits)
+        quantizer = ActivationQuantizer(activation_bits, config.group_size,
+                                        config.exponent_bits)
+        descriptor = {"kind": "bfp", "weight_bits": int(weight_bits),
+                      "activation_bits": int(activation_bits),
+                      "group_size": config.group_size,
+                      "exponent_bits": config.exponent_bits}
+        return values, packed, quantizer, descriptor
+    if isinstance(scheme, FormatScheme):
+        values = scheme.number_format.quantize(
+            weight_data, kind=TensorKind.WEIGHT, rng=np.random.default_rng(0))
+        quantizer = FormatActivationQuantizer(scheme.number_format.name)
+        descriptor = {"kind": "format", "name": scheme.number_format.name}
+        return values, None, quantizer, descriptor
+    raise TypeError(f"cannot freeze quantization scheme {type(scheme).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Frozen op base + registry of op types (for checkpoint reconstruction)
+# --------------------------------------------------------------------------- #
+_OP_TYPES: Dict[str, type] = {}
+
+
+def _register_op(cls):
+    _OP_TYPES[cls.kind] = cls
+    return cls
+
+
+def frozen_op_types() -> Dict[str, type]:
+    """Registered frozen op types by kind (used by the checkpoint loader)."""
+    return dict(_OP_TYPES)
+
+
+class FrozenOp:
+    """A grad-free inference op.  ``run`` maps arrays to arrays."""
+
+    kind = "op"
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def state(self) -> Tuple[dict, Dict[str, np.ndarray], dict]:
+        """Serialization triple: (config JSON dict, arrays, child ops)."""
+        return {}, {}, {}
+
+    @classmethod
+    def from_state(cls, config: dict, arrays: Dict[str, np.ndarray], children: dict):
+        return cls()
+
+    def child_ops(self) -> List["FrozenOp"]:
+        return []
+
+
+def iter_ops(op: FrozenOp):
+    """Depth-first iteration over an op and all its descendants."""
+    yield op
+    for child in op.child_ops():
+        yield from iter_ops(child)
+
+
+# --------------------------------------------------------------------------- #
+# Leaf ops
+# --------------------------------------------------------------------------- #
+def _weight_state(op, config: dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Shared packed-vs-raw weight serialization for linear/conv ops."""
+    if op.packed is not None:
+        config["packed"] = _packed_meta(op.packed)
+        arrays.update(compact_bfp_arrays(op.packed))
+    else:
+        arrays["weight"] = op.weight
+    if op.bias is not None:
+        arrays["bias"] = op.bias
+
+
+def _weight_from_state(config: dict, arrays: Dict[str, np.ndarray]):
+    """Invert :func:`_weight_state`; returns ``(weight, bias, packed)``."""
+    packed = None
+    if "packed" in config:
+        packed = _packed_from_meta(config["packed"], arrays)
+        weight = packed.to_float()
+    else:
+        weight = arrays["weight"]
+    return weight, arrays.get("bias"), packed
+
+
+@_register_op
+class FrozenLinear(FrozenOp):
+    """``y = quantize(x) @ W_q.T + b`` with the weight quantized at freeze time."""
+
+    kind = "linear"
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray],
+                 quantizer=None, packed: Optional[BFPTensor] = None,
+                 scheme_desc: Optional[dict] = None):
+        self.weight = np.asarray(weight)
+        self.bias = None if bias is None else np.asarray(bias)
+        self.quantizer = quantizer
+        self.packed = packed
+        self.scheme_desc = scheme_desc or {"kind": "identity"}
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if self.quantizer is not None:
+            x = self.quantizer(x)
+        # matmul against the transposed view, exactly like F.linear's
+        # ``x @ weight.swapaxes(-1, -2)``.
+        out = np.matmul(x, self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def state(self):
+        config = {
+            "quantizer": None if self.quantizer is None else self.quantizer.config(),
+            "scheme": self.scheme_desc,
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        _weight_state(self, config, arrays)
+        return config, arrays, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        weight, bias, packed = _weight_from_state(config, arrays)
+        return cls(weight, bias,
+                   quantizer=_quantizer_from_config(config.get("quantizer")),
+                   packed=packed, scheme_desc=config.get("scheme"))
+
+
+@_register_op
+class FrozenConv2d(FrozenOp):
+    """Frozen convolution: shared im2col forward, freeze-time-quantized weight."""
+
+    kind = "conv2d"
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray],
+                 stride: int, padding: int, groups: int = 1,
+                 quantizer=None, packed: Optional[BFPTensor] = None,
+                 scheme_desc: Optional[dict] = None):
+        self.weight = np.asarray(weight)
+        self.bias = None if bias is None else np.asarray(bias)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        self.quantizer = quantizer
+        self.packed = packed
+        self.scheme_desc = scheme_desc or {"kind": "identity"}
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if self.quantizer is not None:
+            x = self.quantizer(x)
+        return F.conv2d_infer(x, self.weight, self.bias, stride=self.stride,
+                              padding=self.padding, groups=self.groups)
+
+    def state(self):
+        config = {
+            "stride": self.stride,
+            "padding": self.padding,
+            "groups": self.groups,
+            "quantizer": None if self.quantizer is None else self.quantizer.config(),
+            "scheme": self.scheme_desc,
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        _weight_state(self, config, arrays)
+        return config, arrays, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        weight, bias, packed = _weight_from_state(config, arrays)
+        return cls(weight, bias, config["stride"], config["padding"],
+                   config.get("groups", 1),
+                   quantizer=_quantizer_from_config(config.get("quantizer")),
+                   packed=packed, scheme_desc=config.get("scheme"))
+
+
+@_register_op
+class FrozenBatchNorm2d(FrozenOp):
+    """Eval-mode batch norm over frozen running statistics."""
+
+    kind = "batchnorm2d"
+
+    def __init__(self, mean: np.ndarray, var: np.ndarray,
+                 weight: np.ndarray, bias: np.ndarray, eps: float):
+        self.mean = np.asarray(mean)
+        self.var = np.asarray(var)
+        self.weight = np.asarray(weight)
+        self.bias = np.asarray(bias)
+        self.eps = float(eps)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        mean = self.mean.reshape(1, -1, 1, 1)
+        var = self.var.reshape(1, -1, 1, 1)
+        normalized = (x - mean) / ((var + self.eps) ** 0.5)
+        return normalized * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(1, -1, 1, 1)
+
+    def state(self):
+        return ({"eps": self.eps},
+                {"mean": self.mean, "var": self.var,
+                 "weight": self.weight, "bias": self.bias}, {})
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(arrays["mean"], arrays["var"], arrays["weight"], arrays["bias"],
+                   config["eps"])
+
+
+@_register_op
+class FrozenLayerNorm(FrozenOp):
+    kind = "layernorm"
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray, eps: float):
+        self.weight = np.asarray(weight)
+        self.bias = np.asarray(bias)
+        self.eps = float(eps)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        # Replicates Tensor.mean/var exactly: sum * (1/count), then the
+        # centered second moment -- not np.mean, whose division can differ
+        # in the last bit from the reciprocal multiply.
+        count = x.shape[-1]
+        mean = x.sum(axis=-1, keepdims=True) * (1.0 / count)
+        centered = x - mean
+        var = (centered * centered).sum(axis=-1, keepdims=True) * (1.0 / count)
+        normalized = centered / ((var + self.eps) ** 0.5)
+        return normalized * self.weight + self.bias
+
+    def state(self):
+        return {"eps": self.eps}, {"weight": self.weight, "bias": self.bias}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(arrays["weight"], arrays["bias"], config["eps"])
+
+
+@_register_op
+class FrozenEmbedding(FrozenOp):
+    kind = "embedding"
+
+    def __init__(self, weight: np.ndarray):
+        self.weight = np.asarray(weight)
+
+    def run(self, indices: np.ndarray) -> np.ndarray:
+        return self.weight[np.asarray(indices, dtype=np.int64)]
+
+    def state(self):
+        return {}, {"weight": self.weight}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(arrays["weight"])
+
+
+@_register_op
+class FrozenReLU(FrozenOp):
+    kind = "relu"
+
+    def run(self, x):
+        # np.maximum is one pass where the autograd path's ``x * (x > 0)``
+        # is two; the results compare equal everywhere (the only difference
+        # is the sign of zero, and -0.0 == 0.0).
+        return np.maximum(x, 0.0)
+
+
+@_register_op
+class FrozenLeakyReLU(FrozenOp):
+    kind = "leaky_relu"
+
+    def __init__(self, negative_slope: float = 0.1):
+        self.negative_slope = float(negative_slope)
+
+    def run(self, x):
+        # Dtype-preserving form of ``x * where(x > 0, 1.0, slope)``:
+        # identical values (x * 1.0 == x exactly) without materializing a
+        # float64 scale array that would promote a float32 pipeline.
+        return np.where(x > 0, x, x * self.negative_slope)
+
+    def state(self):
+        return {"negative_slope": self.negative_slope}, {}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(config["negative_slope"])
+
+
+@_register_op
+class FrozenSigmoid(FrozenOp):
+    kind = "sigmoid"
+
+    def run(self, x):
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+@_register_op
+class FrozenTanh(FrozenOp):
+    kind = "tanh"
+
+    def run(self, x):
+        return np.tanh(x)
+
+
+@_register_op
+class FrozenGELU(FrozenOp):
+    kind = "gelu"
+
+    def run(self, x):
+        # float(...) keeps the factor a weak Python scalar: an np.float64
+        # scalar would promote a float32 pipeline back to float64 (NEP 50).
+        inner = (x + x * x * x * 0.044715) * float(np.sqrt(2.0 / np.pi))
+        return x * 0.5 * (np.tanh(inner) + 1.0)
+
+
+@_register_op
+class FrozenMaxPool2d(FrozenOp):
+    kind = "max_pool2d"
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        self.kernel_size = int(kernel_size)
+        self.stride = None if stride is None else int(stride)
+
+    def run(self, x):
+        return F.max_pool2d_infer(x, self.kernel_size, self.stride)
+
+    def state(self):
+        return {"kernel_size": self.kernel_size, "stride": self.stride}, {}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(config["kernel_size"], config["stride"])
+
+
+@_register_op
+class FrozenAvgPool2d(FrozenOp):
+    kind = "avg_pool2d"
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        self.kernel_size = int(kernel_size)
+        self.stride = None if stride is None else int(stride)
+
+    def run(self, x):
+        return F.avg_pool2d_infer(x, self.kernel_size, self.stride)
+
+    def state(self):
+        return {"kernel_size": self.kernel_size, "stride": self.stride}, {}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(config["kernel_size"], config["stride"])
+
+
+@_register_op
+class FrozenGlobalAvgPool2d(FrozenOp):
+    kind = "global_avg_pool2d"
+
+    def run(self, x):
+        return x.sum(axis=(2, 3)) * (1.0 / (x.shape[2] * x.shape[3]))
+
+
+@_register_op
+class FrozenFlatten(FrozenOp):
+    kind = "flatten"
+
+    def __init__(self, start_dim: int = 1):
+        self.start_dim = int(start_dim)
+
+    def run(self, x):
+        return x.reshape(x.shape[:self.start_dim] + (-1,))
+
+    def state(self):
+        return {"start_dim": self.start_dim}, {}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(config["start_dim"])
+
+
+@_register_op
+class FrozenTranspose(FrozenOp):
+    kind = "transpose"
+
+    def __init__(self, axes):
+        self.axes = tuple(int(a) for a in axes)
+
+    def run(self, x):
+        return x.transpose(self.axes)
+
+    def state(self):
+        return {"axes": list(self.axes)}, {}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(config["axes"])
+
+
+@_register_op
+class FrozenIdentity(FrozenOp):
+    kind = "identity"
+
+    def run(self, x):
+        return x
+
+
+@_register_op
+class FrozenSequential(FrozenOp):
+    kind = "sequential"
+
+    def __init__(self, ops: List[FrozenOp]):
+        self.ops = list(ops)
+
+    def run(self, x):
+        for op in self.ops:
+            x = op.run(x)
+        return x
+
+    def state(self):
+        return {}, {}, {"ops": self.ops}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["ops"])
+
+    def child_ops(self):
+        return list(self.ops)
+
+
+# --------------------------------------------------------------------------- #
+# Residual blocks
+# --------------------------------------------------------------------------- #
+@_register_op
+class FrozenBasicBlock(FrozenOp):
+    kind = "basic_block"
+
+    def __init__(self, conv1: FrozenOp, conv2: FrozenOp, shortcut: FrozenOp):
+        self.conv1 = conv1
+        self.conv2 = conv2
+        self.shortcut = shortcut
+
+    def run(self, x):
+        out = self.conv1.run(x)
+        out = np.maximum(out, 0.0)
+        out = self.conv2.run(out)
+        out = out + self.shortcut.run(x)
+        return np.maximum(out, 0.0)
+
+    def state(self):
+        return {}, {}, {"conv1": self.conv1, "conv2": self.conv2, "shortcut": self.shortcut}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["conv1"], children["conv2"], children["shortcut"])
+
+    def child_ops(self):
+        return [self.conv1, self.conv2, self.shortcut]
+
+
+@_register_op
+class FrozenBottleneckBlock(FrozenOp):
+    kind = "bottleneck_block"
+
+    def __init__(self, conv1, conv2, conv3, shortcut):
+        self.conv1 = conv1
+        self.conv2 = conv2
+        self.conv3 = conv3
+        self.shortcut = shortcut
+
+    def run(self, x):
+        out = self.conv1.run(x)
+        out = np.maximum(out, 0.0)
+        out = self.conv2.run(out)
+        out = np.maximum(out, 0.0)
+        out = self.conv3.run(out)
+        out = out + self.shortcut.run(x)
+        return np.maximum(out, 0.0)
+
+    def state(self):
+        return {}, {}, {"conv1": self.conv1, "conv2": self.conv2,
+                        "conv3": self.conv3, "shortcut": self.shortcut}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["conv1"], children["conv2"], children["conv3"],
+                   children["shortcut"])
+
+    def child_ops(self):
+        return [self.conv1, self.conv2, self.conv3, self.shortcut]
+
+
+@_register_op
+class FrozenInvertedResidual(FrozenOp):
+    kind = "inverted_residual"
+
+    def __init__(self, expand, depthwise, project, use_residual: bool):
+        self.expand = expand
+        self.depthwise = depthwise
+        self.project = project
+        self.use_residual = bool(use_residual)
+
+    def run(self, x):
+        out = self.expand.run(x)
+        out = self.depthwise.run(out)
+        out = self.project.run(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+    def state(self):
+        return ({"use_residual": self.use_residual}, {},
+                {"expand": self.expand, "depthwise": self.depthwise,
+                 "project": self.project})
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["expand"], children["depthwise"], children["project"],
+                   config["use_residual"])
+
+    def child_ops(self):
+        return [self.expand, self.depthwise, self.project]
+
+
+@_register_op
+class FrozenMLP(FrozenOp):
+    kind = "mlp"
+
+    def __init__(self, layers: FrozenOp):
+        self.layers = layers
+
+    def run(self, x):
+        if x.ndim > 2:
+            x = x.reshape(x.shape[:1] + (-1,))
+        return self.layers.run(x)
+
+    def state(self):
+        return {}, {}, {"layers": self.layers}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["layers"])
+
+    def child_ops(self):
+        return [self.layers]
+
+
+# --------------------------------------------------------------------------- #
+# Transformer ops
+# --------------------------------------------------------------------------- #
+@_register_op
+class FrozenMultiHeadAttention(FrozenOp):
+    kind = "multi_head_attention"
+
+    def __init__(self, q_proj, k_proj, v_proj, out_proj, num_heads: int):
+        self.q_proj = q_proj
+        self.k_proj = k_proj
+        self.v_proj = v_proj
+        self.out_proj = out_proj
+        self.num_heads = int(num_heads)
+
+    def _split_heads(self, x):
+        batch, length, embed = x.shape
+        head_dim = embed // self.num_heads
+        return x.reshape(batch, length, self.num_heads, head_dim).transpose(0, 2, 1, 3)
+
+    def run(self, query, key=None, value=None, mask=None):
+        key = query if key is None else key
+        value = key if value is None else value
+        q = self._split_heads(self.q_proj.run(query))
+        k = self._split_heads(self.k_proj.run(key))
+        v = self._split_heads(self.v_proj.run(value))
+        head_dim = q.shape[-1]
+        # Python-float scale: an np.float64 scalar would promote float32.
+        scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * float(1.0 / np.sqrt(head_dim))
+        if mask is not None:
+            scores = scores + mask
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        weights = exps / exps.sum(axis=-1, keepdims=True)
+        attended = np.matmul(weights, v)
+        batch, _, length, _ = attended.shape
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, length, -1)
+        return self.out_proj.run(merged)
+
+    def state(self):
+        return ({"num_heads": self.num_heads}, {},
+                {"q_proj": self.q_proj, "k_proj": self.k_proj,
+                 "v_proj": self.v_proj, "out_proj": self.out_proj})
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["q_proj"], children["k_proj"], children["v_proj"],
+                   children["out_proj"], config["num_heads"])
+
+    def child_ops(self):
+        return [self.q_proj, self.k_proj, self.v_proj, self.out_proj]
+
+
+@_register_op
+class FrozenFeedForward(FrozenOp):
+    kind = "feed_forward"
+
+    def __init__(self, fc1, fc2):
+        self.fc1 = fc1
+        self.fc2 = fc2
+
+    def run(self, x):
+        hidden = self.fc1.run(x)
+        hidden = np.maximum(hidden, 0.0)
+        return self.fc2.run(hidden)
+
+    def state(self):
+        return {}, {}, {"fc1": self.fc1, "fc2": self.fc2}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["fc1"], children["fc2"])
+
+    def child_ops(self):
+        return [self.fc1, self.fc2]
+
+
+@_register_op
+class FrozenEncoderLayer(FrozenOp):
+    kind = "encoder_layer"
+
+    def __init__(self, self_attention, feed_forward, norm1, norm2):
+        self.self_attention = self_attention
+        self.feed_forward = feed_forward
+        self.norm1 = norm1
+        self.norm2 = norm2
+
+    def run(self, x, mask=None):
+        x = x + self.self_attention.run(self.norm1.run(x), mask=mask)
+        x = x + self.feed_forward.run(self.norm2.run(x))
+        return x
+
+    def state(self):
+        return {}, {}, {"self_attention": self.self_attention,
+                        "feed_forward": self.feed_forward,
+                        "norm1": self.norm1, "norm2": self.norm2}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["self_attention"], children["feed_forward"],
+                   children["norm1"], children["norm2"])
+
+    def child_ops(self):
+        return [self.self_attention, self.feed_forward, self.norm1, self.norm2]
+
+
+@_register_op
+class FrozenDecoderLayer(FrozenOp):
+    kind = "decoder_layer"
+
+    def __init__(self, self_attention, cross_attention, feed_forward, norm1, norm2, norm3):
+        self.self_attention = self_attention
+        self.cross_attention = cross_attention
+        self.feed_forward = feed_forward
+        self.norm1 = norm1
+        self.norm2 = norm2
+        self.norm3 = norm3
+
+    def run(self, x, memory, self_mask=None, memory_mask=None):
+        x = x + self.self_attention.run(self.norm1.run(x), mask=self_mask)
+        x = x + self.cross_attention.run(self.norm2.run(x), key=memory, value=memory,
+                                         mask=memory_mask)
+        x = x + self.feed_forward.run(self.norm3.run(x))
+        return x
+
+    def state(self):
+        return {}, {}, {"self_attention": self.self_attention,
+                        "cross_attention": self.cross_attention,
+                        "feed_forward": self.feed_forward,
+                        "norm1": self.norm1, "norm2": self.norm2, "norm3": self.norm3}
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["self_attention"], children["cross_attention"],
+                   children["feed_forward"], children["norm1"], children["norm2"],
+                   children["norm3"])
+
+    def child_ops(self):
+        return [self.self_attention, self.cross_attention, self.feed_forward,
+                self.norm1, self.norm2, self.norm3]
+
+
+@_register_op
+class FrozenSeq2SeqTransformer(FrozenOp):
+    """Frozen encoder-decoder Transformer with teacher-forced and greedy paths."""
+
+    kind = "seq2seq_transformer"
+
+    def __init__(self, embedding: FrozenEmbedding, positional: np.ndarray,
+                 encoder_layers: List[FrozenEncoderLayer],
+                 decoder_layers: List[FrozenDecoderLayer],
+                 encoder_norm: FrozenLayerNorm, decoder_norm: FrozenLayerNorm,
+                 output_projection: FrozenLinear,
+                 embed_dim: int, max_length: int, pad_index: int):
+        self.embedding = embedding
+        self.positional = np.asarray(positional)
+        self.encoder_layers = list(encoder_layers)
+        self.decoder_layers = list(decoder_layers)
+        self.encoder_norm = encoder_norm
+        self.decoder_norm = decoder_norm
+        self.output_projection = output_projection
+        self.embed_dim = int(embed_dim)
+        self.max_length = int(max_length)
+        self.pad_index = int(pad_index)
+
+    def _embed(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        length = tokens.shape[1]
+        if length > self.max_length:
+            raise ValueError(f"sequence length {length} exceeds max_length {self.max_length}")
+        embedded = self.embedding.run(tokens) * float(np.sqrt(self.embed_dim))
+        return embedded + self.positional[:length]
+
+    def encode(self, src_tokens: np.ndarray) -> np.ndarray:
+        x = self._embed(src_tokens)
+        for layer in self.encoder_layers:
+            x = layer.run(x)
+        return self.encoder_norm.run(x)
+
+    def decode(self, tgt_tokens: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        x = self._embed(tgt_tokens)
+        # Match the embedding dtype so a float32 cast is not silently
+        # promoted back to float64 by the additive mask.
+        mask = causal_mask(np.asarray(tgt_tokens).shape[1]).astype(x.dtype, copy=False)
+        for layer in self.decoder_layers:
+            x = layer.run(x, memory, self_mask=mask)
+        return self.decoder_norm.run(x)
+
+    def run(self, src_tokens: np.ndarray, tgt_tokens: np.ndarray) -> np.ndarray:
+        """Teacher-forced logits (batch, tgt_len, vocab)."""
+        memory = self.encode(src_tokens)
+        decoded = self.decode(tgt_tokens, memory)
+        return self.output_projection.run(decoded)
+
+    def greedy_decode(self, src_tokens: np.ndarray, bos_index: int, eos_index: int,
+                      max_length: Optional[int] = None) -> np.ndarray:
+        max_length = max_length if max_length is not None else self.max_length
+        src_tokens = np.asarray(src_tokens, dtype=np.int64)
+        batch = src_tokens.shape[0]
+        memory = self.encode(src_tokens)
+        generated = np.full((batch, 1), bos_index, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        for _ in range(max_length - 1):
+            decoded = self.decode(generated, memory)
+            logits = self.output_projection.run(decoded)[:, -1, :]
+            next_tokens = logits.argmax(axis=-1)
+            next_tokens = np.where(finished, self.pad_index, next_tokens)
+            generated = np.concatenate([generated, next_tokens[:, None]], axis=1)
+            finished = finished | (next_tokens == eos_index)
+            if finished.all():
+                break
+        return generated
+
+    def state(self):
+        config = {"embed_dim": self.embed_dim, "max_length": self.max_length,
+                  "pad_index": self.pad_index}
+        arrays = {"positional": self.positional}
+        children = {
+            "embedding": self.embedding,
+            "encoder_layers": self.encoder_layers,
+            "decoder_layers": self.decoder_layers,
+            "encoder_norm": self.encoder_norm,
+            "decoder_norm": self.decoder_norm,
+            "output_projection": self.output_projection,
+        }
+        return config, arrays, children
+
+    @classmethod
+    def from_state(cls, config, arrays, children):
+        return cls(children["embedding"], arrays["positional"],
+                   children["encoder_layers"], children["decoder_layers"],
+                   children["encoder_norm"], children["decoder_norm"],
+                   children["output_projection"], config["embed_dim"],
+                   config["max_length"], config["pad_index"])
+
+    def child_ops(self):
+        return ([self.embedding] + self.encoder_layers + self.decoder_layers
+                + [self.encoder_norm, self.decoder_norm, self.output_projection])
+
+
+# --------------------------------------------------------------------------- #
+# Freezer registry: live module type -> frozen op builder
+# --------------------------------------------------------------------------- #
+_FREEZERS: Dict[type, Callable] = {}
+
+
+def register_freezer(*module_types):
+    """Decorator registering a ``Module -> FrozenOp`` conversion function."""
+
+    def decorator(fn):
+        for module_type in module_types:
+            _FREEZERS[module_type] = fn
+        return fn
+
+    return decorator
+
+
+def freeze_module(module: M.Module) -> FrozenOp:
+    """Convert one live module (and its subtree) into a frozen op."""
+    for klass in type(module).__mro__:
+        freezer = _FREEZERS.get(klass)
+        if freezer is not None:
+            return freezer(module)
+    raise TypeError(
+        f"no freezer registered for {type(module).__name__}; add one with "
+        f"repro.serving.register_freezer"
+    )
+
+
+@register_freezer(QuantizedLinear)
+def _freeze_quantized_linear(module: QuantizedLinear) -> FrozenLinear:
+    values, packed, quantizer, desc = _freeze_scheme(module.scheme, module.weight.data)
+    bias = None if module.bias is None else module.bias.data.copy()
+    return FrozenLinear(values, bias, quantizer=quantizer, packed=packed,
+                        scheme_desc=desc)
+
+
+@register_freezer(M.Linear)
+def _freeze_linear(module: M.Linear) -> FrozenLinear:
+    bias = None if module.bias is None else module.bias.data.copy()
+    return FrozenLinear(module.weight.data.copy(), bias)
+
+
+@register_freezer(QuantizedConv2d)
+def _freeze_quantized_conv(module: QuantizedConv2d) -> FrozenConv2d:
+    values, packed, quantizer, desc = _freeze_scheme(module.scheme, module.weight.data)
+    bias = None if module.bias is None else module.bias.data.copy()
+    return FrozenConv2d(values, bias, module.stride, module.padding, module.groups,
+                        quantizer=quantizer, packed=packed, scheme_desc=desc)
+
+
+@register_freezer(M.Conv2d)
+def _freeze_conv(module: M.Conv2d) -> FrozenConv2d:
+    bias = None if module.bias is None else module.bias.data.copy()
+    return FrozenConv2d(module.weight.data.copy(), bias, module.stride,
+                        module.padding, module.groups)
+
+
+@register_freezer(M.BatchNorm2d)
+def _freeze_batchnorm(module: M.BatchNorm2d) -> FrozenBatchNorm2d:
+    return FrozenBatchNorm2d(module.running_mean.copy(), module.running_var.copy(),
+                             module.weight.data.copy(), module.bias.data.copy(),
+                             module.eps)
+
+
+@register_freezer(M.LayerNorm)
+def _freeze_layernorm(module: M.LayerNorm) -> FrozenLayerNorm:
+    return FrozenLayerNorm(module.weight.data.copy(), module.bias.data.copy(), module.eps)
+
+
+@register_freezer(M.Embedding)
+def _freeze_embedding(module: M.Embedding) -> FrozenEmbedding:
+    return FrozenEmbedding(module.weight.data.copy())
+
+
+@register_freezer(M.ReLU)
+def _freeze_relu(module) -> FrozenReLU:
+    return FrozenReLU()
+
+
+@register_freezer(M.LeakyReLU)
+def _freeze_leaky_relu(module: M.LeakyReLU) -> FrozenLeakyReLU:
+    return FrozenLeakyReLU(module.negative_slope)
+
+
+@register_freezer(M.Sigmoid)
+def _freeze_sigmoid(module) -> FrozenSigmoid:
+    return FrozenSigmoid()
+
+
+@register_freezer(M.Tanh)
+def _freeze_tanh(module) -> FrozenTanh:
+    return FrozenTanh()
+
+
+@register_freezer(M.GELU)
+def _freeze_gelu(module) -> FrozenGELU:
+    return FrozenGELU()
+
+
+@register_freezer(M.MaxPool2d)
+def _freeze_max_pool(module: M.MaxPool2d) -> FrozenMaxPool2d:
+    return FrozenMaxPool2d(module.kernel_size, module.stride)
+
+
+@register_freezer(M.AvgPool2d)
+def _freeze_avg_pool(module: M.AvgPool2d) -> FrozenAvgPool2d:
+    return FrozenAvgPool2d(module.kernel_size, module.stride)
+
+
+@register_freezer(M.GlobalAvgPool2d)
+def _freeze_global_avg_pool(module) -> FrozenGlobalAvgPool2d:
+    return FrozenGlobalAvgPool2d()
+
+
+@register_freezer(M.Flatten)
+def _freeze_flatten(module: M.Flatten) -> FrozenFlatten:
+    return FrozenFlatten(module.start_dim)
+
+
+@register_freezer(M.Dropout)
+def _freeze_dropout(module) -> FrozenIdentity:
+    # Eval-mode dropout is the identity; the training branch is stripped.
+    return FrozenIdentity()
+
+
+@register_freezer(M.Identity)
+def _freeze_identity(module) -> FrozenIdentity:
+    return FrozenIdentity()
+
+
+@register_freezer(M.Sequential)
+def _freeze_sequential(module: M.Sequential) -> FrozenSequential:
+    return FrozenSequential([freeze_module(child) for child in module])
+
+
+@register_freezer(BasicBlock)
+def _freeze_basic_block(module: BasicBlock) -> FrozenBasicBlock:
+    return FrozenBasicBlock(freeze_module(module.conv1), freeze_module(module.conv2),
+                            freeze_module(module.shortcut))
+
+
+@register_freezer(BottleneckBlock)
+def _freeze_bottleneck_block(module: BottleneckBlock) -> FrozenBottleneckBlock:
+    return FrozenBottleneckBlock(freeze_module(module.conv1), freeze_module(module.conv2),
+                                 freeze_module(module.conv3), freeze_module(module.shortcut))
+
+
+@register_freezer(InvertedResidual)
+def _freeze_inverted_residual(module: InvertedResidual) -> FrozenInvertedResidual:
+    return FrozenInvertedResidual(freeze_module(module.expand),
+                                  freeze_module(module.depthwise),
+                                  freeze_module(module.project),
+                                  module.use_residual)
+
+
+@register_freezer(MLP)
+def _freeze_mlp(module: MLP) -> FrozenMLP:
+    return FrozenMLP(freeze_module(module.layers))
+
+
+@register_freezer(VGG)
+def _freeze_vgg(module: VGG) -> FrozenSequential:
+    return FrozenSequential([freeze_module(module.features), freeze_module(module.pool),
+                             freeze_module(module.classifier)])
+
+
+@register_freezer(ResNet)
+def _freeze_resnet(module: ResNet) -> FrozenSequential:
+    return FrozenSequential([freeze_module(module.stem), FrozenReLU(),
+                             freeze_module(module.stages), freeze_module(module.pool),
+                             freeze_module(module.classifier)])
+
+
+@register_freezer(MobileNetV2)
+def _freeze_mobilenet(module: MobileNetV2) -> FrozenSequential:
+    return FrozenSequential([freeze_module(module.stem), freeze_module(module.blocks),
+                             freeze_module(module.head), freeze_module(module.pool),
+                             freeze_module(module.classifier)])
+
+
+@register_freezer(TinyYOLO)
+def _freeze_tiny_yolo(module: TinyYOLO) -> FrozenSequential:
+    return FrozenSequential([freeze_module(module.backbone), freeze_module(module.head),
+                             FrozenTranspose((0, 2, 3, 1))])
+
+
+@register_freezer(attention_mod.MultiHeadAttention)
+def _freeze_mha(module: attention_mod.MultiHeadAttention) -> FrozenMultiHeadAttention:
+    return FrozenMultiHeadAttention(freeze_module(module.q_proj),
+                                    freeze_module(module.k_proj),
+                                    freeze_module(module.v_proj),
+                                    freeze_module(module.out_proj),
+                                    module.num_heads)
+
+
+@register_freezer(attention_mod.FeedForward)
+def _freeze_feed_forward(module: attention_mod.FeedForward) -> FrozenFeedForward:
+    return FrozenFeedForward(freeze_module(module.fc1), freeze_module(module.fc2))
+
+
+@register_freezer(attention_mod.TransformerEncoderLayer)
+def _freeze_encoder_layer(module) -> FrozenEncoderLayer:
+    return FrozenEncoderLayer(freeze_module(module.self_attention),
+                              freeze_module(module.feed_forward),
+                              freeze_module(module.norm1), freeze_module(module.norm2))
+
+
+@register_freezer(attention_mod.TransformerDecoderLayer)
+def _freeze_decoder_layer(module) -> FrozenDecoderLayer:
+    return FrozenDecoderLayer(freeze_module(module.self_attention),
+                              freeze_module(module.cross_attention),
+                              freeze_module(module.feed_forward),
+                              freeze_module(module.norm1), freeze_module(module.norm2),
+                              freeze_module(module.norm3))
+
+
+@register_freezer(Seq2SeqTransformer)
+def _freeze_seq2seq(module: Seq2SeqTransformer) -> FrozenSeq2SeqTransformer:
+    return FrozenSeq2SeqTransformer(
+        freeze_module(module.embedding),
+        module.positional.copy(),
+        [freeze_module(layer) for layer in module.encoder_layers],
+        [freeze_module(layer) for layer in module.decoder_layers],
+        freeze_module(module.encoder_norm),
+        freeze_module(module.decoder_norm),
+        freeze_module(module.output_projection),
+        module.embed_dim,
+        module.max_length,
+        module.pad_index,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# FrozenModel
+# --------------------------------------------------------------------------- #
+class FrozenModel:
+    """A frozen export of a trained model, ready to serve.
+
+    ``predict`` runs the grad-free forward on a NumPy batch.  For sequence
+    models the inputs are integer token batches and prediction greedy-decodes
+    using the ``bos_index``/``eos_index`` recorded in ``meta``; for every
+    other family the inputs are float batches and prediction returns logits
+    (or raw detection maps for YOLO).
+    """
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, root: FrozenOp, family: str, meta: Optional[dict] = None):
+        self.root = root
+        self.family = family
+        self.meta = dict(meta or {})
+
+    # -------------------------------------------------------------- #
+    def predict(self, inputs) -> np.ndarray:
+        if self.family == "seq2seq":
+            bos = self.meta.get("bos_index", 1)
+            eos = self.meta.get("eos_index", 2)
+            return self.root.greedy_decode(np.asarray(inputs, dtype=np.int64), bos, eos)
+        compute_dtype = self.meta.get("compute_dtype")
+        if compute_dtype is not None:
+            return self.root.run(np.asarray(inputs).astype(compute_dtype, copy=False))
+        return self.root.run(_as_float(inputs))
+
+    __call__ = predict
+
+    def cast(self, dtype) -> "FrozenModel":
+        """Switch the serving compute dtype (in place); returns ``self``.
+
+        ``float64`` (the default) is bit-identical to the live model.
+        ``float32`` is the production serving mode: every BFP grid value
+        (4-bit mantissas, shared 8-bit exponents) is *exactly* representable
+        in float32, so quantized weights and activations are unchanged --
+        only the matrix-product accumulations and normalization arithmetic
+        run at float32 precision, at half the memory traffic.  The real FAST
+        hardware accumulates in far less than float32; logits agree with the
+        float64 path to single-precision rounding.
+        """
+        dtype = np.dtype(dtype)
+        for op in iter_ops(self.root):
+            for attr in ("weight", "bias", "mean", "var", "positional"):
+                value = getattr(op, attr, None)
+                if isinstance(value, np.ndarray) and np.issubdtype(value.dtype, np.floating):
+                    setattr(op, attr, value.astype(dtype, copy=False))
+        self.meta["compute_dtype"] = dtype.name
+        return self
+
+    def forward_logits(self, src_tokens, tgt_tokens) -> np.ndarray:
+        """Teacher-forced logits (sequence models only)."""
+        if self.family != "seq2seq":
+            raise ValueError("forward_logits is only available for seq2seq models")
+        return self.root.run(np.asarray(src_tokens, dtype=np.int64),
+                             np.asarray(tgt_tokens, dtype=np.int64))
+
+    # -------------------------------------------------------------- #
+    def storage_report(self) -> dict:
+        """Model-size accounting: packed BFP bits vs. an FP32 baseline."""
+        packed_values = 0
+        packed_bits = 0
+        raw_values = 0
+        for op in iter_ops(self.root):
+            if isinstance(op, (FrozenLinear, FrozenConv2d)):
+                if op.packed is not None:
+                    packed_values += op.packed.num_values
+                    packed_bits += op.packed.storage_bits()
+                else:
+                    raw_values += op.weight.size
+                if op.bias is not None:
+                    raw_values += op.bias.size
+            elif isinstance(op, (FrozenBatchNorm2d, FrozenLayerNorm)):
+                raw_values += op.weight.size + op.bias.size
+                if isinstance(op, FrozenBatchNorm2d):
+                    raw_values += op.mean.size + op.var.size
+            elif isinstance(op, FrozenEmbedding):
+                raw_values += op.weight.size
+            elif isinstance(op, FrozenSeq2SeqTransformer):
+                raw_values += op.positional.size
+        raw_bits = raw_values * 32
+        total_values = packed_values + raw_values
+        total_bits = packed_bits + raw_bits
+        fp32_bits = total_values * 32
+        return {
+            "total_values": total_values,
+            "packed_values": packed_values,
+            "packed_bits": packed_bits,
+            "raw_values": raw_values,
+            "total_bytes": total_bits / 8.0,
+            "fp32_bytes": fp32_bits / 8.0,
+            "compression_vs_fp32": fp32_bits / total_bits if total_bits else 1.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"FrozenModel(family={self.family!r}, ops={sum(1 for _ in iter_ops(self.root))})"
+
+
+def _family_of(model: M.Module) -> str:
+    if isinstance(model, Seq2SeqTransformer):
+        return "seq2seq"
+    if isinstance(model, TinyYOLO):
+        return "detector"
+    return "classifier"
+
+
+def freeze(model: M.Module, meta: Optional[dict] = None) -> FrozenModel:
+    """Export a trained model into a :class:`FrozenModel`.
+
+    Walks the module tree, quantizes every quantized layer's weight exactly
+    once into a packed BFP artifact, strips training-only branches, and
+    returns a grad-free model whose outputs are bit-identical to the live
+    model in eval mode.  ``meta`` carries serving metadata (for sequence
+    models: ``bos_index``/``eos_index`` used by greedy decoding).
+    """
+    root = freeze_module(model)
+    return FrozenModel(root, _family_of(model), meta=meta)

@@ -1,0 +1,318 @@
+"""In-process inference server with dynamic micro-batching.
+
+Requests submitted concurrently are coalesced into batches before they hit
+the engine, which is where serving throughput comes from: one batched
+forward amortizes the per-layer Python dispatch across every request in the
+batch, while the matrix products themselves were already batched.
+
+Batching policy (the classic size/timeout-bounded queue):
+
+* an arriving request joins the pending batch for its *bucket* (same-shape
+  requests share a bucket; variable-length token requests are padded up to
+  the next configured bucket length),
+* a bucket is flushed to the engine as soon as it holds
+  ``max_batch_size`` requests, or when the oldest request in it has waited
+  ``max_delay_ms`` -- so an isolated request pays at most the configured
+  delay, and a burst fills whole batches,
+* requests are processed strictly FIFO within a bucket, and every future
+  resolves with its own row of the batched output, so submission order maps
+  to results regardless of coalescing.
+
+Both submission styles are provided: :meth:`InferenceServer.submit` returns
+a ``concurrent.futures.Future`` (async), :meth:`InferenceServer.predict`
+blocks for the result (sync).  Every result carries per-request latency
+accounting (queue wait, compute time, batch size).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .engine import InferenceEngine
+
+__all__ = ["BatchingConfig", "RequestTiming", "InferenceResult", "InferenceServer"]
+
+_SHUTDOWN = object()
+_TIMEOUT = object()
+#: Most recent requests/batches covered by the latency and batch-size stats.
+STATS_WINDOW = 10_000
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Knobs of the dynamic micro-batching queue.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush a bucket as soon as it holds this many requests.
+    max_delay_ms:
+        Flush a bucket when its oldest request has waited this long.  This
+        bounds the latency cost of batching for sparse traffic.
+    pad_lengths:
+        Bucket boundaries for variable-length 1-D integer (token) requests:
+        each request is padded with ``pad_value`` up to the smallest
+        configured length that fits, so near-equal lengths share batches.
+        ``None`` buckets token requests by exact length.  Note that the
+        encoder attends over PAD positions (the training substrate pads to
+        a fixed sequence length and uses no source mask), so a sequence
+        model's output depends on the padded length: results are
+        reproducible per bucket configuration, and changing ``pad_lengths``
+        can change outputs for requests shorter than their bucket.
+    pad_value:
+        Padding token (the model's PAD index).
+    """
+
+    max_batch_size: int = 16
+    max_delay_ms: float = 2.0
+    pad_lengths: Optional[Sequence[int]] = None
+    pad_value: int = 0
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if self.pad_lengths is not None:
+            object.__setattr__(self, "pad_lengths",
+                               tuple(sorted(int(l) for l in self.pad_lengths)))
+
+
+@dataclass
+class RequestTiming:
+    """Per-request latency accounting."""
+
+    queue_ms: float
+    compute_ms: float
+    total_ms: float
+    batch_size: int
+    bucket: Tuple
+
+
+@dataclass
+class InferenceResult:
+    """One request's output row plus its timing."""
+
+    output: np.ndarray
+    timing: RequestTiming
+
+
+class _Request:
+    __slots__ = ("payload", "future", "enqueued")
+
+    def __init__(self, payload: np.ndarray, future: Future, enqueued: float):
+        self.payload = payload
+        self.future = future
+        self.enqueued = enqueued
+
+
+class InferenceServer:
+    """Dynamic-batching request server over an :class:`InferenceEngine`."""
+
+    def __init__(self, engine: InferenceEngine, config: Optional[BatchingConfig] = None):
+        self.engine = engine
+        self.config = config if config is not None else BatchingConfig()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        # Serializes the closed-check-then-put in submit() against close():
+        # without it a request could land in the queue after the shutdown
+        # sentinel and its future would never resolve.
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        # Bounded windows: percentile/mean stats cover the most recent
+        # requests so a long-lived server neither grows without bound nor
+        # slows stats() down; request/batch counts stay exact.
+        self._latencies_ms = deque(maxlen=STATS_WINDOW)
+        self._batch_sizes = deque(maxlen=STATS_WINDOW)
+        self._completed = 0
+        self._batches = 0
+        self._first_enqueued: Optional[float] = None
+        self._last_completed: Optional[float] = None
+        self._worker = threading.Thread(target=self._run, name="inference-server",
+                                        daemon=True)
+        self._worker.start()
+
+    # -------------------------------------------------------------- #
+    # Submission APIs
+    # -------------------------------------------------------------- #
+    def submit(self, request) -> "Future[InferenceResult]":
+        """Enqueue one request; returns a future resolving to an :class:`InferenceResult`."""
+        payload = np.asarray(request)
+        if self._is_token_request(payload) and self.config.pad_lengths is not None:
+            if payload.shape[0] > self.config.pad_lengths[-1]:
+                raise ValueError(
+                    f"token request of length {payload.shape[0]} exceeds the largest "
+                    f"bucket length {self.config.pad_lengths[-1]}")
+        future: "Future[InferenceResult]" = Future()
+        now = time.monotonic()
+        with self._stats_lock:
+            if self._first_enqueued is None:
+                self._first_enqueued = now
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            self._queue.put(_Request(payload, future, now))
+        return future
+
+    def predict(self, request, timeout: Optional[float] = None) -> InferenceResult:
+        """Synchronous submission: enqueue and wait for the result."""
+        return self.submit(request).result(timeout=timeout)
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, flush pending batches, join the worker."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- #
+    # Batching worker
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _is_token_request(payload: np.ndarray) -> bool:
+        return payload.ndim == 1 and np.issubdtype(payload.dtype, np.integer)
+
+    def _bucket_key(self, payload: np.ndarray) -> Tuple:
+        if self._is_token_request(payload):
+            length = payload.shape[0]
+            if self.config.pad_lengths is not None:
+                for bucket_length in self.config.pad_lengths:
+                    if length <= bucket_length:
+                        return ("tokens", bucket_length)
+            return ("tokens", length)
+        return ("shape",) + tuple(payload.shape)
+
+    def _assemble(self, key: Tuple, requests: List[_Request]) -> np.ndarray:
+        if key[0] == "tokens":
+            bucket_length = key[1]
+            rows = [
+                np.pad(r.payload, (0, bucket_length - r.payload.shape[0]),
+                       constant_values=self.config.pad_value)
+                if r.payload.shape[0] < bucket_length else r.payload
+                for r in requests
+            ]
+            return np.stack(rows)
+        return np.stack([r.payload for r in requests])
+
+    def _flush(self, key: Tuple, pending, deadlines) -> None:
+        requests = pending.pop(key, [])
+        deadlines.pop(key, None)
+        if not requests:
+            return
+        batch_started = time.monotonic()
+        try:
+            batch = self._assemble(key, requests)
+            outputs = self.engine.predict(batch)
+        except BaseException as error:  # noqa: BLE001 - propagate to callers
+            for request in requests:
+                request.future.set_exception(error)
+            return
+        done = time.monotonic()
+        compute_ms = (done - batch_started) * 1e3
+        batch_size = len(requests)
+        with self._stats_lock:
+            self._batch_sizes.append(batch_size)
+            self._completed += batch_size
+            self._batches += 1
+            self._last_completed = done
+            for request in requests:
+                self._latencies_ms.append((done - request.enqueued) * 1e3)
+        for index, request in enumerate(requests):
+            timing = RequestTiming(
+                queue_ms=(batch_started - request.enqueued) * 1e3,
+                compute_ms=compute_ms,
+                total_ms=(done - request.enqueued) * 1e3,
+                batch_size=batch_size,
+                bucket=key,
+            )
+            request.future.set_result(InferenceResult(outputs[index], timing))
+
+    def _run(self) -> None:
+        delay_s = self.config.max_delay_ms / 1e3
+        pending = {}
+        deadlines = {}
+        shutdown = False
+        while True:
+            timeout = None
+            if deadlines:
+                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                item = _TIMEOUT
+            # Drain the backlog greedily before looking at deadlines:
+            # requests that arrived while the previous batch was executing
+            # carry already-expired deadlines, and must coalesce into full
+            # batches instead of flushing one by one.
+            while item is not _TIMEOUT:
+                if item is _SHUTDOWN:
+                    shutdown = True
+                    break
+                key = self._bucket_key(item.payload)
+                bucket = pending.setdefault(key, [])
+                bucket.append(item)
+                if len(bucket) == 1:
+                    deadlines[key] = item.enqueued + delay_s
+                if len(bucket) >= self.config.max_batch_size:
+                    self._flush(key, pending, deadlines)
+                    # A full-batch flush blocks on the engine; if it left
+                    # another bucket's deadline expired, break out so the
+                    # deadline scan runs before draining further -- a
+                    # saturating bucket must not starve the others past
+                    # their max_delay_ms bound.
+                    if deadlines and min(deadlines.values()) <= time.monotonic():
+                        break
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    item = _TIMEOUT
+            if shutdown:
+                for key in list(pending):
+                    self._flush(key, pending, deadlines)
+                return
+            now = time.monotonic()
+            for key in [k for k, deadline in deadlines.items() if deadline <= now]:
+                self._flush(key, pending, deadlines)
+
+    # -------------------------------------------------------------- #
+    # Accounting
+    # -------------------------------------------------------------- #
+    def stats(self) -> dict:
+        """Request/batch counts and throughput since start; latency and
+        batch-size aggregates over the most recent :data:`STATS_WINDOW`."""
+        with self._stats_lock:
+            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+            completed = self._completed
+            batches = self._batches
+            first = self._first_enqueued
+            last = self._last_completed
+        wall = (last - first) if (first is not None and last is not None) else None
+        return {
+            "requests": completed,
+            "batches": batches,
+            "mean_batch_size": float(batch_sizes.mean()) if batch_sizes.size else float("nan"),
+            "latency_ms_mean": float(latencies.mean()) if latencies.size else float("nan"),
+            "latency_ms_p50": float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
+            "latency_ms_p95": float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
+            "throughput_rps": (completed / wall) if wall and wall > 0 else float("nan"),
+        }

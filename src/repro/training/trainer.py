@@ -100,6 +100,7 @@ class ClassificationTrainer(_BaseTrainer):
 
     def evaluate(self, loader: DataLoader) -> float:
         """Validation accuracy (percent)."""
+        was_training = self.model.training
         self.model.eval()
         correct_weighted = 0.0
         total = 0
@@ -109,7 +110,7 @@ class ClassificationTrainer(_BaseTrainer):
                 batch = len(labels)
                 correct_weighted += accuracy(logits.data, labels) * batch
                 total += batch
-        self.model.train()
+        self.model.train(was_training)
         return correct_weighted / max(total, 1)
 
     def fit(self, train_loader: DataLoader, val_loader: Optional[DataLoader] = None,
@@ -159,6 +160,7 @@ class Seq2SeqTrainer(_BaseTrainer):
 
     def evaluate_bleu(self, dataset, max_samples: int = 64) -> float:
         """Greedy-decode a validation subset and score corpus BLEU."""
+        was_training = self.model.training
         self.model.eval()
         count = min(len(dataset), max_samples)
         sources = dataset.sources[:count]
@@ -173,7 +175,7 @@ class Seq2SeqTrainer(_BaseTrainer):
                     break
                 tokens.append(int(token))
             candidates.append(tokens)
-        self.model.train()
+        self.model.train(was_training)
         return corpus_bleu(candidates, references)
 
     def fit(self, train_dataset, val_dataset=None, epochs: int = 1, batch_size: int = 16,
@@ -220,13 +222,14 @@ class DetectionTrainer(_BaseTrainer):
 
     def evaluate_map(self, dataset) -> float:
         """mAP@0.5 on a detection dataset."""
+        was_training = self.model.training
         self.model.eval()
         images, _ = dataset.arrays()
         with nn.no_grad():
             raw = self.model(images).data
         predictions = decode_predictions(raw, threshold=self.confidence_threshold)
         ground_truth = dataset.ground_truth_boxes()
-        self.model.train()
+        self.model.train(was_training)
         return mean_average_precision(predictions, ground_truth, dataset.num_classes)
 
     def fit(self, train_dataset, val_dataset=None, epochs: int = 1, batch_size: int = 16,

@@ -149,3 +149,63 @@ class TestLayers:
     def test_identity(self, rng):
         x = nn.Tensor(rng.standard_normal(4))
         assert nn.Identity()(x) is x
+
+
+class TestEvalModeSemantics:
+    def test_module_added_after_eval_inherits_mode(self):
+        model = nn.Sequential(nn.Linear(4, 4))
+        model.eval()
+        model.append(nn.Dropout(0.5))
+        assert all(not module.training for module in model.modules())
+        model.train()
+        model.append(nn.Dropout(0.5))
+        assert all(module.training for module in model.modules())
+
+    def test_attribute_assigned_submodule_inherits_mode(self):
+        parent = nn.Sequential(nn.Linear(2, 2))
+        parent.eval()
+        child = nn.Dropout(0.5)
+        assert child.training
+        parent.extra = child
+        assert not child.training
+
+    def test_single_toggle_governs_dropout_behavior(self, rng):
+        model = nn.Sequential(nn.Linear(8, 8, rng=rng), nn.Dropout(0.9, rng=rng))
+        x = rng.standard_normal((4, 8))
+        model.eval()
+        first = model(nn.Tensor(x)).data
+        second = model(nn.Tensor(x)).data
+        np.testing.assert_array_equal(first, second)
+
+
+class TestBuffers:
+    def test_batchnorm_buffers_in_state_dict(self, rng):
+        norm = nn.BatchNorm2d(3)
+        norm(nn.Tensor(rng.standard_normal((4, 3, 5, 5))))
+        state = norm.state_dict()
+        assert "running_mean" in state and "running_var" in state
+        assert not np.allclose(state["running_mean"], 0.0)
+
+    def test_buffer_roundtrip_restores_eval_output(self, rng):
+        source = nn.BatchNorm2d(3)
+        source(nn.Tensor(rng.standard_normal((4, 3, 5, 5)) * 2.0 + 1.0))
+        target = nn.BatchNorm2d(3)
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_array_equal(target.running_mean, source.running_mean)
+        np.testing.assert_array_equal(target.running_var, source.running_var)
+        source.eval()
+        target.eval()
+        x = rng.standard_normal((2, 3, 5, 5))
+        np.testing.assert_array_equal(target(nn.Tensor(x)).data,
+                                      source(nn.Tensor(x)).data)
+
+    def test_buffers_are_not_parameters(self):
+        norm = nn.BatchNorm2d(4)
+        names = [name for name, _ in norm.named_parameters()]
+        assert "running_mean" not in names
+        assert norm.num_parameters() == 8
+
+    def test_nested_buffer_names(self):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4))
+        names = [name for name, _ in model.named_buffers()]
+        assert names == ["1.running_mean", "1.running_var"]

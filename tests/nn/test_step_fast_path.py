@@ -95,6 +95,99 @@ class TestConvFastPath:
         out = F.col2im(cols, (2, 1, 8, 8), 2, 2, 2, 0)
         assert out.dtype == np.float32
 
+    def test_col2im_float32_fast_path_matches_add_at(self, rng):
+        """The float32 fast scatter (float64 accumulate, one final round)
+        agrees with the float32 ``add.at`` reference to rounding error."""
+        cols = rng.standard_normal((2, 1 * 9, 64)).astype(np.float32)
+        fast = F.col2im(cols, (2, 1, 8, 8), 3, 3, 1, 1)
+        F.set_conv_fast_path_enabled(False)
+        slow = F.col2im(cols, (2, 1, 8, 8), 3, 3, 1, 1)
+        assert fast.dtype == slow.dtype == np.float32
+        np.testing.assert_allclose(fast, slow, rtol=1e-5, atol=1e-6)
+
+
+class TestGroupedConvFastPath:
+    def run_grouped(self, rng, fast, groups, cin, cout, stride=1, padding=1):
+        from repro import nn
+
+        F.set_conv_fast_path_enabled(fast)
+        layer = nn.Conv2d(cin, cout, 3, stride=stride, padding=padding,
+                          groups=groups, rng=np.random.default_rng(7))
+        x = Tensor(rng.standard_normal((2, cin, 8, 8)), requires_grad=True)
+        out = layer(x)
+        (out * out).sum().backward()
+        result = (out.data, x.grad, layer.weight.grad, layer.bias.grad)
+        layer.zero_grad()
+        return result
+
+    @pytest.mark.parametrize("groups,cin,cout", [(2, 4, 6), (6, 6, 6), (3, 9, 3)])
+    def test_batched_group_matmul_matches_per_group_loop(self, groups, cin, cout):
+        fast = self.run_grouped(np.random.default_rng(1), True, groups, cin, cout)
+        slow = self.run_grouped(np.random.default_rng(1), False, groups, cin, cout)
+        for fast_arr, slow_arr in zip(fast, slow):
+            np.testing.assert_allclose(fast_arr, slow_arr, rtol=1e-10, atol=1e-10)
+
+    def test_depthwise_strided(self):
+        fast = self.run_grouped(np.random.default_rng(2), True, 4, 4, 4, stride=2)
+        slow = self.run_grouped(np.random.default_rng(2), False, 4, 4, 4, stride=2)
+        for fast_arr, slow_arr in zip(fast, slow):
+            np.testing.assert_allclose(fast_arr, slow_arr, rtol=1e-10, atol=1e-10)
+
+    def test_functional_groups_shape_validation(self, rng):
+        x = Tensor(rng.standard_normal((1, 4, 5, 5)))
+        w = Tensor(rng.standard_normal((4, 2, 3, 3)))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            F.conv2d(x, w, groups=3)
+
+    def test_conv2d_infer_matches_autograd_forward(self, rng):
+        x = rng.standard_normal((2, 4, 6, 6))
+        w = rng.standard_normal((6, 2, 3, 3))
+        b = rng.standard_normal(6)
+        expected = F.conv2d(Tensor(x), Tensor(w), Tensor(b), padding=1, groups=2).data
+        np.testing.assert_array_equal(
+            F.conv2d_infer(x, w, b, padding=1, groups=2), expected)
+
+
+class TestAvgPoolFastPath:
+    def run_pool(self, x, fast, kernel, stride=None):
+        F.set_conv_fast_path_enabled(fast)
+        tensor = Tensor(x, requires_grad=True)
+        out = F.avg_pool2d(tensor, kernel, stride)
+        out.sum().backward()
+        return out.data, tensor.grad
+
+    def test_power_of_two_window_bit_equals_im2col(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        fast_out, fast_grad = self.run_pool(x, True, 2)
+        slow_out, slow_grad = self.run_pool(x, False, 2)
+        np.testing.assert_array_equal(fast_out, slow_out)
+        np.testing.assert_array_equal(fast_grad, slow_grad)
+
+    def test_odd_window_matches_to_rounding_with_exact_backward(self, rng):
+        # A 9-element mean may pair elements differently across layouts;
+        # the backward spread is bit-identical regardless.
+        x = rng.standard_normal((1, 2, 6, 6))
+        fast_out, fast_grad = self.run_pool(x, True, 3)
+        slow_out, slow_grad = self.run_pool(x, False, 3)
+        np.testing.assert_allclose(fast_out, slow_out, rtol=1e-13, atol=1e-15)
+        np.testing.assert_array_equal(fast_grad, slow_grad)
+
+    def test_overlapping_windows_use_im2col_path(self, rng):
+        x = rng.standard_normal((1, 1, 6, 6))
+        fast_out, fast_grad = self.run_pool(x, True, 3, stride=2)
+        slow_out, slow_grad = self.run_pool(x, False, 3, stride=2)
+        np.testing.assert_array_equal(fast_out, slow_out)
+        np.testing.assert_array_equal(fast_grad, slow_grad)
+
+    def test_infer_helpers_match_autograd(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        np.testing.assert_array_equal(F.avg_pool2d_infer(x, 2),
+                                      F.avg_pool2d(Tensor(x), 2).data)
+        np.testing.assert_array_equal(F.max_pool2d_infer(x, 2),
+                                      F.max_pool2d(Tensor(x), 2).data)
+        np.testing.assert_array_equal(F.avg_pool2d_infer(x, 3, 2),
+                                      F.avg_pool2d(Tensor(x), 3, 2).data)
+
 
 class TestMaxPoolFastPath:
     def run_pool(self, x, fast, kernel, stride=None):
