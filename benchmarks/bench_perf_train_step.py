@@ -24,10 +24,19 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_perf_train_step.py --quick
     PYTHONPATH=src python benchmarks/bench_perf_train_step.py --output results.json
 
+A compute-dtype section (ISSUE 5) compares the same quantized step at
+float64 (the bit-exact default) and float32 (`model.to(np.float32)` plus
+float32 inputs): a tolerance harness first checks that deterministic f32
+losses track the f64 losses (the f32 run is a rounding of the same
+computation, not a different one), then the f32 step must beat the f64
+baseline for the MLP and transformer configurations -- the float64-BLAS
+bound called out by ROADMAP's PR 2 follow-up.
+
 Exit status is non-zero if the equivalence harness fails, if the standard
-CNN configuration shows less than 2x end-to-end speedup, or if pooled noise
+CNN configuration shows less than 2x end-to-end speedup, if pooled noise
 does not improve 1M-element stochastic quantization by at least 2x over the
-per-call `Generator.integers` path.
+per-call `Generator.integers` path, or if the float32 compute mode fails to
+beat the float64 step on the MLP/transformer gates.
 """
 
 import argparse
@@ -58,6 +67,19 @@ STANDARD_CONFIG = "cnn"
 STANDARD_SCHEME = "bfp4_stochastic"
 SPEEDUP_GATE = 2.0
 NOISE_POOL_GATE = 2.0
+#: float32-vs-float64 quantized step: the configs ROADMAP called "dominated
+#: by float64 BLAS matmuls" must run faster in float32 than the f64 baseline.
+#: The transformer gate runs a BLAS-bound size (embed 64, batch 16, seq 24);
+#: the tiny fast-vs-uncached transformer is per-op-overhead-bound and its
+#: dtype ratio is noise.
+F32_GATE_CONFIGS = ("mlp", "transformer_big")
+F32_SPEEDUP_GATE = 1.1
+#: Deterministic f32 losses must track the f64 losses this tightly.  BFP
+#: quantization makes the comparison discontinuous -- one float32 rounding
+#: that flips a quantization bucket compounds over steps -- so the margin is
+#: loose: measured worst deviation is ~4e-3 on the 5-step transformer_big
+#: trajectory (MLP stays ~1e-7).
+F32_LOSS_RTOL = 2e-2
 #: PR-1 recorded time for stochastic-Generator quantization of 1M float32
 #: (benchmarks/results/perf_quantization.json); the pool must beat half of it.
 PR1_STOCHASTIC_MS = 17.0
@@ -87,7 +109,7 @@ def set_fast_path(enabled: bool) -> None:
 # --------------------------------------------------------------------------- #
 # Training configurations
 # --------------------------------------------------------------------------- #
-def build_cnn(seed: int = 0):
+def build_cnn(seed: int = 0, dtype=None):
     rng = np.random.default_rng(seed)
     model = nn.Sequential(
         QuantizedConv2d(3, 32, 3, padding=1, rng=rng),
@@ -100,23 +122,31 @@ def build_cnn(seed: int = 0):
     data = np.random.default_rng(seed + 1)
     inputs = data.standard_normal((32, 3, 32, 32))
     labels = data.integers(0, 10, size=32)
+    if dtype is not None:
+        model.to(dtype)
+        inputs = inputs.astype(dtype)
     return model, lambda m: cross_entropy(m(inputs), labels)
 
 
-def build_mlp(seed: int = 0):
+def build_mlp(seed: int = 0, dtype=None):
     rng = np.random.default_rng(seed)
     model = MLP(784, [256, 128], 10, rng=rng)
     data = np.random.default_rng(seed + 1)
     inputs = data.standard_normal((64, 784))
     labels = data.integers(0, 10, size=64)
+    if dtype is not None:
+        model.to(dtype)
+        inputs = inputs.astype(dtype)
     return model, lambda m: cross_entropy(m(inputs), labels)
 
 
-def build_transformer(seed: int = 0):
+def build_transformer(seed: int = 0, dtype=None):
     rng = np.random.default_rng(seed)
     model = Seq2SeqTransformer(vocab_size=50, embed_dim=32, num_heads=2,
                                num_encoder_layers=1, num_decoder_layers=1,
                                max_length=16, rng=rng)
+    if dtype is not None:
+        model.to(dtype)
     data = np.random.default_rng(seed + 1)
     sources = data.integers(1, 50, size=(8, 12))
     targets_in = data.integers(1, 50, size=(8, 12))
@@ -125,10 +155,27 @@ def build_transformer(seed: int = 0):
                                                    pad_index=0)
 
 
+def build_transformer_big(seed: int = 0, dtype=None):
+    """A BLAS-dominated transformer (the float32 compute-mode gate config)."""
+    rng = np.random.default_rng(seed)
+    model = Seq2SeqTransformer(vocab_size=50, embed_dim=64, num_heads=4,
+                               num_encoder_layers=2, num_decoder_layers=2,
+                               max_length=26, rng=rng)
+    if dtype is not None:
+        model.to(dtype)
+    data = np.random.default_rng(seed + 1)
+    sources = data.integers(1, 50, size=(16, 24))
+    targets_in = data.integers(1, 50, size=(16, 24))
+    targets_out = data.integers(1, 50, size=(16, 24))
+    return model, lambda m: sequence_cross_entropy(m(sources, targets_in), targets_out,
+                                                   pad_index=0)
+
+
 CONFIG_BUILDERS = {
     "cnn": build_cnn,
     "mlp": build_mlp,
     "transformer": build_transformer,
+    "transformer_big": build_transformer_big,
 }
 
 
@@ -147,10 +194,16 @@ def build_schedule(scheme: str, noise_pool: bool, total_iterations: int):
 
 
 def run_training(config: str, scheme: str, steps: int, fast: bool,
-                 collect_losses: bool = False, stochastic_override=None):
-    """Run `steps` optimization steps; returns (median_step_seconds, losses)."""
+                 collect_losses: bool = False, stochastic_override=None,
+                 dtype=None):
+    """Run `steps` optimization steps; returns (median_step_seconds, losses).
+
+    ``dtype=np.float32`` runs the whole step -- forward, backward, quantize
+    kernels, optimizer -- in float32 (models are built at float64 and cast,
+    so both dtypes start from the identical weight stream).
+    """
     set_fast_path(fast)
-    model, loss_fn = CONFIG_BUILDERS[config](seed=0)
+    model, loss_fn = CONFIG_BUILDERS[config](seed=0, dtype=dtype)
     schedule = build_schedule(scheme, noise_pool=fast, total_iterations=steps)
     if stochastic_override is not None:
         schedule.stochastic_gradients = stochastic_override
@@ -254,6 +307,49 @@ def verify_training_equivalence(steps: int) -> float:
     return worst
 
 
+def verify_compute_dtype(steps: int) -> float:
+    """Deterministic float32 runs must track the float64 losses.
+
+    Both runs execute the same quantized computation from the same initial
+    weights; the only difference is rounding at float32.  Single-step losses
+    agree to float32 precision, but a rounding that flips a BFP quantization
+    bucket compounds across steps, so multi-step trajectories are checked
+    against the loose ``F32_LOSS_RTOL`` rather than float32 epsilon.
+    Returns the worst relative loss deviation observed.
+    """
+    worst = 0.0
+    for config in F32_GATE_CONFIGS:
+        _, f64_losses = run_training(config, "bfp4_nearest", steps, fast=True,
+                                     collect_losses=True, stochastic_override=False)
+        _, f32_losses = run_training(config, "bfp4_nearest", steps, fast=True,
+                                     collect_losses=True, stochastic_override=False,
+                                     dtype=np.float32)
+        f64_arr, f32_arr = np.asarray(f64_losses), np.asarray(f32_losses)
+        assert np.allclose(f32_arr, f64_arr, rtol=F32_LOSS_RTOL, atol=1e-6), (
+            config, f32_losses, f64_losses)
+        deviation = float(np.max(np.abs(f32_arr - f64_arr)
+                                 / np.maximum(np.abs(f64_arr), 1e-12)))
+        worst = max(worst, deviation)
+    return worst
+
+
+def bench_compute_dtype(cases, steps: int):
+    """Time the float64 vs. float32 quantized step (fast path on for both)."""
+    results = []
+    for config, scheme in cases:
+        f64_s, _ = run_training(config, scheme, steps, fast=True)
+        f32_s, _ = run_training(config, scheme, steps, fast=True, dtype=np.float32)
+        results.append({
+            "config": config,
+            "scheme": scheme,
+            "steps": steps,
+            "float64_ms_per_step": f64_s * 1e3,
+            "float32_ms_per_step": f32_s * 1e3,
+            "speedup": f64_s / f32_s,
+        })
+    return results
+
+
 # --------------------------------------------------------------------------- #
 # Noise-pool micro-benchmark (the PR-1 stochastic-Generator bound)
 # --------------------------------------------------------------------------- #
@@ -302,18 +398,24 @@ def main(argv=None) -> int:
     verify_fmac()
     worst_deviation = verify_training_equivalence(equivalence_steps)
     set_fast_path(True)
+    worst_f32_deviation = verify_compute_dtype(equivalence_steps)
+    set_fast_path(True)
     print(f"equivalence harness: PASS (layout cache/noise pool/fmac bit-exact; "
-          f"deterministic training worst relative loss deviation {worst_deviation:.2e})")
+          f"deterministic training worst relative loss deviation {worst_deviation:.2e}; "
+          f"f32-vs-f64 worst relative loss deviation {worst_f32_deviation:.2e})")
 
     if args.quick:
         steps = args.steps or 6
         cases = [("cnn", "bfp4_stochastic"), ("mlp", "bfp4_stochastic")]
+        dtype_cases = [(config, "bfp4_stochastic") for config in F32_GATE_CONFIGS]
         noise_repeats = 3
     else:
         steps = args.steps or 10
         cases = [(config, scheme)
                  for config in ("cnn", "mlp", "transformer")
                  for scheme in ("bfp4_nearest", "bfp4_stochastic", "fast_adaptive")]
+        dtype_cases = [(config, "bfp4_stochastic")
+                       for config in ("cnn", "mlp", "transformer_big")]
         noise_repeats = 7
 
     results = []
@@ -330,12 +432,22 @@ def main(argv=None) -> int:
         })
     set_fast_path(True)
 
+    dtype_results = bench_compute_dtype(dtype_cases, steps)
+    set_fast_path(True)
+
     noise = bench_noise_pool(noise_repeats)
 
     rows = [(r["config"], r["scheme"], f"{r['uncached_ms_per_step']:.1f}",
              f"{r['fast_ms_per_step']:.1f}", f"{r['speedup']:.2f}x") for r in results]
     print_rows(["config", "scheme", "uncached (ms/step)", "fast (ms/step)", "speedup"],
                rows, title=f"End-to-end training step (median of {steps} steps)")
+    dtype_rows = [(r["config"], r["scheme"], f"{r['float64_ms_per_step']:.1f}",
+                   f"{r['float32_ms_per_step']:.1f}", f"{r['speedup']:.2f}x")
+                  for r in dtype_results]
+    print()
+    print_rows(["config", "scheme", "float64 (ms/step)", "float32 (ms/step)", "speedup"],
+               dtype_rows,
+               title=f"Compute dtype: quantized step at f64 vs. f32 (fast path on)")
     print(f"\nstochastic noise @1M float32: generator {noise['generator_ms']:.1f} ms, "
           f"pooled {noise['pooled_ms']:.1f} ms ({noise['speedup']:.2f}x)")
 
@@ -350,6 +462,13 @@ def main(argv=None) -> int:
         "worst_relative_loss_deviation": worst_deviation,
         "noise_pool": noise,
         "results": results,
+        "compute_dtype": {
+            "loss_rtol": F32_LOSS_RTOL,
+            "worst_relative_loss_deviation": worst_f32_deviation,
+            "speedup_gate": F32_SPEEDUP_GATE,
+            "gate_configs": list(F32_GATE_CONFIGS),
+            "results": dtype_results,
+        },
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -380,6 +499,15 @@ def main(argv=None) -> int:
         print("FAIL: pooled noise below the gate on 1M stochastic quantization",
               file=sys.stderr)
         failed = True
+    for row in dtype_results:
+        if row["config"] not in F32_GATE_CONFIGS:
+            continue
+        print(f"float32 compute ({row['config']}, {row['scheme']}): "
+              f"{row['speedup']:.2f}x vs. float64 (gate {F32_SPEEDUP_GATE:.1f}x)")
+        if row["speedup"] < F32_SPEEDUP_GATE:
+            print(f"FAIL: float32 step slower than the gate on {row['config']}",
+                  file=sys.stderr)
+            failed = True
     return 1 if failed else 0
 
 

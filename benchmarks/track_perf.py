@@ -56,6 +56,7 @@ def summarize_quantization(report: dict) -> dict:
 
 
 def summarize_train_step(report: dict) -> dict:
+    compute_dtype = report.get("compute_dtype") or {}
     return {
         "per_case": {
             f"{r['config']}/{r['scheme']}": {
@@ -65,6 +66,16 @@ def summarize_train_step(report: dict) -> dict:
             }
             for r in report.get("results", [])
         },
+        "float32_per_case": {
+            f"{r['config']}/{r['scheme']}": {
+                "float64_ms_per_step": r["float64_ms_per_step"],
+                "float32_ms_per_step": r["float32_ms_per_step"],
+                "speedup": r["speedup"],
+            }
+            for r in compute_dtype.get("results", [])
+        },
+        "float32_worst_relative_loss_deviation":
+            compute_dtype.get("worst_relative_loss_deviation"),
         "noise_pool": report.get("noise_pool"),
         "worst_relative_loss_deviation": report.get("worst_relative_loss_deviation"),
     }

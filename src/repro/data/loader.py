@@ -12,7 +12,25 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-__all__ = ["DataLoader"]
+__all__ = ["DataLoader", "cast_floating"]
+
+
+def cast_floating(batch, dtype):
+    """Cast floating arrays (recursing into tuples) to ``dtype``.
+
+    Integer arrays -- labels, token ids -- pass through untouched, as does
+    everything when ``dtype`` is ``None``.  Shared by :class:`DataLoader`
+    and the trainers' ``compute_dtype`` handling so the casting policy lives
+    in one place.
+    """
+    if dtype is None:
+        return batch
+    if isinstance(batch, tuple):
+        return tuple(cast_floating(item, dtype) for item in batch)
+    batch = np.asarray(batch)
+    if np.issubdtype(batch.dtype, np.floating) and batch.dtype != dtype:
+        return batch.astype(dtype)
+    return batch
 
 
 def _stack(items):
@@ -37,16 +55,22 @@ class DataLoader:
         Drop the final batch when it is smaller than ``batch_size``.
     seed:
         Seed of the shuffling RNG (per-loader, advanced every epoch).
+    dtype:
+        Optional floating dtype for batches.  When set, floating input and
+        target arrays are cast to it after stacking (integer arrays -- labels,
+        token ids -- are untouched), so a float64 dataset can feed a float32
+        compute pipeline without touching the dataset itself.
     """
 
     def __init__(self, dataset, batch_size: int = 32, shuffle: bool = True,
-                 drop_last: bool = False, seed: int = 0):
+                 drop_last: bool = False, seed: int = 0, dtype=None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.dtype = None if dtype is None else np.dtype(dtype)
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -64,6 +88,6 @@ class DataLoader:
             if self.drop_last and len(batch_indices) < self.batch_size:
                 break
             samples = [self.dataset[int(i)] for i in batch_indices]
-            inputs = _stack([sample[0] for sample in samples])
-            labels = _stack([sample[1] for sample in samples])
+            inputs = cast_floating(_stack([sample[0] for sample in samples]), self.dtype)
+            labels = cast_floating(_stack([sample[1] for sample in samples]), self.dtype)
             yield inputs, labels

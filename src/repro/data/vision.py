@@ -55,6 +55,11 @@ class SyntheticImageDataset:
         Maximum circular shift (pixels) applied per sample for variability.
     seed:
         Seed for reproducible generation.
+    dtype:
+        Floating dtype of the stored images (default float64, the bit-exact
+        reference; ``np.float32`` feeds the float32 compute mode without a
+        per-batch cast).  Generation always runs in float64 so the pixel
+        values are the same stream for every dtype, rounded once at the end.
     """
 
     num_samples: int = 512
@@ -64,6 +69,7 @@ class SyntheticImageDataset:
     noise: float = 0.6
     max_shift: int = 2
     seed: int = 0
+    dtype: type = np.float64
 
     def __post_init__(self):
         rng = np.random.default_rng(self.seed)
@@ -84,7 +90,7 @@ class SyntheticImageDataset:
             prototype = self.prototypes[self.labels[index]]
             shifted = np.roll(prototype, shift=tuple(shifts[index]), axis=(1, 2))
             images[index] = shifted + noise_fields[index]
-        self.images = images.astype(np.float64)
+        self.images = images.astype(self.dtype)
 
     def __len__(self) -> int:
         return self.num_samples
@@ -127,14 +133,16 @@ class _SubsetImageDataset:
 
 
 def synthetic_cifar(num_samples: int = 512, image_size: int = 16, num_classes: int = 10,
-                    noise: float = 0.6, seed: int = 0) -> SyntheticImageDataset:
+                    noise: float = 0.6, seed: int = 0, dtype=np.float64) -> SyntheticImageDataset:
     """A CIFAR-10-like task: 10 classes of small RGB images."""
     return SyntheticImageDataset(num_samples=num_samples, num_classes=num_classes,
-                                 image_size=image_size, channels=3, noise=noise, seed=seed)
+                                 image_size=image_size, channels=3, noise=noise, seed=seed,
+                                 dtype=dtype)
 
 
 def synthetic_imagenet(num_samples: int = 512, image_size: int = 24, num_classes: int = 20,
-                       noise: float = 0.7, seed: int = 0) -> SyntheticImageDataset:
+                       noise: float = 0.7, seed: int = 0, dtype=np.float64) -> SyntheticImageDataset:
     """An ImageNet-like task: more classes, slightly larger images, more noise."""
     return SyntheticImageDataset(num_samples=num_samples, num_classes=num_classes,
-                                 image_size=image_size, channels=3, noise=noise, seed=seed)
+                                 image_size=image_size, channels=3, noise=noise, seed=seed,
+                                 dtype=dtype)

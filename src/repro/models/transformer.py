@@ -44,7 +44,9 @@ class Seq2SeqTransformer(nn.Module):
         self.pad_index = pad_index
         self.max_length = max_length
         self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
-        self.positional = positional_encoding(max_length, embed_dim)
+        # A buffer (not a plain attribute) so Module.to() casts it with the
+        # rest of the model state and checkpoints carry it.
+        self.register_buffer("positional", positional_encoding(max_length, embed_dim))
         self.encoder_layers = nn.ModuleList(
             TransformerEncoderLayer(embed_dim, num_heads, hidden_dim, dropout, rng=rng)
             for _ in range(num_encoder_layers)
@@ -64,7 +66,9 @@ class Seq2SeqTransformer(nn.Module):
         if length > self.max_length:
             raise ValueError(f"sequence length {length} exceeds max_length {self.max_length}")
         embedded = self.embedding(tokens) * np.sqrt(self.embed_dim)
-        return embedded + nn.Tensor(self.positional[:length])
+        # The positional buffer is cast by Module.to(); the explicit dtype is
+        # a no-copy no-op then, and guards inputs cast without the model.
+        return embedded + nn.Tensor(self.positional[:length], dtype=embedded.data.dtype)
 
     def encode(self, src_tokens: np.ndarray) -> nn.Tensor:
         """Run the encoder stack over source tokens (batch, src_len)."""

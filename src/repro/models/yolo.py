@@ -108,7 +108,9 @@ def yolo_loss(predictions: nn.Tensor, targets: np.ndarray,
     down-weighted objectness term, following the original YOLO formulation.
     """
     predictions = nn.as_tensor(predictions)
-    targets = np.asarray(targets, dtype=np.float64)
+    # Targets and masks follow the prediction dtype so the float32 compute
+    # mode is not upcast by float64 target tensors (float64 stays float64).
+    targets = np.asarray(targets, dtype=predictions.data.dtype)
     object_mask = targets[..., 4:5]
     noobject_mask = 1.0 - object_mask
 

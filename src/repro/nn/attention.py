@@ -58,7 +58,9 @@ def scaled_dot_product_attention(
     head_dim = query.shape[-1]
     scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(head_dim))
     if mask is not None:
-        scores = scores + Tensor(mask)
+        # Additive masks follow the scores dtype so a float32 attention
+        # pipeline is not upcast by the (float64-built) mask array.
+        scores = scores + Tensor(np.asarray(mask), dtype=scores.data.dtype)
     weights = scores.softmax(axis=-1)
     return weights @ value
 

@@ -1,4 +1,11 @@
-"""Weight initializers for the NN substrate."""
+"""Weight initializers for the NN substrate.
+
+Every initializer accepts a ``dtype`` (default ``np.float64``, the repo's
+bit-exact reference precision).  Passing ``np.float32`` yields float32
+arrays so parameters built for the float32 compute mode never materialize a
+float64 copy first: values are drawn in float64 (keeping the random stream
+identical across dtypes for a given seed) and rounded once.
+"""
 
 from __future__ import annotations
 
@@ -22,39 +29,43 @@ def _fan_in_out(shape):
     return fan_in, fan_out
 
 
-def kaiming_uniform(shape, rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+def _cast(values: np.ndarray, dtype) -> np.ndarray:
+    return values if dtype is None else values.astype(dtype, copy=False)
+
+
+def kaiming_uniform(shape, rng=None, gain: float = np.sqrt(2.0), dtype=None) -> np.ndarray:
     """He/Kaiming uniform initialization (default for ReLU networks)."""
     rng = rng if rng is not None else np.random.default_rng()
     fan_in, _ = _fan_in_out(shape)
     bound = gain * np.sqrt(3.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def kaiming_normal(shape, rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+def kaiming_normal(shape, rng=None, gain: float = np.sqrt(2.0), dtype=None) -> np.ndarray:
     """He/Kaiming normal initialization."""
     rng = rng if rng is not None else np.random.default_rng()
     fan_in, _ = _fan_in_out(shape)
     std = gain / np.sqrt(max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
-def xavier_uniform(shape, rng=None, gain: float = 1.0) -> np.ndarray:
+def xavier_uniform(shape, rng=None, gain: float = 1.0, dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform initialization (default for tanh/linear layers)."""
     rng = rng if rng is not None else np.random.default_rng()
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def normal(shape, std: float = 0.02, rng=None) -> np.ndarray:
+def normal(shape, std: float = 0.02, rng=None, dtype=None) -> np.ndarray:
     """Gaussian initialization with a fixed standard deviation."""
     rng = rng if rng is not None else np.random.default_rng()
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
-def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64 if dtype is None else dtype)
 
 
-def ones(shape) -> np.ndarray:
-    return np.ones(shape)
+def ones(shape, dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64 if dtype is None else dtype)

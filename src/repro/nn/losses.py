@@ -51,10 +51,13 @@ def sequence_cross_entropy(logits: Tensor, targets, pad_index: Optional[int] = N
     encoded = one_hot(flat_targets, vocab, dtype=flat_logits.data.dtype)
     if label_smoothing > 0.0:
         encoded = encoded * (1.0 - label_smoothing) + label_smoothing / vocab
+    # The padding mask follows the logits dtype so a float32 pipeline is not
+    # upcast by the mask multiply (float64 logits keep a float64 mask).
+    mask_dtype = flat_logits.data.dtype
     if pad_index is not None:
-        mask = (flat_targets != pad_index).astype(np.float64)
+        mask = (flat_targets != pad_index).astype(mask_dtype)
     else:
-        mask = np.ones_like(flat_targets, dtype=np.float64)
+        mask = np.ones_like(flat_targets, dtype=mask_dtype)
     log_probs = flat_logits.log_softmax(axis=-1)
     token_loss = -(log_probs * Tensor(encoded)).sum(axis=-1)
     total = (token_loss * Tensor(mask)).sum()
@@ -62,10 +65,22 @@ def sequence_cross_entropy(logits: Tensor, targets, pad_index: Optional[int] = N
     return total * (1.0 / count)
 
 
+def _as_target(target, like: Tensor) -> Tensor:
+    """Tensor-ify a regression target at the prediction's dtype.
+
+    Plain arrays (the common case: float64 labels against a float32 model)
+    are cast once so the loss runs at the compute dtype; Tensor targets are
+    left untouched and follow NumPy promotion as before.
+    """
+    if isinstance(target, Tensor):
+        return target
+    return Tensor(target, dtype=like.data.dtype)
+
+
 def mse_loss(prediction: Tensor, target) -> Tensor:
     """Mean squared error."""
     prediction = as_tensor(prediction)
-    target = as_tensor(target)
+    target = _as_target(target, prediction)
     diff = prediction - target
     return (diff * diff).mean()
 
@@ -73,14 +88,14 @@ def mse_loss(prediction: Tensor, target) -> Tensor:
 def l1_loss(prediction: Tensor, target) -> Tensor:
     """Mean absolute error."""
     prediction = as_tensor(prediction)
-    target = as_tensor(target)
+    target = _as_target(target, prediction)
     return (prediction - target).abs().mean()
 
 
 def smooth_l1_loss(prediction: Tensor, target, beta: float = 1.0) -> Tensor:
     """Huber-style smooth L1 loss used for box regression."""
     prediction = as_tensor(prediction)
-    target = as_tensor(target)
+    target = _as_target(target, prediction)
     diff = (prediction - target).abs()
     quadratic = diff.clip(0.0, beta)
     linear = diff - quadratic
@@ -90,10 +105,11 @@ def smooth_l1_loss(prediction: Tensor, target, beta: float = 1.0) -> Tensor:
 def binary_cross_entropy_with_logits(logits: Tensor, targets, weight: Optional[np.ndarray] = None) -> Tensor:
     """Numerically stable binary cross-entropy on raw logits."""
     logits = as_tensor(logits)
-    targets = as_tensor(targets)
+    targets = _as_target(targets, logits)
     # log(1 + exp(-|x|)) + max(x, 0) - x * t, the standard stable form.
     positive_part = logits.clip(0.0, np.inf)
     loss = positive_part - logits * targets + (1.0 + (-logits.abs()).exp()).log()
     if weight is not None:
-        loss = loss * Tensor(np.asarray(weight, dtype=np.float64))
+        # Per-element weights follow the loss dtype (float32 stays float32).
+        loss = loss * Tensor(np.asarray(weight, dtype=loss.data.dtype))
     return loss.mean()

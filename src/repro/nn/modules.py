@@ -52,8 +52,8 @@ class Parameter(Tensor):
     directly should call :meth:`bump_version` to invalidate those caches.
     """
 
-    def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+    def __init__(self, data, dtype=None):
+        super().__init__(data, requires_grad=True, dtype=dtype)
         self.version = 0
 
     def bump_version(self) -> None:
@@ -153,6 +153,42 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
+    def to(self, dtype) -> "Module":
+        """Cast every floating parameter and buffer to ``dtype`` in place.
+
+        The cast bumps parameter versions and clears per-layer quantized
+        weight caches so stale arrays at the old dtype are never reused.
+        Integer buffers (e.g. token indices) are left untouched.  Optimizers
+        built *before* the cast hold state at the old dtype -- construct them
+        after ``to()`` (matching the usual build/cast/optimize order).
+        """
+        dtype = np.dtype(dtype)
+        for param in self.parameters():
+            if np.issubdtype(param.data.dtype, np.floating) and param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+                param.grad = None
+                if isinstance(param, Parameter):
+                    param.bump_version()
+        for _, module in self.named_modules():
+            for name in module._buffers:
+                value = getattr(module, name)
+                if (isinstance(value, np.ndarray)
+                        and np.issubdtype(value.dtype, np.floating)
+                        and value.dtype != dtype):
+                    object.__setattr__(module, name, value.astype(dtype))
+            clear_cache = getattr(module, "clear_weight_cache", None)
+            if clear_cache is not None:
+                clear_cache()
+        return self
+
+    def float(self) -> "Module":
+        """Cast to float32 (the compute-dtype training/serving mode)."""
+        return self.to(np.float32)
+
+    def double(self) -> "Module":
+        """Cast to float64 (the bit-exact default precision)."""
+        return self.to(np.float64)
+
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
@@ -167,7 +203,10 @@ class Module:
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         for name, param in self.named_parameters():
             if name in state:
-                param.data = np.array(state[name], dtype=np.float64).reshape(param.shape)
+                # Load at the parameter's own dtype so a float32-cast model
+                # stays float32 when restoring a checkpoint (float64 models
+                # load bit-identically as before).
+                param.data = np.array(state[name], dtype=param.data.dtype).reshape(param.shape)
                 if isinstance(param, Parameter):
                     param.bump_version()
         for path, module in self.named_modules():
@@ -196,12 +235,14 @@ class Module:
 class Linear(Module):
     """Fully connected layer ``y = x @ W.T + b``."""
 
-    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None,
+                 dtype=None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
-        self.bias = Parameter(init.zeros(out_features)) if bias else None
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng,
+                                                     dtype=dtype))
+        self.bias = Parameter(init.zeros(out_features, dtype=dtype)) if bias else None
 
     def forward(self, x) -> Tensor:
         return F.linear(as_tensor(x), self.weight, self.bias)
@@ -220,6 +261,7 @@ class Conv2d(Module):
         bias: bool = True,
         groups: int = 1,
         rng=None,
+        dtype=None,
     ):
         super().__init__()
         if in_channels % groups or out_channels % groups:
@@ -231,8 +273,8 @@ class Conv2d(Module):
         self.padding = padding
         self.groups = groups
         weight_shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
-        self.weight = Parameter(init.kaiming_uniform(weight_shape, rng=rng))
-        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+        self.weight = Parameter(init.kaiming_uniform(weight_shape, rng=rng, dtype=dtype))
+        self.bias = Parameter(init.zeros(out_channels, dtype=dtype)) if bias else None
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
@@ -257,15 +299,17 @@ class Conv2d(Module):
 class BatchNorm2d(Module):
     """Batch normalization over the channel axis of NCHW tensors."""
 
-    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 dtype=None):
         super().__init__()
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(init.ones(num_features))
-        self.bias = Parameter(init.zeros(num_features))
-        self.register_buffer("running_mean", np.zeros(num_features))
-        self.register_buffer("running_var", np.ones(num_features))
+        self.weight = Parameter(init.ones(num_features, dtype=dtype))
+        self.bias = Parameter(init.zeros(num_features, dtype=dtype))
+        buffer_dtype = np.float64 if dtype is None else dtype
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=buffer_dtype))
+        self.register_buffer("running_var", np.ones(num_features, dtype=buffer_dtype))
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
@@ -290,12 +334,12 @@ class BatchNorm2d(Module):
 class LayerNorm(Module):
     """Layer normalization over the last dimension."""
 
-    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+    def __init__(self, normalized_shape: int, eps: float = 1e-5, dtype=None):
         super().__init__()
         self.normalized_shape = normalized_shape
         self.eps = eps
-        self.weight = Parameter(init.ones(normalized_shape))
-        self.bias = Parameter(init.zeros(normalized_shape))
+        self.weight = Parameter(init.ones(normalized_shape, dtype=dtype))
+        self.bias = Parameter(init.zeros(normalized_shape, dtype=dtype))
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
@@ -308,11 +352,12 @@ class LayerNorm(Module):
 class Embedding(Module):
     """Token embedding table."""
 
-    def __init__(self, num_embeddings: int, embedding_dim: int, rng=None):
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng=None, dtype=None):
         super().__init__()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
-        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=0.02, rng=rng))
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=0.02, rng=rng,
+                                            dtype=dtype))
 
     def forward(self, indices) -> Tensor:
         return F.embedding(self.weight, np.asarray(indices))

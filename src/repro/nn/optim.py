@@ -1,11 +1,21 @@
 """Optimizers: SGD with momentum and Adam.
 
-Weight updates always happen on the FP32 master copy of the parameters, as
-in the paper's training setup (the BFP/INT/FP quantization is applied on the
-way into the matrix products, not to the stored master weights).  An optional
-``update_format`` hook lets experiments additionally quantize the updated
-weights, which is what the FAST hardware does when writing ``W'`` back to the
-weight SRAM (Figure 16c, step 3).
+Weight updates always happen on the master copy of the parameters, as in the
+paper's training setup (the BFP/INT/FP quantization is applied on the way
+into the matrix products, not to the stored master weights).  By default the
+master copy *is* the parameter array, at whatever dtype the model carries --
+float64 for the bit-exact default, float32 under the float32 compute mode
+(exactly the paper's FAST setup: BFP compute with an FP32 master copy, as in
+HBFP-style block-floating-point trainers).
+
+``master_dtype`` optionally keeps the master copy and the optimizer state at
+a *higher* precision than the parameters: updates accumulate in the master
+dtype and the parameter array is refreshed with a single rounding per step.
+This is the classic mixed-precision recipe for float32 (or lower) compute
+with float64-quality weight accumulation.  An optional ``update_quantizer``
+hook lets experiments additionally quantize the updated weights, which is
+what the FAST hardware does when writing ``W'`` back to the weight SRAM
+(Figure 16c, step 3).
 """
 
 from __future__ import annotations
@@ -22,11 +32,67 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 class Optimizer:
     """Base class: holds the parameter list and the shared step/zero_grad API."""
 
-    def __init__(self, parameters: Iterable[Parameter], lr: float):
+    def __init__(self, parameters: Iterable[Parameter], lr: float,
+                 master_dtype=None):
         self.parameters: List[Parameter] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received an empty parameter list")
         self.lr = lr
+        self.master_dtype = None if master_dtype is None else np.dtype(master_dtype)
+        if self.master_dtype is not None:
+            self._master: Optional[List[np.ndarray]] = [
+                param.data.astype(self.master_dtype, copy=True) for param in self.parameters
+            ]
+        else:
+            self._master = None
+
+    def _state_template(self, param: Parameter) -> np.ndarray:
+        """Zeros shaped like ``param`` at the dtype optimizer state lives in."""
+        if self.master_dtype is not None:
+            return np.zeros(param.shape, dtype=self.master_dtype)
+        return np.zeros_like(param.data)
+
+    def _read_weight(self, index: int, param: Parameter) -> np.ndarray:
+        """The array updates are computed on (master copy when configured)."""
+        if self._master is not None:
+            return self._master[index]
+        return param.data
+
+    def _grad(self, index: int, param: Parameter) -> np.ndarray:
+        """The gradient at the update dtype (upcast once when a master is kept)."""
+        grad = param.grad
+        if self.master_dtype is not None and grad.dtype != self.master_dtype:
+            grad = grad.astype(self.master_dtype)
+        return grad
+
+    def _write_weight(self, index: int, param: Parameter, updated: np.ndarray) -> None:
+        """Store the updated weights (round master -> parameter dtype once)."""
+        if self._master is not None:
+            self._master[index] = updated
+            param.data = updated.astype(param.data.dtype)
+        else:
+            param.data = updated
+        self._mark_updated(param)
+
+    def _state_arrays(self) -> List[List[np.ndarray]]:
+        """Per-parameter state lists (momentum/moment buffers) of the subclass."""
+        return []
+
+    def refresh_dtype(self) -> None:
+        """Re-align optimizer state with the parameters' current dtype.
+
+        Called by the trainers after casting the model with ``Module.to``:
+        state created from the pre-cast parameters (e.g. float64 momentum for
+        a now-float32 model) would silently promote every update back to
+        float64.  With a ``master_dtype`` the state intentionally lives at the
+        master precision and is left untouched.
+        """
+        if self.master_dtype is not None:
+            return
+        for state in self._state_arrays():
+            for index, param in enumerate(self.parameters):
+                if state[index].dtype != param.data.dtype:
+                    state[index] = state[index].astype(param.data.dtype)
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -56,28 +122,32 @@ class SGD(Optimizer):
         momentum: float = 0.0,
         weight_decay: float = 0.0,
         update_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        master_dtype=None,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, master_dtype=master_dtype)
         self.momentum = momentum
         self.weight_decay = weight_decay
         self.update_quantizer = update_quantizer
-        self._velocity = [np.zeros_like(param.data) for param in self.parameters]
+        self._velocity = [self._state_template(param) for param in self.parameters]
+
+    def _state_arrays(self) -> List[List[np.ndarray]]:
+        return [self._velocity]
 
     def step(self) -> None:
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
-            grad = param.grad
+            grad = self._grad(index, param)
+            weight = self._read_weight(index, param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * weight
             if self.momentum:
                 self._velocity[index] = self.momentum * self._velocity[index] + grad
                 grad = self._velocity[index]
-            updated = param.data - self.lr * grad
+            updated = weight - self.lr * grad
             if self.update_quantizer is not None:
                 updated = self.update_quantizer(updated)
-            param.data = updated
-            self._mark_updated(param)
+            self._write_weight(index, param, updated)
 
 
 class Adam(Optimizer):
@@ -91,15 +161,19 @@ class Adam(Optimizer):
         eps: float = 1e-8,
         weight_decay: float = 0.0,
         update_quantizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        master_dtype=None,
     ):
-        super().__init__(parameters, lr)
+        super().__init__(parameters, lr, master_dtype=master_dtype)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
         self.update_quantizer = update_quantizer
         self._step = 0
-        self._m = [np.zeros_like(param.data) for param in self.parameters]
-        self._v = [np.zeros_like(param.data) for param in self.parameters]
+        self._m = [self._state_template(param) for param in self.parameters]
+        self._v = [self._state_template(param) for param in self.parameters]
+
+    def _state_arrays(self) -> List[List[np.ndarray]]:
+        return [self._m, self._v]
 
     def step(self) -> None:
         self._step += 1
@@ -108,15 +182,15 @@ class Adam(Optimizer):
         for index, param in enumerate(self.parameters):
             if param.grad is None:
                 continue
-            grad = param.grad
+            grad = self._grad(index, param)
+            weight = self._read_weight(index, param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                grad = grad + self.weight_decay * weight
             self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
             self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * grad * grad
             m_hat = self._m[index] / bias1
             v_hat = self._v[index] / bias2
-            updated = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            updated = weight - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
             if self.update_quantizer is not None:
                 updated = self.update_quantizer(updated)
-            param.data = updated
-            self._mark_updated(param)
+            self._write_weight(index, param, updated)

@@ -333,8 +333,8 @@ class QuantizedLinear(WeightCacheMixin, Linear):
     """A :class:`Linear` layer with W/A/G quantization hooks."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
-                 scheme: Optional[QuantizationScheme] = None, rng=None):
-        super().__init__(in_features, out_features, bias=bias, rng=rng)
+                 scheme: Optional[QuantizationScheme] = None, rng=None, dtype=None):
+        super().__init__(in_features, out_features, bias=bias, rng=rng, dtype=dtype)
         self.scheme = scheme if scheme is not None else IdentityScheme()
         self.layer_index = 0
         self._init_weight_cache()
@@ -354,9 +354,9 @@ class QuantizedConv2d(WeightCacheMixin, Conv2d):
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
                  stride: int = 1, padding: int = 0, bias: bool = True, groups: int = 1,
-                 scheme: Optional[QuantizationScheme] = None, rng=None):
+                 scheme: Optional[QuantizationScheme] = None, rng=None, dtype=None):
         super().__init__(in_channels, out_channels, kernel_size, stride=stride,
-                         padding=padding, bias=bias, groups=groups, rng=rng)
+                         padding=padding, bias=bias, groups=groups, rng=rng, dtype=dtype)
         self.scheme = scheme if scheme is not None else IdentityScheme()
         self.layer_index = 0
         self._init_weight_cache()

@@ -68,13 +68,19 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op", "name")
 
-    def __init__(self, data, requires_grad: bool = False, parents: Sequence["Tensor"] = (), op: str = ""):
+    def __init__(self, data, requires_grad: bool = False, parents: Sequence["Tensor"] = (), op: str = "",
+                 dtype=None):
         if isinstance(data, Tensor):
             data = data.data
         # float32 is preserved so low-precision activation pipelines are not
         # silently upcast; every other dtype is promoted to float64 as before.
+        # An explicit ``dtype`` overrides both rules (the compute-dtype entry
+        # point used by initializers and ``Module.to``).
         array = np.asarray(data)
-        self.data = array if array.dtype == np.float32 else np.asarray(array, dtype=np.float64)
+        if dtype is not None:
+            self.data = np.asarray(array, dtype=dtype)
+        else:
+            self.data = array if array.dtype == np.float32 else np.asarray(array, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -134,9 +140,13 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        # Gradients live in the tensor's own dtype: a float32 parameter gets
+        # float32 gradients (and float32 accumulation), the float64 default
+        # keeps its bit-exact float64 stream.
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
             self.grad = self.grad + grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
@@ -147,7 +157,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order of the graph reachable from this tensor.
         topo: List[Tensor] = []
@@ -171,11 +181,26 @@ class Tensor:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
+    def _coerce(self, other) -> "Tensor":
+        """Tensor-ify an operand, keeping scalars at this tensor's dtype.
+
+        Python/NumPy scalars (learning rates, ``1/count`` factors,
+        ``np.sqrt(dim)`` results) would otherwise become float64 0-d arrays
+        and silently promote a float32 pipeline to float64.  Arrays and
+        tensors keep their own dtype, so genuine mixed-dtype operands still
+        follow NumPy promotion.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if np.isscalar(other) and np.issubdtype(self.data.dtype, np.floating):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
+
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data + other.data
 
         def backward(grad):
@@ -196,13 +221,13 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-self._coerce(other))
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return self._coerce(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data * other.data
 
         def backward(grad):
@@ -216,7 +241,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = self._coerce(other)
         out_data = self.data / other.data
 
         def backward(grad):
@@ -228,7 +253,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -326,7 +351,7 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.1) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype, copy=False)
         out_data = self.data * scale
 
         def backward(grad):
@@ -412,7 +437,7 @@ class Tensor:
                         max_k = np.expand_dims(max_k, a)
                 expanded_max = np.broadcast_to(max_k, self.shape)
                 expanded_grad = np.broadcast_to(grad_k, self.shape)
-            mask = (self.data == expanded_max).astype(np.float64)
+            mask = (self.data == expanded_max).astype(self.data.dtype)
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             mask = mask / np.broadcast_to(counts, self.shape)
             self._accumulate(expanded_grad * mask)
@@ -467,7 +492,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                full = np.zeros(original_shape, dtype=np.float64)
+                full = np.zeros(original_shape, dtype=self.data.dtype)
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 

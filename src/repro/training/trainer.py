@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from .. import nn
-from ..data.loader import DataLoader
+from ..data.loader import DataLoader, cast_floating
 from ..models.yolo import decode_predictions, yolo_loss
 from ..nn.losses import cross_entropy, sequence_cross_entropy
 from .metrics import accuracy, corpus_bleu, mean_average_precision
@@ -68,14 +68,36 @@ class TrainingResult:
 
 
 class _BaseTrainer:
-    """Shared plumbing: schedule preparation, iteration bookkeeping."""
+    """Shared plumbing: schedule preparation, iteration bookkeeping, dtype.
+
+    ``compute_dtype`` selects the precision the forward/backward pass runs
+    at.  ``None`` (the default) leaves the model and data untouched -- the
+    bit-exact float64 path.  ``np.float32`` casts the model once
+    (``Module.to``), re-aligns the optimizer state dtype, and casts every
+    floating mini-batch on the way in, so the whole training step -- matrix
+    products, quantization kernels, gradients, optimizer update -- runs in
+    float32.  Master weights stay FP32-or-better either way, per the paper's
+    setup (pass ``master_dtype=np.float64`` to the optimizer for a
+    higher-precision master copy under float32 compute).
+    """
 
     def __init__(self, model: nn.Module, optimizer: nn.Optimizer,
-                 schedule: Optional[PrecisionSchedule] = None):
+                 schedule: Optional[PrecisionSchedule] = None,
+                 compute_dtype=None):
         self.model = model
         self.optimizer = optimizer
         self.schedule = schedule if schedule is not None else FP32Schedule()
         self.iteration = 0
+        self.compute_dtype = None if compute_dtype is None else np.dtype(compute_dtype)
+        if self.compute_dtype is not None:
+            self.model.to(self.compute_dtype)
+            refresh = getattr(self.optimizer, "refresh_dtype", None)
+            if refresh is not None:
+                refresh()
+
+    def _cast(self, array):
+        """Cast a floating batch array to the compute dtype (no-op otherwise)."""
+        return cast_floating(array, self.compute_dtype)
 
     def _prepare(self, iterations_per_epoch: int, epochs: int) -> None:
         total = max(iterations_per_epoch * epochs, 1)
@@ -94,8 +116,9 @@ class ClassificationTrainer(_BaseTrainer):
 
     def __init__(self, model: nn.Module, optimizer: nn.Optimizer,
                  schedule: Optional[PrecisionSchedule] = None,
-                 loss_fn: Callable = cross_entropy):
-        super().__init__(model, optimizer, schedule)
+                 loss_fn: Callable = cross_entropy,
+                 compute_dtype=None):
+        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype)
         self.loss_fn = loss_fn
 
     def evaluate(self, loader: DataLoader) -> float:
@@ -106,7 +129,7 @@ class ClassificationTrainer(_BaseTrainer):
         total = 0
         with nn.no_grad():
             for inputs, labels in loader:
-                logits = self.model(inputs)
+                logits = self.model(self._cast(inputs))
                 batch = len(labels)
                 correct_weighted += accuracy(logits.data, labels) * batch
                 total += batch
@@ -125,7 +148,7 @@ class ClassificationTrainer(_BaseTrainer):
             epoch_accuracy = []
             for inputs, labels in train_loader:
                 self._pre_step()
-                logits = self.model(inputs)
+                logits = self.model(self._cast(inputs))
                 loss = self.loss_fn(logits, labels)
                 self.optimizer.zero_grad()
                 loss.backward()
@@ -154,8 +177,9 @@ class Seq2SeqTrainer(_BaseTrainer):
     """Transformer training loop for the synthetic transduction task."""
 
     def __init__(self, model, optimizer: nn.Optimizer,
-                 schedule: Optional[PrecisionSchedule] = None, pad_index: int = 0):
-        super().__init__(model, optimizer, schedule)
+                 schedule: Optional[PrecisionSchedule] = None, pad_index: int = 0,
+                 compute_dtype=None):
+        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype)
         self.pad_index = pad_index
 
     def evaluate_bleu(self, dataset, max_samples: int = 64) -> float:
@@ -216,8 +240,9 @@ class DetectionTrainer(_BaseTrainer):
     """YOLO-style detection training loop."""
 
     def __init__(self, model, optimizer: nn.Optimizer,
-                 schedule: Optional[PrecisionSchedule] = None, confidence_threshold: float = 0.5):
-        super().__init__(model, optimizer, schedule)
+                 schedule: Optional[PrecisionSchedule] = None, confidence_threshold: float = 0.5,
+                 compute_dtype=None):
+        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype)
         self.confidence_threshold = confidence_threshold
 
     def evaluate_map(self, dataset) -> float:
@@ -226,7 +251,7 @@ class DetectionTrainer(_BaseTrainer):
         self.model.eval()
         images, _ = dataset.arrays()
         with nn.no_grad():
-            raw = self.model(images).data
+            raw = self.model(self._cast(images)).data
         predictions = decode_predictions(raw, threshold=self.confidence_threshold)
         ground_truth = dataset.ground_truth_boxes()
         self.model.train(was_training)
@@ -243,7 +268,7 @@ class DetectionTrainer(_BaseTrainer):
             epoch_losses = []
             for images, targets in loader:
                 self._pre_step()
-                predictions = self.model(images)
+                predictions = self.model(self._cast(images))
                 loss = yolo_loss(predictions, targets)
                 self.optimizer.zero_grad()
                 loss.backward()
