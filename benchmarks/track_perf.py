@@ -94,6 +94,12 @@ def summarize_serving(report: dict) -> dict:
             for r in report.get("results", [])
         },
         "storage_standard": report.get("storage_standard"),
+        "degraded": {
+            key: degraded.get(key)
+            for key in ("latency_ms_p50", "latency_ms_p95", "latency_ms_p99",
+                        "rps", "shed_rate", "failure_rate", "requeues",
+                        "engine_restarts", "final_state")
+        } if (degraded := report.get("degraded")) else None,
     }
 
 

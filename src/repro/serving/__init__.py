@@ -1,4 +1,4 @@
-"""Quantized inference serving: frozen BFP exports + a dynamic-batching server.
+"""Quantized inference serving: frozen BFP exports + a fault-tolerant server.
 
 The training side of this repository simulates FAST's quantized training;
 this package is the inference side.  A trained model is *frozen* -- weights
@@ -22,10 +22,49 @@ Typical flow::
         future = server.submit(image)                   # async
         result = server.predict(image)                  # sync
         print(result.timing.total_ms, server.stats())
+
+Fault-tolerance semantics (the robustness layer):
+
+* **Deadlines** -- ``submit(request, deadline_ms=50)`` bounds a request's
+  time in the server.  Expired requests are shed *before* batch assembly
+  (no engine time wasted) and their futures raise ``DeadlineExceeded``;
+  shed counts appear in ``stats()["shed_deadline"]``.
+* **Admission control** -- ``BatchingConfig(max_queue_depth=N)`` bounds
+  unresolved work.  ``admission_policy="reject"`` raises
+  ``ServerOverloaded`` at capacity; ``"block"`` waits up to
+  ``block_timeout_ms`` first.  ``shed_watermark`` sheds expired work
+  proactively (oldest first) when the backlog grows past it.
+* **Poison isolation** -- payloads are validated at submit time
+  (``InvalidRequest``); a failed multi-request batch is bisected and the
+  halves re-enqueued separately, so healthy requests sharing a batch with a
+  poison request still complete and only the offender fails (after a
+  bounded number of backoff retries, reported in ``timing.retries``).
+* **Engine supervision** -- an ``EngineCrash`` degrades the server, fails
+  the in-flight batch descriptively, and triggers bounded
+  ``engine.rewarm()`` restarts; when the budget is exhausted the server
+  refuses new work (``ServerUnavailable``) and resolves everything pending.
+  A worker thread killed by an uncaught error never strands callers:
+  futures are failed and ``close()`` re-raises with the worker traceback.
+* **Graceful drain** -- ``close(drain=True)`` stops admission, flushes
+  pending work within the close timeout, then cancels stragglers with
+  ``ServerClosed``.  No future ever leaks, on any path.
+
+``serving.faults.FaultInjectingEngine`` injects deterministic latency
+spikes, transient errors, hard crashes, NaN-poisoned outputs, and
+payload-triggered poison faults to prove all of the above under test
+(``tests/serving/test_faults.py``) and under load
+(``benchmarks/bench_perf_serving.py --quick``, degraded-mode section).
 """
 
-from .checkpoint import load_frozen, load_state, save_frozen, save_state
-from .engine import InferenceEngine
+from .checkpoint import (
+    CheckpointError,
+    load_frozen,
+    load_state,
+    save_frozen,
+    save_state,
+)
+from .engine import EngineCrash, InferenceEngine
+from .faults import FaultInjectingEngine, FaultPlan, TransientEngineError
 from .frozen import (
     FrozenModel,
     FrozenOp,
@@ -34,7 +73,19 @@ from .frozen import (
     frozen_op_types,
     register_freezer,
 )
-from .server import BatchingConfig, InferenceResult, InferenceServer, RequestTiming
+from .server import (
+    BatchingConfig,
+    DeadlineExceeded,
+    InferenceResult,
+    InferenceServer,
+    InvalidRequest,
+    NonFiniteOutput,
+    RequestTiming,
+    ServerClosed,
+    ServerOverloaded,
+    ServerUnavailable,
+    ServingError,
+)
 
 __all__ = [
     "freeze",
@@ -47,9 +98,21 @@ __all__ = [
     "load_state",
     "save_frozen",
     "load_frozen",
+    "CheckpointError",
     "InferenceEngine",
+    "EngineCrash",
     "InferenceServer",
     "BatchingConfig",
     "InferenceResult",
     "RequestTiming",
+    "ServingError",
+    "InvalidRequest",
+    "DeadlineExceeded",
+    "ServerOverloaded",
+    "ServerClosed",
+    "ServerUnavailable",
+    "NonFiniteOutput",
+    "FaultInjectingEngine",
+    "FaultPlan",
+    "TransientEngineError",
 ]

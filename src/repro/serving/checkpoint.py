@@ -20,6 +20,7 @@ Two formats live here:
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import Dict
 
@@ -28,9 +29,32 @@ import numpy as np
 from ..nn.modules import Module
 from .frozen import FrozenModel, FrozenOp, frozen_op_types
 
-__all__ = ["save_state", "load_state", "save_frozen", "load_frozen"]
+__all__ = ["CheckpointError", "save_state", "load_state", "save_frozen", "load_frozen"]
 
 _SPEC_KEY = "__spec__"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupted, truncated, or incompatible.
+
+    Subclasses :class:`ValueError` so pre-existing callers catching the old
+    error type keep working; the message always names the offending file
+    and, where known, the missing keys.
+    """
+
+
+def _read_npz(path: Path) -> Dict[str, np.ndarray]:
+    """Load every array of an ``.npz``, turning low-level decode failures
+    (truncated zip, corrupted member, not-a-zip) into a named
+    :class:`CheckpointError`."""
+    try:
+        with np.load(path) as data:
+            return {key: data[key] for key in data.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as error:
+        raise CheckpointError(
+            f"{path}: corrupted or truncated checkpoint ({error})") from error
 
 
 # --------------------------------------------------------------------------- #
@@ -46,9 +70,26 @@ def save_state(module: Module, path) -> Path:
 
 
 def load_state(module: Module, path) -> Module:
-    """Load a :func:`save_state` checkpoint into a compatible module."""
-    with np.load(Path(path)) as data:
-        state = {key: data[key] for key in data.files}
+    """Load a :func:`save_state` checkpoint into a compatible module.
+
+    Validates the checkpoint against the module's ``state_dict`` before
+    touching the module: missing or unexpected keys raise a
+    :class:`CheckpointError` naming the file and the keys, instead of a
+    cryptic failure mid-load.
+    """
+    path = Path(path)
+    state = _read_npz(path)
+    expected = set(module.state_dict())
+    found = set(state)
+    if expected != found:
+        missing = sorted(expected - found)
+        unexpected = sorted(found - expected)
+        parts = [f"{path}: state checkpoint does not match the model"]
+        if missing:
+            parts.append(f"missing {len(missing)} keys: {missing[:8]}")
+        if unexpected:
+            parts.append(f"unexpected {len(unexpected)} keys: {unexpected[:8]}")
+        raise CheckpointError("; ".join(parts))
     module.load_state_dict(state)
     return module
 
@@ -99,6 +140,9 @@ def save_frozen(model: FrozenModel, path) -> Path:
         "version": FrozenModel.FORMAT_VERSION,
         "family": model.family,
         "meta": model.meta,
+        # Array manifest: load_frozen validates the .npz against it so a
+        # truncated/corrupted file fails with the missing keys by name.
+        "arrays": sorted(arrays),
         "root": root_spec,
     }
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -113,21 +157,40 @@ def load_frozen(path) -> FrozenModel:
     saved: packed weights decode to the exact BFP grid values, raw arrays
     round-trip untouched.
     """
-    with np.load(Path(path)) as data:
-        if _SPEC_KEY not in data.files:
-            raise ValueError(f"{path} is not a frozen-model checkpoint")
+    path = Path(path)
+    data = _read_npz(path)
+    if _SPEC_KEY not in data:
+        raise CheckpointError(f"{path} is not a frozen-model checkpoint")
+    try:
         spec = json.loads(str(data[_SPEC_KEY][()]))
-        arrays_by_dir: Dict[str, Dict[str, np.ndarray]] = {}
-        for key in data.files:
-            if key == _SPEC_KEY:
-                continue
-            directory, _, name = key.rpartition("/")
-            arrays_by_dir.setdefault(directory, {})[name] = data[key]
+    except (json.JSONDecodeError, TypeError) as error:
+        raise CheckpointError(
+            f"{path}: frozen checkpoint spec is corrupted ({error})") from error
+    arrays_by_dir: Dict[str, Dict[str, np.ndarray]] = {}
+    for key in data:
+        if key == _SPEC_KEY:
+            continue
+        directory, _, name = key.rpartition("/")
+        arrays_by_dir.setdefault(directory, {})[name] = data[key]
     if spec.get("format") != "repro-frozen":
-        raise ValueError(f"unsupported checkpoint format {spec.get('format')!r}")
+        raise CheckpointError(f"unsupported checkpoint format {spec.get('format')!r}")
     if spec.get("version") != FrozenModel.FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint version {spec.get('version')!r}")
-    root = _build(spec["root"], "root", arrays_by_dir)
+        raise CheckpointError(f"unsupported checkpoint version {spec.get('version')!r}")
+    manifest = spec.get("arrays")
+    if manifest is not None:
+        missing = sorted(set(manifest) - set(data))
+        if missing:
+            raise CheckpointError(
+                f"{path}: frozen checkpoint is missing {len(missing)} of "
+                f"{len(manifest)} arrays (truncated or corrupted): {missing[:8]}")
+    try:
+        root = _build(spec["root"], "root", arrays_by_dir)
+    except KeyError as error:
+        # Pre-manifest checkpoints can still be missing arrays; name the
+        # file and the key instead of surfacing a bare KeyError from _build.
+        raise CheckpointError(
+            f"{path}: frozen checkpoint is missing array {error} "
+            "(truncated or corrupted)") from error
     model = FrozenModel(root, spec["family"], meta=spec.get("meta"))
     compute_dtype = model.meta.get("compute_dtype")
     if compute_dtype is not None:

@@ -16,7 +16,20 @@ import numpy as np
 
 from .frozen import FrozenModel
 
-__all__ = ["InferenceEngine"]
+__all__ = ["EngineCrash", "InferenceEngine"]
+
+
+class EngineCrash(RuntimeError):
+    """The engine hit an unrecoverable internal failure.
+
+    Engines raise this (instead of an ordinary per-batch exception) when the
+    failure is *not* attributable to the batch being processed -- the engine
+    itself is broken and needs to be restarted before it can serve again.
+    The :class:`~repro.serving.server.InferenceServer` supervisor treats it
+    specially: the server goes degraded, fails the in-flight batch, and
+    attempts a bounded number of :meth:`InferenceEngine.rewarm` restarts
+    before refusing new work.
+    """
 
 
 class InferenceEngine:
@@ -29,6 +42,7 @@ class InferenceEngine:
         self.total_seconds = 0.0
         self.last_seconds = 0.0
         self.warmed_up = False
+        self._warmup_example = None
 
     # -------------------------------------------------------------- #
     def warmup(self, example) -> float:
@@ -45,7 +59,21 @@ class InferenceEngine:
         self.model.predict(example)
         elapsed = time.perf_counter() - start
         self.warmed_up = True
+        self._warmup_example = example
         return elapsed
+
+    def rewarm(self) -> float:
+        """Re-run warmup with the stored example (supervised restart probe).
+
+        The server's engine supervisor calls this after an
+        :class:`EngineCrash` to prove the engine can serve again before the
+        server leaves its degraded state.  Raises if the engine was never
+        warmed up (there is nothing safe to probe with), or propagates
+        whatever the probe forward raises if the engine is still broken.
+        """
+        if self._warmup_example is None:
+            raise EngineCrash("cannot rewarm: engine was never warmed up")
+        return self.warmup(self._warmup_example)
 
     def predict(self, batch) -> np.ndarray:
         """Run one batched forward; returns per-sample outputs stacked."""

@@ -1,0 +1,246 @@
+"""Deterministic fault injection for the serving stack.
+
+:class:`FaultInjectingEngine` wraps any engine exposing the
+:class:`~repro.serving.engine.InferenceEngine` interface and injects faults
+into ``predict``: latency spikes, transient exceptions, hard crashes
+(:class:`~repro.serving.engine.EngineCrash` followed by a down state until
+enough ``rewarm()`` attempts succeed), NaN-poisoned output rows, and
+payload-triggered poison faults (a batch containing a marked request always
+fails, the way a malformed input crashes a real kernel).
+
+Everything is deterministic.  Faults are driven either by explicit call
+indices (``transient_calls=(3,)`` -- exact, thread-timing independent) or by
+a seeded per-call RNG rate (``transient_rate=0.05`` -- reproducible for a
+fixed call sequence).  This is what the chaos suite
+(``tests/serving/test_faults.py``) and the degraded-mode section of
+``benchmarks/bench_perf_serving.py`` drive the server with: the point is to
+*prove* the robustness layer's isolation/recovery claims, not to hope.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .engine import EngineCrash
+
+__all__ = ["TransientEngineError", "FaultPlan", "FaultInjectingEngine"]
+
+
+class TransientEngineError(RuntimeError):
+    """An injected batch-level failure that is not an engine crash."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic description of which faults fire and when.
+
+    Explicit call-index schedules (``*_calls``) fire exactly at those
+    ``predict`` call indices (0-based, counted across the engine's life).
+    Rate-based injection (``*_rate``) draws one uniform number per fault
+    class per call from a generator seeded with ``seed``, so a fixed call
+    sequence always sees the same faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the rate-based draws.
+    latency_rate / latency_calls / latency_ms:
+        Sleep ``latency_ms`` before serving the batch (a slow-node stall).
+    transient_rate / transient_calls:
+        Raise :class:`TransientEngineError` instead of serving (a retryable
+        blip: the next attempt may succeed).
+    crash_rate / crash_calls:
+        Raise :class:`~repro.serving.engine.EngineCrash` and go *down*:
+        every later call fails the same way until ``rewarm()`` has been
+        called ``rewarms_to_recover`` times (a supervised restart).
+    nan_rate / nan_calls:
+        Serve the batch but poison one output row (row ``call_index %
+        batch``) with NaN -- silent numerical corruption.
+    rewarms_to_recover:
+        How many ``rewarm()`` attempts a crash takes to clear; values above
+        the server's ``engine_restart_limit`` make the crash terminal.
+    poison_marker:
+        If set, any batch containing a request whose first element equals
+        this value raises :class:`TransientEngineError` -- a deterministic
+        poison-request fault for isolation tests.  The marker is finite on
+        purpose: it must pass submit-time validation, like a real payload
+        that is well-formed but crashes a kernel.
+    """
+
+    seed: int = 0
+    latency_rate: float = 0.0
+    latency_ms: float = 25.0
+    latency_calls: Tuple[int, ...] = ()
+    transient_rate: float = 0.0
+    transient_calls: Tuple[int, ...] = ()
+    crash_rate: float = 0.0
+    crash_calls: Tuple[int, ...] = ()
+    nan_rate: float = 0.0
+    nan_calls: Tuple[int, ...] = ()
+    rewarms_to_recover: int = 1
+    poison_marker: Optional[float] = None
+
+    def __post_init__(self):
+        for name in ("latency_rate", "transient_rate", "crash_rate", "nan_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.rewarms_to_recover < 1:
+            raise ValueError("rewarms_to_recover must be >= 1")
+        for name in ("latency_calls", "transient_calls", "crash_calls", "nan_calls"):
+            object.__setattr__(self, name,
+                               tuple(sorted(int(i) for i in getattr(self, name))))
+
+
+@dataclass
+class FaultLog:
+    """Counters of what was actually injected (for assertions and reports)."""
+
+    calls: int = 0
+    latency_spikes: int = 0
+    transient_errors: int = 0
+    crashes: int = 0
+    nan_rows: int = 0
+    poison_hits: int = 0
+    rewarm_attempts: int = 0
+    rewarm_failures: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _CallFaults:
+    latency: bool = False
+    transient: bool = False
+    crash: bool = False
+    nan: bool = False
+
+
+class FaultInjectingEngine:
+    """Wrap an engine; inject deterministic faults into ``predict``.
+
+    Delegates ``warmup`` / ``stats`` / ``reset_stats`` / ``model`` to the
+    wrapped engine, so it drops into an :class:`InferenceServer` unchanged.
+    ``gate`` (an optional ``threading.Event``) holds every ``predict`` until
+    set -- the controllable-latency knob the lifecycle race tests use to
+    freeze the worker at a known point.
+    """
+
+    def __init__(self, engine, plan: Optional[FaultPlan] = None,
+                 gate: Optional[threading.Event] = None):
+        self.engine = engine
+        self.plan = plan if plan is not None else FaultPlan()
+        self.gate = gate
+        #: Calls that have *entered* predict (bumped before blocking on the
+        #: gate) -- lets tests wait until a plug request is verifiably in
+        #: flight before submitting the batch under study.
+        self.entered = 0
+        self.log = FaultLog()
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._down = False
+        self._rewarms_since_crash = 0
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- #
+    @property
+    def model(self):
+        return self.engine.model
+
+    @property
+    def warmed_up(self):
+        return self.engine.warmed_up
+
+    def warmup(self, example) -> float:
+        return self.engine.warmup(example)
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def reset_stats(self) -> None:
+        self.engine.reset_stats()
+
+    # -------------------------------------------------------------- #
+    def _draw_faults(self, index: int) -> _CallFaults:
+        plan = self.plan
+        faults = _CallFaults(
+            latency=index in plan.latency_calls,
+            transient=index in plan.transient_calls,
+            crash=index in plan.crash_calls,
+            nan=index in plan.nan_calls,
+        )
+        # One draw per fault class per call, even when the rate is zero, so
+        # a given (seed, call index) always sees the same random stream
+        # regardless of which rates are enabled.
+        draws = self._rng.random(4)
+        faults.latency |= bool(draws[0] < plan.latency_rate)
+        faults.transient |= bool(draws[1] < plan.transient_rate)
+        faults.crash |= bool(draws[2] < plan.crash_rate)
+        faults.nan |= bool(draws[3] < plan.nan_rate)
+        return faults
+
+    def _batch_is_poisoned(self, batch: np.ndarray) -> bool:
+        marker = self.plan.poison_marker
+        if marker is None or batch.ndim < 1 or batch.size == 0:
+            return False
+        rows = np.asarray(batch).reshape(batch.shape[0], -1)
+        return bool(np.any(rows[:, 0] == marker))
+
+    def predict(self, batch) -> np.ndarray:
+        self.entered += 1
+        if self.gate is not None:
+            self.gate.wait()
+        batch = np.asarray(batch)
+        with self._lock:
+            index = self.log.calls
+            self.log.calls += 1
+            if self._down:
+                raise EngineCrash("engine is down (injected crash not yet recovered)")
+            faults = self._draw_faults(index)
+            if self._batch_is_poisoned(batch):
+                self.log.poison_hits += 1
+                raise TransientEngineError(
+                    f"injected kernel fault: batch of {batch.shape[0]} contains a "
+                    f"poison-marked request (marker={self.plan.poison_marker})")
+            if faults.crash:
+                self.log.crashes += 1
+                self._down = True
+                self._rewarms_since_crash = 0
+                raise EngineCrash(f"injected hard crash at call {index}")
+            if faults.transient:
+                self.log.transient_errors += 1
+                raise TransientEngineError(f"injected transient error at call {index}")
+            if faults.latency:
+                self.log.latency_spikes += 1
+                time.sleep(self.plan.latency_ms / 1e3)
+        outputs = self.engine.predict(batch)
+        if faults.nan:
+            outputs = np.array(outputs, copy=True)
+            if np.issubdtype(outputs.dtype, np.floating) and outputs.shape[0]:
+                outputs[index % outputs.shape[0]] = np.nan
+                with self._lock:
+                    self.log.nan_rows += 1
+        return outputs
+
+    __call__ = predict
+
+    def rewarm(self) -> float:
+        """Simulated supervised restart: after ``rewarms_to_recover``
+        attempts the injected crash clears and the inner engine re-warms."""
+        with self._lock:
+            self.log.rewarm_attempts += 1
+            if self._down:
+                self._rewarms_since_crash += 1
+                if self._rewarms_since_crash < self.plan.rewarms_to_recover:
+                    self.log.rewarm_failures += 1
+                    raise EngineCrash(
+                        f"injected restart failure "
+                        f"({self._rewarms_since_crash}/{self.plan.rewarms_to_recover} "
+                        "attempts)")
+                self._down = False
+        return self.engine.rewarm()

@@ -1,4 +1,4 @@
-"""In-process inference server with dynamic micro-batching.
+"""In-process inference server with dynamic micro-batching and fault tolerance.
 
 Requests submitted concurrently are coalesced into batches before they hit
 the engine, which is where serving throughput comes from: one batched
@@ -18,10 +18,38 @@ Batching policy (the classic size/timeout-bounded queue):
   resolves with its own row of the batched output, so submission order maps
   to results regardless of coalescing.
 
+Robustness layer (what makes the server fit for sustained traffic):
+
+* **Deadlines** -- ``submit(request, deadline_ms=...)`` bounds how long a
+  request may wait.  Expired requests are shed *before* batch assembly (they
+  never waste engine time) and resolve with :class:`DeadlineExceeded`.
+* **Admission control / backpressure** -- ``max_queue_depth`` bounds
+  unresolved work.  Policy ``"reject"`` raises :class:`ServerOverloaded`
+  immediately; ``"block"`` waits up to ``block_timeout_ms`` for capacity.
+  A ``shed_watermark`` sheds already-expired work proactively when the
+  backlog grows past it, oldest first.
+* **Poison isolation** -- payloads are validated at submit time
+  (:class:`InvalidRequest` for non-numeric / non-finite / empty payloads);
+  when a *batch* fails inside the engine, the batch is bisected: the halves
+  are re-enqueued separately (with capped exponential backoff) so healthy
+  requests still complete and only the poisoned request(s) fail, after a
+  bounded number of solo retries.
+* **Engine supervision** -- an :class:`~repro.serving.engine.EngineCrash`
+  marks the server degraded, fails the in-flight batch descriptively, and
+  triggers bounded ``engine.rewarm()`` restart attempts; if they are
+  exhausted the server refuses new work (:class:`ServerUnavailable`) and
+  resolves everything pending.  A worker thread that dies from an uncaught
+  error never strands callers: every pending future is failed, and
+  :meth:`InferenceServer.close` re-raises with the worker's traceback.
+* **Graceful drain** -- ``close(drain=True)`` stops admission, flushes
+  pending work within the close timeout, then cancels stragglers with
+  :class:`ServerClosed`; ``drain=False`` cancels immediately.  Either way
+  no future is ever left unresolved.
+
 Both submission styles are provided: :meth:`InferenceServer.submit` returns
 a ``concurrent.futures.Future`` (async), :meth:`InferenceServer.predict`
 blocks for the result (sync).  Every result carries per-request latency
-accounting (queue wait, compute time, batch size).
+accounting (queue wait, compute time, batch size, retries).
 """
 
 from __future__ import annotations
@@ -29,26 +57,69 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import traceback
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .engine import InferenceEngine
+from .engine import EngineCrash, InferenceEngine
 
-__all__ = ["BatchingConfig", "RequestTiming", "InferenceResult", "InferenceServer"]
+__all__ = [
+    "BatchingConfig",
+    "RequestTiming",
+    "InferenceResult",
+    "InferenceServer",
+    "ServingError",
+    "InvalidRequest",
+    "DeadlineExceeded",
+    "ServerOverloaded",
+    "ServerClosed",
+    "ServerUnavailable",
+    "NonFiniteOutput",
+]
 
-_SHUTDOWN = object()
 _TIMEOUT = object()
 #: Most recent requests/batches covered by the latency and batch-size stats.
 STATS_WINDOW = 10_000
 
 
+# --------------------------------------------------------------------------- #
+# Errors
+# --------------------------------------------------------------------------- #
+class ServingError(RuntimeError):
+    """Base class for request-level serving failures."""
+
+
+class InvalidRequest(ServingError, ValueError):
+    """The payload failed submit-time validation (shape/dtype/finiteness)."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline expired before the engine could serve it."""
+
+
+class ServerOverloaded(ServingError):
+    """Admission control rejected the request: the queue is at capacity."""
+
+
+class ServerClosed(ServingError):
+    """The server is closed (or closed before the request completed)."""
+
+
+class ServerUnavailable(ServingError):
+    """The engine crashed and could not be restarted; the server refuses work."""
+
+
+class NonFiniteOutput(ServingError):
+    """Output validation found NaN/inf in this request's output row."""
+
+
 @dataclass(frozen=True)
 class BatchingConfig:
-    """Knobs of the dynamic micro-batching queue.
+    """Knobs of the dynamic micro-batching queue and its robustness layer.
 
     Parameters
     ----------
@@ -69,12 +140,63 @@ class BatchingConfig:
         can change outputs for requests shorter than their bucket.
     pad_value:
         Padding token (the model's PAD index).
+    max_queue_depth:
+        Bound on unresolved requests held by the server (queued, batched, or
+        retrying).  ``None`` leaves admission unbounded (the seed behavior).
+    admission_policy:
+        What :meth:`InferenceServer.submit` does at capacity: ``"reject"``
+        raises :class:`ServerOverloaded` immediately; ``"block"`` waits up
+        to ``block_timeout_ms`` for capacity, then raises.
+    block_timeout_ms:
+        How long a ``"block"``-policy submit waits for capacity.
+    shed_watermark:
+        Backlog depth above which the worker proactively sheds *expired*
+        requests (oldest first) instead of waiting for their buckets to
+        assemble.  ``None`` disables proactive shedding (expired requests
+        are still shed at assembly time).
+    max_retries:
+        How many times a request that failed *alone* (a singleton batch) is
+        retried before its future gets the engine's error.  Bisection
+        splits of a failed multi-request batch do not count against this
+        budget -- only genuine solo failures do.
+    retry_backoff_ms / retry_backoff_max_ms:
+        Capped exponential backoff between solo retries (the first retry
+        waits ``retry_backoff_ms``, doubling up to the cap).  Bisection
+        halves are re-enqueued without backoff so isolation stays fast.
+    engine_restart_limit:
+        Bounded number of ``engine.rewarm()`` attempts after an
+        :class:`~repro.serving.engine.EngineCrash` before the server gives
+        up and refuses new work.
+    restart_backoff_ms:
+        Capped exponential backoff between restart attempts (doubles per
+        attempt, capped at 10x the base).
+    validate_requests:
+        Check payloads at submit time: numeric dtype, non-empty, and (for
+        floating payloads) finite.  Rejects poison before it can reach a
+        batch.
+    validate_outputs:
+        Check each request's output row for NaN/inf after the engine runs;
+        poisoned rows fail with :class:`NonFiniteOutput` while the rest of
+        the batch completes normally.  Off by default because some model
+        families use NaN sentinels legitimately (e.g. the YOLO decoder's
+        no-detection objectness).
     """
 
     max_batch_size: int = 16
     max_delay_ms: float = 2.0
     pad_lengths: Optional[Sequence[int]] = None
     pad_value: int = 0
+    max_queue_depth: Optional[int] = None
+    admission_policy: str = "reject"
+    block_timeout_ms: float = 1000.0
+    shed_watermark: Optional[int] = None
+    max_retries: int = 1
+    retry_backoff_ms: float = 1.0
+    retry_backoff_max_ms: float = 20.0
+    engine_restart_limit: int = 2
+    restart_backoff_ms: float = 10.0
+    validate_requests: bool = True
+    validate_outputs: bool = False
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -84,6 +206,20 @@ class BatchingConfig:
         if self.pad_lengths is not None:
             object.__setattr__(self, "pad_lengths",
                                tuple(sorted(int(l) for l in self.pad_lengths)))
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.admission_policy not in ("reject", "block"):
+            raise ValueError("admission_policy must be 'reject' or 'block'")
+        if self.block_timeout_ms < 0:
+            raise ValueError("block_timeout_ms must be >= 0")
+        if self.shed_watermark is not None and self.shed_watermark < 1:
+            raise ValueError("shed_watermark must be >= 1 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_ms < 0 or self.retry_backoff_max_ms < 0:
+            raise ValueError("retry backoff must be >= 0")
+        if self.engine_restart_limit < 0:
+            raise ValueError("engine_restart_limit must be >= 0")
 
 
 @dataclass
@@ -95,6 +231,8 @@ class RequestTiming:
     total_ms: float
     batch_size: int
     bucket: Tuple
+    retries: int = 0
+    deadline_ms: Optional[float] = None
 
 
 @dataclass
@@ -106,27 +244,57 @@ class InferenceResult:
 
 
 class _Request:
-    __slots__ = ("payload", "future", "enqueued")
+    __slots__ = ("payload", "future", "enqueued", "deadline", "deadline_ms",
+                 "requeues", "failures", "tag", "ready_at")
 
-    def __init__(self, payload: np.ndarray, future: Future, enqueued: float):
+    def __init__(self, payload: np.ndarray, future: Future, enqueued: float,
+                 deadline_ms: Optional[float] = None):
         self.payload = payload
         self.future = future
         self.enqueued = enqueued
+        self.deadline_ms = deadline_ms
+        self.deadline = None if deadline_ms is None else enqueued + deadline_ms / 1e3
+        self.requeues = 0     # total re-enqueues (bisection splits + solo retries)
+        self.failures = 0     # solo (singleton-batch) failures, vs. max_retries
+        self.tag: Tuple[int, ...] = ()  # bisection lineage: halves never re-merge
+        self.ready_at = enqueued
+
+
+class _Shutdown:
+    __slots__ = ("drain", "deadline")
+
+    def __init__(self, drain: bool, deadline: float):
+        self.drain = drain
+        self.deadline = deadline
 
 
 class InferenceServer:
-    """Dynamic-batching request server over an :class:`InferenceEngine`."""
+    """Dynamic-batching, fault-tolerant request server over an
+    :class:`InferenceEngine`."""
 
     def __init__(self, engine: InferenceEngine, config: Optional[BatchingConfig] = None):
         self.engine = engine
         self.config = config if config is not None else BatchingConfig()
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
-        # Serializes the closed-check-then-put in submit() against close():
+        self._state = "healthy"  # healthy | degraded | failed
+        self._failure_reason: Optional[str] = None
+        self._worker_error: Optional[str] = None
+        # Serializes the closed/state-check-then-put in submit() against
+        # close() and against the supervisor marking the server failed:
         # without it a request could land in the queue after the shutdown
-        # sentinel and its future would never resolve.
+        # sentinel (or after the final drain) and its future would never
+        # resolve.
         self._submit_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        self._capacity = (threading.Semaphore(self.config.max_queue_depth)
+                          if self.config.max_queue_depth is not None else None)
+        # Worker-owned batching state.  Instance attributes (not _run
+        # locals) so the failure paths -- worker death, engine failure,
+        # drain cancellation -- can resolve every pending future.
+        self._pending: Dict[Tuple, List[_Request]] = {}
+        self._flush_deadlines: Dict[Tuple, float] = {}
+        self._retry_buffer: List[_Request] = []
         # Bounded windows: percentile/mean stats cover the most recent
         # requests so a long-lived server neither grows without bound nor
         # slows stats() down; request/batch counts stay exact.
@@ -134,6 +302,15 @@ class InferenceServer:
         self._batch_sizes = deque(maxlen=STATS_WINDOW)
         self._completed = 0
         self._batches = 0
+        self._inflight = 0
+        self._shed_deadline = 0
+        self._shed_watermark = 0
+        self._rejected = 0
+        self._requeues = 0
+        self._failed_requests = 0
+        self._nonfinite_outputs = 0
+        self._engine_crashes = 0
+        self._engine_restarts = 0
         self._first_enqueued: Optional[float] = None
         self._last_completed: Optional[float] = None
         self._worker = threading.Thread(target=self._run, name="inference-server",
@@ -143,40 +320,112 @@ class InferenceServer:
     # -------------------------------------------------------------- #
     # Submission APIs
     # -------------------------------------------------------------- #
-    def submit(self, request) -> "Future[InferenceResult]":
-        """Enqueue one request; returns a future resolving to an :class:`InferenceResult`."""
+    def _validate_payload(self, payload: np.ndarray) -> None:
+        if payload.dtype == object or not np.issubdtype(payload.dtype, np.number):
+            raise InvalidRequest(
+                f"request dtype {payload.dtype} is not numeric")
+        if payload.size == 0:
+            raise InvalidRequest("request payload is empty")
+        if np.issubdtype(payload.dtype, np.floating) and not np.all(np.isfinite(payload)):
+            raise InvalidRequest(
+                "request payload contains non-finite values (NaN/inf)")
+
+    def _admit(self) -> None:
+        """Admission control: acquire one unit of queue capacity or raise."""
+        if self._capacity is None:
+            return
+        if self.config.admission_policy == "reject":
+            admitted = self._capacity.acquire(blocking=False)
+        else:
+            admitted = self._capacity.acquire(timeout=self.config.block_timeout_ms / 1e3)
+        if not admitted:
+            with self._stats_lock:
+                self._rejected += 1
+            raise ServerOverloaded(
+                f"server at capacity ({self.config.max_queue_depth} unresolved "
+                f"requests, policy={self.config.admission_policy!r})")
+
+    def submit(self, request, deadline_ms: Optional[float] = None) -> "Future[InferenceResult]":
+        """Enqueue one request; returns a future resolving to an
+        :class:`InferenceResult`.
+
+        ``deadline_ms`` bounds the request's total time in the server: a
+        request still waiting when its deadline expires is shed before
+        batch assembly and its future raises :class:`DeadlineExceeded`.
+        """
         payload = np.asarray(request)
+        if self.config.validate_requests:
+            self._validate_payload(payload)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise InvalidRequest(f"deadline_ms must be positive, got {deadline_ms}")
         if self._is_token_request(payload) and self.config.pad_lengths is not None:
             if payload.shape[0] > self.config.pad_lengths[-1]:
-                raise ValueError(
+                raise InvalidRequest(
                     f"token request of length {payload.shape[0]} exceeds the largest "
                     f"bucket length {self.config.pad_lengths[-1]}")
+        self._admit()
         future: "Future[InferenceResult]" = Future()
+        if self._capacity is not None:
+            future.add_done_callback(lambda _f: self._capacity.release())
+        future.add_done_callback(self._on_resolved)
         now = time.monotonic()
         with self._stats_lock:
             if self._first_enqueued is None:
                 self._first_enqueued = now
-        with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("server is closed")
-            self._queue.put(_Request(payload, future, now))
+            self._inflight += 1
+        try:
+            with self._submit_lock:
+                if self._closed:
+                    raise ServerClosed("server is closed")
+                if self._state == "failed":
+                    raise ServerUnavailable(
+                        "server is unavailable: "
+                        f"{self._failure_reason or 'engine failed'}")
+                self._queue.put(_Request(payload, future, now, deadline_ms))
+        except BaseException:
+            # The future will never resolve; undo its admission accounting.
+            future.set_exception(ServerClosed("request was never enqueued"))
+            raise
         return future
 
-    def predict(self, request, timeout: Optional[float] = None) -> InferenceResult:
+    def _on_resolved(self, _future) -> None:
+        with self._stats_lock:
+            self._inflight -= 1
+
+    def predict(self, request, timeout: Optional[float] = None,
+                deadline_ms: Optional[float] = None) -> InferenceResult:
         """Synchronous submission: enqueue and wait for the result."""
-        return self.submit(request).result(timeout=timeout)
+        return self.submit(request, deadline_ms=deadline_ms).result(timeout=timeout)
 
     # -------------------------------------------------------------- #
     # Lifecycle
     # -------------------------------------------------------------- #
-    def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting requests, flush pending batches, join the worker."""
+    def close(self, timeout: Optional[float] = 10.0, drain: bool = True) -> None:
+        """Stop accepting requests, then shut the worker down.
+
+        With ``drain=True`` (default) the worker keeps flushing pending
+        batches until they are done or ``timeout`` seconds elapse; whatever
+        remains is cancelled with :class:`ServerClosed`.  With
+        ``drain=False`` pending work is cancelled immediately.  Every
+        outstanding future is resolved either way.
+
+        If the worker thread died from an uncaught error, re-raises here
+        with the worker's stored traceback so the failure is not silent.
+        """
         with self._submit_lock:
-            if self._closed:
-                return
+            first_close = not self._closed
             self._closed = True
-            self._queue.put(_SHUTDOWN)
-        self._worker.join(timeout=timeout)
+            if first_close:
+                horizon = time.monotonic() + (timeout if timeout is not None else 60.0)
+                self._queue.put(_Shutdown(drain=drain, deadline=horizon))
+        self._worker.join(timeout=None if timeout is None else timeout + 1.0)
+        if self._worker_error is not None:
+            raise RuntimeError(
+                "inference worker died from an uncaught error:\n" + self._worker_error)
+        if self._worker.is_alive():
+            raise RuntimeError(
+                f"inference worker did not exit within {timeout}s of close() "
+                "(engine call wedged?)")
 
     def __enter__(self) -> "InferenceServer":
         return self
@@ -185,7 +434,7 @@ class InferenceServer:
         self.close()
 
     # -------------------------------------------------------------- #
-    # Batching worker
+    # Bucketing / assembly
     # -------------------------------------------------------------- #
     @staticmethod
     def _is_token_request(payload: np.ndarray) -> bool:
@@ -201,9 +450,9 @@ class InferenceServer:
             return ("tokens", length)
         return ("shape",) + tuple(payload.shape)
 
-    def _assemble(self, key: Tuple, requests: List[_Request]) -> np.ndarray:
-        if key[0] == "tokens":
-            bucket_length = key[1]
+    def _assemble(self, base_key: Tuple, requests: List[_Request]) -> np.ndarray:
+        if base_key[0] == "tokens":
+            bucket_length = base_key[1]
             rows = [
                 np.pad(r.payload, (0, bucket_length - r.payload.shape[0]),
                        constant_values=self.config.pad_value)
@@ -213,92 +462,336 @@ class InferenceServer:
             return np.stack(rows)
         return np.stack([r.payload for r in requests])
 
-    def _flush(self, key: Tuple, pending, deadlines) -> None:
-        requests = pending.pop(key, [])
-        deadlines.pop(key, None)
+    # -------------------------------------------------------------- #
+    # Worker: request lifecycle
+    # -------------------------------------------------------------- #
+    def _fail_request(self, request: _Request, error: BaseException) -> None:
+        if not request.future.done():
+            request.future.set_exception(error)
+            with self._stats_lock:
+                if isinstance(error, DeadlineExceeded):
+                    self._shed_deadline += 1
+                else:
+                    self._failed_requests += 1
+
+    def _shed_expired(self, requests: List[_Request], now: float,
+                      watermark: bool = False) -> List[_Request]:
+        """Resolve expired requests with :class:`DeadlineExceeded`; return the rest."""
+        alive = []
+        for request in sorted(requests, key=lambda r: r.enqueued):
+            if request.deadline is not None and request.deadline <= now:
+                waited_ms = (now - request.enqueued) * 1e3
+                self._fail_request(request, DeadlineExceeded(
+                    f"request deadline of {request.deadline_ms:.1f} ms expired after "
+                    f"waiting {waited_ms:.1f} ms (retries={request.requeues})"))
+                if watermark:
+                    with self._stats_lock:
+                        self._shed_watermark += 1
+            else:
+                alive.append(request)
+        return alive
+
+    def _backlog_depth(self) -> int:
+        return (sum(len(bucket) for bucket in self._pending.values())
+                + len(self._retry_buffer) + self._queue.qsize())
+
+    def _shed_over_watermark(self, now: float) -> None:
+        """Proactive load shedding: above the watermark, drop expired work
+        (oldest first) from every bucket and the retry buffer."""
+        watermark = self.config.shed_watermark
+        if watermark is None or self._backlog_depth() <= watermark:
+            return
+        for key in list(self._pending):
+            kept = self._shed_expired(self._pending[key], now, watermark=True)
+            if kept:
+                self._pending[key] = kept
+            else:
+                del self._pending[key]
+                self._flush_deadlines.pop(key, None)
+        self._retry_buffer[:] = self._shed_expired(self._retry_buffer, now,
+                                                   watermark=True)
+
+    def _schedule_retry(self, request: _Request, error: BaseException,
+                        now: float, backoff: bool) -> None:
+        """Re-enqueue a request after a batch failure (bisection or solo retry)."""
+        request.requeues += 1
+        with self._stats_lock:
+            self._requeues += 1
+        delay = 0.0
+        if backoff:
+            delay = min(self.config.retry_backoff_ms * (2 ** max(request.failures - 1, 0)),
+                        self.config.retry_backoff_max_ms) / 1e3
+        request.ready_at = now + delay
+        if request.deadline is not None and request.deadline <= request.ready_at:
+            self._fail_request(request, DeadlineExceeded(
+                f"request deadline of {request.deadline_ms:.1f} ms expired during "
+                f"retry backoff (retries={request.requeues}): last error: {error!r}"))
+            return
+        self._retry_buffer.append(request)
+
+    def _handle_batch_failure(self, requests: List[_Request],
+                              error: BaseException) -> None:
+        """Poison isolation: bisect failed batches, bounded-retry singletons.
+
+        A failed multi-request batch says nothing about *which* request is
+        poisoned, so the halves are re-enqueued under distinct bisection
+        tags (tagged buckets never re-merge) and retried separately --
+        healthy requests complete in O(log batch) extra rounds.  A failed
+        singleton is definitive: it burns one solo-retry, and once the
+        budget is spent its future gets the engine's error.
+        """
+        now = time.monotonic()
+        if len(requests) == 1:
+            request = requests[0]
+            request.failures += 1
+            if request.failures > self.config.max_retries:
+                self._fail_request(request, error)
+            else:
+                self._schedule_retry(request, error, now, backoff=True)
+            return
+        mid = len(requests) // 2
+        for half_index, half in enumerate((requests[:mid], requests[mid:])):
+            for request in half:
+                request.tag = request.tag + (half_index,)
+                self._schedule_retry(request, error, now, backoff=False)
+
+    def _handle_engine_crash(self, requests: List[_Request],
+                             error: BaseException) -> None:
+        """Engine supervision: degrade, fail the in-flight batch, bounded rewarm."""
+        for request in requests:
+            self._fail_request(request, EngineCrash(
+                f"engine crashed while serving this batch: {error!r}"))
+        self._state = "degraded"
+        with self._stats_lock:
+            self._engine_crashes += 1
+        for attempt in range(1, self.config.engine_restart_limit + 1):
+            backoff = min(self.config.restart_backoff_ms * (2 ** (attempt - 1)),
+                          self.config.restart_backoff_ms * 10) / 1e3
+            time.sleep(backoff)
+            try:
+                rewarm = getattr(self.engine, "rewarm", None)
+                if rewarm is None:
+                    raise EngineCrash("engine has no rewarm() hook")
+                rewarm()
+            except BaseException:  # noqa: BLE001 - try the next attempt
+                continue
+            self._state = "healthy"
+            with self._stats_lock:
+                self._engine_restarts += 1
+            return
+        # Restart budget exhausted: refuse new work, resolve everything.
+        with self._submit_lock:
+            self._state = "failed"
+            self._failure_reason = (
+                f"engine crashed ({error!r}) and {self.config.engine_restart_limit} "
+                "rewarm attempts failed")
+        self._abort_pending(ServerUnavailable(self._failure_reason))
+        raise _ServerFailed()
+
+    def _execute(self, base_key: Tuple, requests: List[_Request]) -> None:
+        requests = self._shed_expired(requests, time.monotonic())
         if not requests:
             return
         batch_started = time.monotonic()
         try:
-            batch = self._assemble(key, requests)
+            batch = self._assemble(base_key, requests)
             outputs = self.engine.predict(batch)
-        except BaseException as error:  # noqa: BLE001 - propagate to callers
-            for request in requests:
-                request.future.set_exception(error)
+            outputs = np.asarray(outputs)
+            if outputs.shape[0] != len(requests):
+                raise ServingError(
+                    f"engine returned {outputs.shape[0]} rows for a batch of "
+                    f"{len(requests)} requests")
+        except EngineCrash as error:
+            self._handle_engine_crash(requests, error)
+            return
+        except BaseException as error:  # noqa: BLE001 - isolate, don't die
+            self._handle_batch_failure(requests, error)
             return
         done = time.monotonic()
         compute_ms = (done - batch_started) * 1e3
         batch_size = len(requests)
+        poisoned: Dict[int, NonFiniteOutput] = {}
+        if self.config.validate_outputs and np.issubdtype(outputs.dtype, np.floating):
+            flat = outputs.reshape(batch_size, -1)
+            finite_rows = np.isfinite(flat).all(axis=1)
+            for index in np.flatnonzero(~finite_rows):
+                poisoned[int(index)] = NonFiniteOutput(
+                    f"engine output row {int(index)} of a {batch_size}-request "
+                    "batch contains NaN/inf")
         with self._stats_lock:
             self._batch_sizes.append(batch_size)
-            self._completed += batch_size
+            self._completed += batch_size - len(poisoned)
             self._batches += 1
             self._last_completed = done
             for request in requests:
                 self._latencies_ms.append((done - request.enqueued) * 1e3)
         for index, request in enumerate(requests):
+            if index in poisoned:
+                with self._stats_lock:
+                    self._nonfinite_outputs += 1
+                self._fail_request(request, poisoned[index])
+                continue
             timing = RequestTiming(
                 queue_ms=(batch_started - request.enqueued) * 1e3,
                 compute_ms=compute_ms,
                 total_ms=(done - request.enqueued) * 1e3,
                 batch_size=batch_size,
-                bucket=key,
+                bucket=base_key,
+                retries=request.requeues,
+                deadline_ms=request.deadline_ms,
             )
-            request.future.set_result(InferenceResult(outputs[index], timing))
+            if not request.future.done():
+                request.future.set_result(InferenceResult(outputs[index], timing))
 
-    def _run(self) -> None:
+    def _flush(self, key: Tuple) -> None:
+        requests = self._pending.pop(key, [])
+        self._flush_deadlines.pop(key, None)
+        if requests:
+            self._execute(key[0], requests)
+
+    # -------------------------------------------------------------- #
+    # Worker: main loop
+    # -------------------------------------------------------------- #
+    def _admit_to_bucket(self, request: _Request, delay_s: float) -> bool:
+        """Place a request in its bucket; flush if full.  Returns True if a
+        full-batch flush ran (so the caller can re-check deadlines)."""
+        try:
+            key = (self._bucket_key(request.payload), request.tag)
+        except BaseException as error:  # noqa: BLE001 - resolve, then re-raise
+            # The request is in no structure _abort_pending can reach; its
+            # future must be resolved here or it leaks when the worker dies.
+            self._fail_request(request, RuntimeError(
+                f"failed to bucket request: {error!r}"))
+            raise
+        bucket = self._pending.setdefault(key, [])
+        bucket.append(request)
+        flush_at = request.enqueued + delay_s
+        if key not in self._flush_deadlines or flush_at < self._flush_deadlines[key]:
+            self._flush_deadlines[key] = flush_at
+        if len(bucket) >= self.config.max_batch_size:
+            self._flush(key)
+            return True
+        return False
+
+    def _release_due_retries(self, now: float, delay_s: float) -> None:
+        due = [r for r in self._retry_buffer if r.ready_at <= now]
+        if not due:
+            return
+        self._retry_buffer[:] = [r for r in self._retry_buffer if r.ready_at > now]
+        for index, request in enumerate(due):
+            try:
+                self._admit_to_bucket(request, delay_s)
+            except BaseException:  # noqa: BLE001 - keep the rest reachable
+                # Put untouched retries back so _abort_pending resolves them.
+                self._retry_buffer.extend(due[index + 1:])
+                raise
+
+    def _serve(self) -> None:
         delay_s = self.config.max_delay_ms / 1e3
-        pending = {}
-        deadlines = {}
-        shutdown = False
         while True:
-            timeout = None
-            if deadlines:
-                timeout = max(0.0, min(deadlines.values()) - time.monotonic())
+            now = time.monotonic()
+            self._release_due_retries(now, delay_s)
+            wake_at = list(self._flush_deadlines.values())
+            wake_at.extend(r.ready_at for r in self._retry_buffer)
+            timeout = max(0.0, min(wake_at) - now) if wake_at else None
             try:
                 item = self._queue.get(timeout=timeout)
             except queue.Empty:
                 item = _TIMEOUT
+            shutdown = None
             # Drain the backlog greedily before looking at deadlines:
             # requests that arrived while the previous batch was executing
-            # carry already-expired deadlines, and must coalesce into full
-            # batches instead of flushing one by one.
+            # carry already-expired flush deadlines, and must coalesce into
+            # full batches instead of flushing one by one.
             while item is not _TIMEOUT:
-                if item is _SHUTDOWN:
-                    shutdown = True
+                if isinstance(item, _Shutdown):
+                    shutdown = item
                     break
-                key = self._bucket_key(item.payload)
-                bucket = pending.setdefault(key, [])
-                bucket.append(item)
-                if len(bucket) == 1:
-                    deadlines[key] = item.enqueued + delay_s
-                if len(bucket) >= self.config.max_batch_size:
-                    self._flush(key, pending, deadlines)
-                    # A full-batch flush blocks on the engine; if it left
-                    # another bucket's deadline expired, break out so the
-                    # deadline scan runs before draining further -- a
-                    # saturating bucket must not starve the others past
-                    # their max_delay_ms bound.
-                    if deadlines and min(deadlines.values()) <= time.monotonic():
-                        break
+                flushed = self._admit_to_bucket(item, delay_s)
+                # A full-batch flush blocks on the engine; if it left
+                # another bucket's deadline expired, break out so the
+                # deadline scan runs before draining further -- a
+                # saturating bucket must not starve the others past
+                # their max_delay_ms bound.
+                if flushed and self._flush_deadlines and \
+                        min(self._flush_deadlines.values()) <= time.monotonic():
+                    break
                 try:
                     item = self._queue.get_nowait()
                 except queue.Empty:
                     item = _TIMEOUT
-            if shutdown:
-                for key in list(pending):
-                    self._flush(key, pending, deadlines)
+            if shutdown is not None:
+                self._drain_and_exit(shutdown, delay_s)
                 return
             now = time.monotonic()
-            for key in [k for k, deadline in deadlines.items() if deadline <= now]:
-                self._flush(key, pending, deadlines)
+            self._shed_over_watermark(now)
+            for key in [k for k, deadline in self._flush_deadlines.items()
+                        if deadline <= now]:
+                self._flush(key)
+
+    def _drain_and_exit(self, shutdown: _Shutdown, delay_s: float) -> None:
+        """Graceful drain: flush pending within the deadline, cancel the rest."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if not isinstance(item, _Shutdown):
+                self._admit_to_bucket(item, delay_s)
+        if shutdown.drain:
+            while ((self._pending or self._retry_buffer)
+                   and time.monotonic() < shutdown.deadline):
+                for request in self._retry_buffer:
+                    request.ready_at = 0.0  # drain ignores retry backoff
+                self._release_due_retries(time.monotonic(), delay_s)
+                for key in list(self._pending):
+                    if time.monotonic() >= shutdown.deadline:
+                        break
+                    self._flush(key)
+        self._abort_pending(ServerClosed("server closed before request completed"))
+
+    def _abort_pending(self, error: BaseException) -> None:
+        """Resolve every future the server still holds.  Futures must never
+        leak: this runs on worker death, engine failure, and drain expiry."""
+        for requests in self._pending.values():
+            for request in requests:
+                self._fail_request(request, error)
+        self._pending.clear()
+        self._flush_deadlines.clear()
+        for request in self._retry_buffer:
+            self._fail_request(request, error)
+        self._retry_buffer.clear()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if isinstance(item, _Request):
+                self._fail_request(item, error)
+
+    def _run(self) -> None:
+        try:
+            self._serve()
+        except _ServerFailed:
+            # Engine supervision exhausted its restart budget: a handled
+            # terminal state, already aborted -- not a worker bug.
+            pass
+        except BaseException:  # noqa: BLE001 - record, resolve, re-raise via close()
+            formatted = traceback.format_exc()
+            with self._submit_lock:
+                self._worker_error = formatted
+                self._state = "failed"
+                self._failure_reason = "inference worker died from an uncaught error"
+            self._abort_pending(RuntimeError(
+                "inference worker died from an uncaught error:\n" + formatted))
 
     # -------------------------------------------------------------- #
     # Accounting
     # -------------------------------------------------------------- #
     def stats(self) -> dict:
-        """Request/batch counts and throughput since start; latency and
-        batch-size aggregates over the most recent :data:`STATS_WINDOW`."""
+        """Request/batch counts, robustness counters, and throughput since
+        start; latency and batch-size aggregates over the most recent
+        :data:`STATS_WINDOW`."""
         with self._stats_lock:
             latencies = np.asarray(self._latencies_ms, dtype=np.float64)
             batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
@@ -306,13 +799,31 @@ class InferenceServer:
             batches = self._batches
             first = self._first_enqueued
             last = self._last_completed
+            counters = {
+                "queue_depth": self._inflight,
+                "shed_deadline": self._shed_deadline,
+                "shed_watermark": self._shed_watermark,
+                "rejected": self._rejected,
+                "requeues": self._requeues,
+                "failed_requests": self._failed_requests,
+                "nonfinite_outputs": self._nonfinite_outputs,
+                "engine_crashes": self._engine_crashes,
+                "engine_restarts": self._engine_restarts,
+            }
         wall = (last - first) if (first is not None and last is not None) else None
         return {
+            "state": self._state,
             "requests": completed,
             "batches": batches,
             "mean_batch_size": float(batch_sizes.mean()) if batch_sizes.size else float("nan"),
             "latency_ms_mean": float(latencies.mean()) if latencies.size else float("nan"),
             "latency_ms_p50": float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
             "latency_ms_p95": float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
+            "latency_ms_p99": float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
             "throughput_rps": (completed / wall) if wall and wall > 0 else float("nan"),
+            **counters,
         }
+
+
+class _ServerFailed(Exception):
+    """Internal: the supervisor declared the engine unrecoverable."""

@@ -11,7 +11,13 @@ from .schedules import (
     TemporalSchedule,
     build_schedule,
 )
-from .trainer import ClassificationTrainer, DetectionTrainer, Seq2SeqTrainer, TrainingResult
+from .trainer import (
+    ClassificationTrainer,
+    DetectionTrainer,
+    NonFiniteLossError,
+    Seq2SeqTrainer,
+    TrainingResult,
+)
 from .tta import TTAEntry, energy_to_accuracy, iterations_to_target, normalize_entries, time_to_accuracy
 
 __all__ = [
@@ -33,6 +39,7 @@ __all__ = [
     "Seq2SeqTrainer",
     "DetectionTrainer",
     "TrainingResult",
+    "NonFiniteLossError",
     "TTAEntry",
     "iterations_to_target",
     "time_to_accuracy",

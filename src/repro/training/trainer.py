@@ -28,7 +28,17 @@ from ..nn.losses import cross_entropy, sequence_cross_entropy
 from .metrics import accuracy, corpus_bleu, mean_average_precision
 from .schedules import FP32Schedule, PrecisionSchedule
 
-__all__ = ["TrainingResult", "ClassificationTrainer", "Seq2SeqTrainer", "DetectionTrainer"]
+__all__ = ["NonFiniteLossError", "TrainingResult", "ClassificationTrainer",
+           "Seq2SeqTrainer", "DetectionTrainer"]
+
+
+class NonFiniteLossError(FloatingPointError):
+    """Training produced a NaN/inf loss and ``abort_on_nonfinite`` is set.
+
+    Raised at the offending step so quantized-training divergence fails
+    fast with a diagnostic, instead of silently poisoning every later loss
+    in :class:`TrainingResult`.
+    """
 
 
 @dataclass
@@ -83,11 +93,12 @@ class _BaseTrainer:
 
     def __init__(self, model: nn.Module, optimizer: nn.Optimizer,
                  schedule: Optional[PrecisionSchedule] = None,
-                 compute_dtype=None):
+                 compute_dtype=None, abort_on_nonfinite: bool = False):
         self.model = model
         self.optimizer = optimizer
         self.schedule = schedule if schedule is not None else FP32Schedule()
         self.iteration = 0
+        self.abort_on_nonfinite = abort_on_nonfinite
         self.compute_dtype = None if compute_dtype is None else np.dtype(compute_dtype)
         if self.compute_dtype is not None:
             self.model.to(self.compute_dtype)
@@ -110,6 +121,17 @@ class _BaseTrainer:
     def _post_step(self) -> None:
         self.iteration += 1
 
+    def _check_loss(self, value: float, epoch: int, step: int) -> float:
+        """Opt-in divergence guard: raise on the first NaN/inf loss."""
+        if self.abort_on_nonfinite and not np.isfinite(value):
+            raise NonFiniteLossError(
+                f"non-finite loss {value!r} at epoch {epoch + 1}, step {step + 1} "
+                f"(global iteration {self.iteration}) under schedule "
+                f"{self.schedule.name!r}: training diverged -- lower the learning "
+                "rate, widen the mantissa/exponent budget, or disable "
+                "abort_on_nonfinite to keep going")
+        return value
+
 
 class ClassificationTrainer(_BaseTrainer):
     """Image-classification training loop (CNNs and MLPs)."""
@@ -117,8 +139,9 @@ class ClassificationTrainer(_BaseTrainer):
     def __init__(self, model: nn.Module, optimizer: nn.Optimizer,
                  schedule: Optional[PrecisionSchedule] = None,
                  loss_fn: Callable = cross_entropy,
-                 compute_dtype=None):
-        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype)
+                 compute_dtype=None, abort_on_nonfinite: bool = False):
+        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype,
+                         abort_on_nonfinite=abort_on_nonfinite)
         self.loss_fn = loss_fn
 
     def evaluate(self, loader: DataLoader) -> float:
@@ -153,7 +176,7 @@ class ClassificationTrainer(_BaseTrainer):
                 self.optimizer.zero_grad()
                 loss.backward()
                 self.optimizer.step()
-                epoch_losses.append(loss.item())
+                epoch_losses.append(self._check_loss(loss.item(), epoch, len(epoch_losses)))
                 epoch_accuracy.append(accuracy(logits.data, labels))
                 self._post_step()
             result.epoch_time_history.append(time.perf_counter() - epoch_start)
@@ -178,8 +201,9 @@ class Seq2SeqTrainer(_BaseTrainer):
 
     def __init__(self, model, optimizer: nn.Optimizer,
                  schedule: Optional[PrecisionSchedule] = None, pad_index: int = 0,
-                 compute_dtype=None):
-        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype)
+                 compute_dtype=None, abort_on_nonfinite: bool = False):
+        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype,
+                         abort_on_nonfinite=abort_on_nonfinite)
         self.pad_index = pad_index
 
     def evaluate_bleu(self, dataset, max_samples: int = 64) -> float:
@@ -218,7 +242,7 @@ class Seq2SeqTrainer(_BaseTrainer):
                 self.optimizer.zero_grad()
                 loss.backward()
                 self.optimizer.step()
-                epoch_losses.append(loss.item())
+                epoch_losses.append(self._check_loss(loss.item(), epoch, len(epoch_losses)))
                 self._post_step()
             result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
@@ -241,8 +265,9 @@ class DetectionTrainer(_BaseTrainer):
 
     def __init__(self, model, optimizer: nn.Optimizer,
                  schedule: Optional[PrecisionSchedule] = None, confidence_threshold: float = 0.5,
-                 compute_dtype=None):
-        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype)
+                 compute_dtype=None, abort_on_nonfinite: bool = False):
+        super().__init__(model, optimizer, schedule, compute_dtype=compute_dtype,
+                         abort_on_nonfinite=abort_on_nonfinite)
         self.confidence_threshold = confidence_threshold
 
     def evaluate_map(self, dataset) -> float:
@@ -273,7 +298,7 @@ class DetectionTrainer(_BaseTrainer):
                 self.optimizer.zero_grad()
                 loss.backward()
                 self.optimizer.step()
-                epoch_losses.append(loss.item())
+                epoch_losses.append(self._check_loss(loss.item(), epoch, len(epoch_losses)))
                 self._post_step()
             result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))

@@ -1,0 +1,35 @@
+"""Serving-suite fixtures: a per-test deadlock watchdog.
+
+The serving tests exercise a threaded server on purpose, so a regression
+that deadlocks the worker would otherwise hang the whole pytest run (and a
+CI job) silently.  Every test in this directory runs under a watchdog:
+if a single test exceeds the timeout, ``faulthandler`` dumps every thread's
+stack to stderr and the process exits non-zero -- the build fails with a
+diagnosis instead of hanging.  (Equivalent to ``pytest-timeout``'s thread
+method, without the dependency; the container image has no network access
+to install it.)
+
+``REPRO_SERVING_TEST_TIMEOUT`` overrides the per-test limit in seconds
+(CI pins it tighter than the generous local default).
+"""
+
+import faulthandler
+import os
+import sys
+
+import pytest
+
+DEFAULT_TIMEOUT_S = 120.0
+
+
+@pytest.fixture(autouse=True)
+def deadlock_watchdog():
+    timeout = float(os.environ.get("REPRO_SERVING_TEST_TIMEOUT", DEFAULT_TIMEOUT_S))
+    if timeout <= 0:  # escape hatch: 0 disables the watchdog (debugger use)
+        yield
+        return
+    faulthandler.dump_traceback_later(timeout, exit=True, file=sys.stderr)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()

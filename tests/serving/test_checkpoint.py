@@ -14,7 +14,7 @@ from repro.models import (
     transformer_small,
     vgg11,
 )
-from repro.serving import freeze, load_frozen, load_state, save_frozen, save_state
+from repro.serving import CheckpointError, freeze, load_frozen, load_state, save_frozen, save_state
 from repro.training.schedules import FixedBFPSchedule, FP32Schedule
 
 CONFIG = BFPConfig(exponent_bits=8, group_size=16)
@@ -119,3 +119,71 @@ class TestStateCheckpoint:
         path = save_state(model, tmp_path / "mlp_state.npz")
         load_state(model, path)
         assert all(p.version > v for p, v in zip(model.parameters(), versions))
+
+
+class TestCorruptCheckpoints:
+    """Damaged or mismatched checkpoints fail fast with named diagnostics."""
+
+    def _frozen_path(self, tmp_path):
+        model, _ = FAMILY_BUILDERS["mlp"](np.random.default_rng(0))
+        attach(model)
+        return save_frozen(freeze(model), tmp_path / "mlp.npz")
+
+    def test_truncated_frozen_file_raises_checkpoint_error(self, tmp_path):
+        path = self._frozen_path(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="mlp.npz"):
+            load_frozen(path)
+
+    def test_non_zip_garbage_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError, match="garbage.npz"):
+            load_frozen(path)
+
+    def test_missing_array_named_in_error(self, tmp_path):
+        path = self._frozen_path(tmp_path)
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+        victim = next(key for key in sorted(arrays) if key.endswith("mantissas"))
+        del arrays[victim]
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="missing 1 of"):
+            load_frozen(path)
+        with pytest.raises(CheckpointError, match=victim.split("/")[-1]):
+            load_frozen(path)
+
+    def test_corrupted_spec_raises_checkpoint_error(self, tmp_path):
+        path = self._frozen_path(tmp_path)
+        with np.load(path) as data:
+            arrays = {key: data[key] for key in data.files}
+        arrays["__spec__"] = np.array('{"format": "repro-frozen", truncated')
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="spec is corrupted"):
+            load_frozen(path)
+
+    def test_state_checkpoint_architecture_mismatch_names_keys(self, tmp_path):
+        source = MLP(16, [8], 4, rng=np.random.default_rng(0))
+        path = save_state(source, tmp_path / "state.npz")
+        target = MLP(16, [8, 8], 4, rng=np.random.default_rng(1))
+        with pytest.raises(CheckpointError, match="does not match the model"):
+            load_state(target, path)
+        # The error names concrete offending keys, not just a count.
+        with pytest.raises(CheckpointError, match="missing"):
+            load_state(target, path)
+
+    def test_truncated_state_checkpoint_raises_checkpoint_error(self, tmp_path):
+        model = MLP(16, [8], 4, rng=np.random.default_rng(0))
+        path = save_state(model, tmp_path / "state.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(CheckpointError, match="corrupted or truncated"):
+            load_state(model, path)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_frozen(tmp_path / "nope.npz")
+
+    def test_checkpoint_error_is_a_value_error(self):
+        assert issubclass(CheckpointError, ValueError)

@@ -12,6 +12,7 @@ from repro.training import (
     FASTSchedule,
     FixedBFPSchedule,
     FP32Schedule,
+    NonFiniteLossError,
     Seq2SeqTrainer,
     TrainingResult,
 )
@@ -121,3 +122,55 @@ class TestDetectionTrainer:
         result = trainer.fit(train, validation, epochs=3, batch_size=8)
         assert result.loss_history[-1] < result.loss_history[0]
         assert 0.0 <= result.val_metric_history[-1] <= 100.0
+
+
+class TestNonFiniteGuard:
+    """Opt-in divergence guard: ``abort_on_nonfinite=True`` stops on NaN/inf."""
+
+    @staticmethod
+    def _poisoning_loss(poison_at_step):
+        """A loss_fn that returns NaN from ``poison_at_step`` (0-based) on."""
+        from repro.nn.losses import cross_entropy
+        calls = {"n": 0}
+
+        def loss_fn(logits, labels):
+            loss = cross_entropy(logits, labels)
+            if calls["n"] >= poison_at_step:
+                loss.data = np.asarray(loss.data) * np.nan
+            calls["n"] += 1
+            return loss
+
+        return loss_fn
+
+    def _make_trainer(self, loss_fn, abort_on_nonfinite):
+        dataset = SyntheticImageDataset(num_samples=48, num_classes=4, image_size=8,
+                                        noise=0.4, seed=0)
+        model = MLP(3 * 8 * 8, [16], 4, rng=np.random.default_rng(0))
+        optimizer = nn.SGD(model.parameters(), lr=0.1)
+        trainer = ClassificationTrainer(model, optimizer, FP32Schedule(), loss_fn=loss_fn,
+                                        abort_on_nonfinite=abort_on_nonfinite)
+        return trainer, DataLoader(dataset, 24, seed=1)
+
+    def test_raises_with_epoch_and_step_in_message(self):
+        trainer, loader = self._make_trainer(self._poisoning_loss(1), True)
+        with pytest.raises(NonFiniteLossError, match=r"epoch 1, step 2"):
+            trainer.fit(loader, epochs=2)
+
+    def test_message_names_schedule_and_value(self):
+        trainer, loader = self._make_trainer(self._poisoning_loss(0), True)
+        with pytest.raises(NonFiniteLossError, match=r"nan.*'fp32'"):
+            trainer.fit(loader, epochs=1)
+
+    def test_disabled_by_default_keeps_training(self):
+        trainer, loader = self._make_trainer(self._poisoning_loss(0), False)
+        result = trainer.fit(loader, epochs=1)
+        assert np.isnan(result.loss_history[-1])
+
+    def test_finite_training_never_trips_the_guard(self):
+        trainer, train_loader, val_loader = make_classification_setup(FP32Schedule())
+        trainer.abort_on_nonfinite = True
+        result = trainer.fit(train_loader, val_loader, epochs=1)
+        assert np.isfinite(result.loss_history[-1])
+
+    def test_is_a_floating_point_error(self):
+        assert issubclass(NonFiniteLossError, FloatingPointError)
