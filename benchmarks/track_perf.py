@@ -100,6 +100,19 @@ def summarize_serving(report: dict) -> dict:
                         "rps", "shed_rate", "failure_rate", "requeues",
                         "engine_restarts", "final_state")
         } if (degraded := report.get("degraded")) else None,
+        "cluster": {
+            "cpus": cluster.get("cpus"),
+            "capacity_single_rps": cluster.get("capacity_single_rps"),
+            "goodput_by_workers": {
+                workers: entry["points"][-1]["goodput_rps"]
+                for workers, entry in cluster.get("scaling", {}).items()
+            },
+            "baseline_top_goodput_rps": (
+                cluster["baseline"][-1]["goodput_rps"]
+                if cluster.get("baseline") else None),
+            "gate": cluster.get("gate"),
+            "mixed_goodput_rps": (cluster.get("mixed") or {}).get("goodput_rps"),
+        } if (cluster := report.get("cluster")) else None,
     }
 
 

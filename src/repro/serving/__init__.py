@@ -50,10 +50,26 @@ Fault-tolerance semantics (the robustness layer):
   ``ServerClosed``.  No future ever leaks, on any path.
 
 ``serving.faults.FaultInjectingEngine`` injects deterministic latency
-spikes, transient errors, hard crashes, NaN-poisoned outputs, and
-payload-triggered poison faults to prove all of the above under test
-(``tests/serving/test_faults.py``) and under load
+spikes, transient errors, hard crashes, NaN-poisoned outputs, hard worker
+process death, and payload-triggered poison faults to prove all of the
+above under test (``tests/serving/test_faults.py``) and under load
 (``benchmarks/bench_perf_serving.py --quick``, degraded-mode section).
+
+Scaling out (the sharded tier)::
+
+    specs = [serving.WorkerSpec(checkpoint="model.npz", model="cnn",
+                                warmup_shapes=((32, 3, 32, 32),))
+             for _ in range(4)]
+    with serving.ShardedServer(specs) as cluster:
+        result = cluster.predict(image, model="cnn")
+
+``ShardedServer`` shards requests across N **worker processes** (each a
+warmed engine over the frozen checkpoint, batches crossing the process
+boundary through shared-memory rings -- :mod:`repro.serving.transport`),
+with every fault-tolerance semantic above applied per shard and dead
+workers respawned, re-warmed, and routed around automatically.
+:mod:`repro.serving.loadgen` provides the open-loop (Poisson-arrival)
+traffic generator used to measure the scaling honestly.
 """
 
 from .checkpoint import (
@@ -63,8 +79,17 @@ from .checkpoint import (
     save_frozen,
     save_state,
 )
+from .cluster import (
+    ClusterConfig,
+    RemoteEngine,
+    RemoteEngineError,
+    ShardedServer,
+    WorkerSpec,
+    WorkerStartupError,
+)
 from .engine import EngineCrash, InferenceEngine
 from .faults import FaultInjectingEngine, FaultPlan, TransientEngineError
+from .loadgen import FamilyLoad, LoadReport, OpenLoopGenerator, poisson_arrivals
 from .frozen import (
     FrozenModel,
     FrozenOp,
@@ -83,9 +108,12 @@ from .server import (
     RequestTiming,
     ServerClosed,
     ServerOverloaded,
+    ServerStats,
     ServerUnavailable,
     ServingError,
+    validate_payload,
 )
+from .transport import ShmRing, TransportError, attach_shared_memory
 
 __all__ = [
     "freeze",
@@ -112,7 +140,22 @@ __all__ = [
     "ServerClosed",
     "ServerUnavailable",
     "NonFiniteOutput",
+    "ServerStats",
+    "validate_payload",
     "FaultInjectingEngine",
     "FaultPlan",
     "TransientEngineError",
+    "ShardedServer",
+    "WorkerSpec",
+    "ClusterConfig",
+    "RemoteEngine",
+    "RemoteEngineError",
+    "WorkerStartupError",
+    "ShmRing",
+    "TransportError",
+    "attach_shared_memory",
+    "OpenLoopGenerator",
+    "FamilyLoad",
+    "LoadReport",
+    "poisson_arrivals",
 ]

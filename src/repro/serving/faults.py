@@ -4,9 +4,11 @@
 :class:`~repro.serving.engine.InferenceEngine` interface and injects faults
 into ``predict``: latency spikes, transient exceptions, hard crashes
 (:class:`~repro.serving.engine.EngineCrash` followed by a down state until
-enough ``rewarm()`` attempts succeed), NaN-poisoned output rows, and
-payload-triggered poison faults (a batch containing a marked request always
-fails, the way a malformed input crashes a real kernel).
+enough ``rewarm()`` attempts succeed), NaN-poisoned output rows, hard
+process death (``worker_exit``: ``os._exit`` mid-batch, the fault that
+exercises the sharded cluster's respawn path), and payload-triggered poison
+faults (a batch containing a marked request always fails, the way a
+malformed input crashes a real kernel).
 
 Everything is deterministic.  Faults are driven either by explicit call
 indices (``transient_calls=(3,)`` -- exact, thread-timing independent) or by
@@ -19,6 +21,7 @@ fixed call sequence).  This is what the chaos suite
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -58,6 +61,17 @@ class FaultPlan:
         Raise :class:`~repro.serving.engine.EngineCrash` and go *down*:
         every later call fails the same way until ``rewarm()`` has been
         called ``rewarms_to_recover`` times (a supervised restart).
+    exit_rate / exit_calls / exit_code:
+        Hard **process death** mid-batch: the engine's exit hook runs
+        (``os._exit(exit_code)`` by default -- no cleanup, no exception
+        propagation, exactly like a segfaulted or OOM-killed worker).
+        Inside a cluster worker this kills the process after it has read
+        the request but before it responds, which is what makes the
+        sharded server's respawn path deterministically testable.  Tests
+        that must not die pass a recording ``exit_hook``; when the hook
+        returns instead of exiting, the engine raises
+        :class:`~repro.serving.engine.EngineCrash` so in-process callers
+        still see a hard failure.
     nan_rate / nan_calls:
         Serve the batch but poison one output row (row ``call_index %
         batch``) with NaN -- silent numerical corruption.
@@ -82,17 +96,22 @@ class FaultPlan:
     crash_calls: Tuple[int, ...] = ()
     nan_rate: float = 0.0
     nan_calls: Tuple[int, ...] = ()
+    exit_rate: float = 0.0
+    exit_calls: Tuple[int, ...] = ()
+    exit_code: int = 43
     rewarms_to_recover: int = 1
     poison_marker: Optional[float] = None
 
     def __post_init__(self):
-        for name in ("latency_rate", "transient_rate", "crash_rate", "nan_rate"):
+        for name in ("latency_rate", "transient_rate", "crash_rate", "nan_rate",
+                     "exit_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.rewarms_to_recover < 1:
             raise ValueError("rewarms_to_recover must be >= 1")
-        for name in ("latency_calls", "transient_calls", "crash_calls", "nan_calls"):
+        for name in ("latency_calls", "transient_calls", "crash_calls", "nan_calls",
+                     "exit_calls"):
             object.__setattr__(self, name,
                                tuple(sorted(int(i) for i in getattr(self, name))))
 
@@ -106,6 +125,7 @@ class FaultLog:
     transient_errors: int = 0
     crashes: int = 0
     nan_rows: int = 0
+    worker_exits: int = 0
     poison_hits: int = 0
     rewarm_attempts: int = 0
     rewarm_failures: int = 0
@@ -120,6 +140,7 @@ class _CallFaults:
     transient: bool = False
     crash: bool = False
     nan: bool = False
+    exit: bool = False
 
 
 class FaultInjectingEngine:
@@ -133,10 +154,14 @@ class FaultInjectingEngine:
     """
 
     def __init__(self, engine, plan: Optional[FaultPlan] = None,
-                 gate: Optional[threading.Event] = None):
+                 gate: Optional[threading.Event] = None,
+                 exit_hook=None):
         self.engine = engine
         self.plan = plan if plan is not None else FaultPlan()
         self.gate = gate
+        #: What a ``worker_exit`` fault runs; ``None`` means hard process
+        #: death via ``os._exit(plan.exit_code)``.  Tests inject a recorder.
+        self.exit_hook = exit_hook
         #: Calls that have *entered* predict (bumped before blocking on the
         #: gate) -- lets tests wait until a plug request is verifiably in
         #: flight before submitting the batch under study.
@@ -173,15 +198,17 @@ class FaultInjectingEngine:
             transient=index in plan.transient_calls,
             crash=index in plan.crash_calls,
             nan=index in plan.nan_calls,
+            exit=index in plan.exit_calls,
         )
         # One draw per fault class per call, even when the rate is zero, so
         # a given (seed, call index) always sees the same random stream
         # regardless of which rates are enabled.
-        draws = self._rng.random(4)
+        draws = self._rng.random(5)
         faults.latency |= bool(draws[0] < plan.latency_rate)
         faults.transient |= bool(draws[1] < plan.transient_rate)
         faults.crash |= bool(draws[2] < plan.crash_rate)
         faults.nan |= bool(draws[3] < plan.nan_rate)
+        faults.exit |= bool(draws[4] < plan.exit_rate)
         return faults
 
     def _batch_is_poisoned(self, batch: np.ndarray) -> bool:
@@ -207,6 +234,14 @@ class FaultInjectingEngine:
                 raise TransientEngineError(
                     f"injected kernel fault: batch of {batch.shape[0]} contains a "
                     f"poison-marked request (marker={self.plan.poison_marker})")
+            if faults.exit:
+                self.log.worker_exits += 1
+                if self.exit_hook is None:
+                    os._exit(self.plan.exit_code)  # hard death: no unwind
+                self.exit_hook(self.plan.exit_code)
+                raise EngineCrash(
+                    f"injected worker exit at call {index} "
+                    "(exit hook returned instead of terminating)")
             if faults.crash:
                 self.log.crashes += 1
                 self._down = True

@@ -1,0 +1,249 @@
+"""Open-loop traffic generation for serving benchmarks.
+
+The closed-loop harness in earlier benchmarks submits a request, waits for
+the answer, and only then submits the next one -- so a slow server slows
+the *generator* down, hiding queueing delay entirely (the "coordinated
+omission" artifact).  Real traffic does not wait: users arrive when they
+arrive.  :class:`OpenLoopGenerator` therefore fires requests on a fixed
+Poisson schedule **regardless of completions**: if the server falls behind,
+requests pile up and latency -- measured from each request's *scheduled*
+arrival time, not from whenever the generator got around to sending it --
+grows without bound.  That makes offered-load-vs-latency curves honest:
+a server at saturation shows its real p99, not its lucky closed-loop one.
+
+Usage::
+
+    mix = (FamilyLoad(payloads=cnn_batches, model="cnn"),)
+    report = OpenLoopGenerator(server.submit, mix, qps=500, duration_s=4.0,
+                               seed=7).run()
+    report.goodput_rps, report.latency_ms_p99
+
+Works against both :class:`~repro.serving.server.InferenceServer` (one
+family, ``model=None``) and :class:`~repro.serving.cluster.ShardedServer`
+(pass each :class:`FamilyLoad` a ``model`` label to exercise mixed-family
+routing).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["poisson_arrivals", "FamilyLoad", "LoadReport", "OpenLoopGenerator"]
+
+
+def poisson_arrivals(qps: float, duration_s: float, seed: int = 0) -> np.ndarray:
+    """Arrival offsets (seconds) of a Poisson process at rate ``qps``.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/qps``; the
+    returned offsets are their cumulative sums clipped to ``duration_s``.
+    Deterministic for a fixed ``(qps, duration_s, seed)``.
+    """
+    if qps <= 0 or duration_s <= 0:
+        raise ValueError(f"qps and duration_s must be positive, got {qps}/{duration_s}")
+    rng = np.random.default_rng(seed)
+    # Draw enough gaps that running short is a ~never event, then clip.
+    expected = qps * duration_s
+    draw = int(math.ceil(expected + 6.0 * math.sqrt(expected) + 16.0))
+    offsets = np.cumsum(rng.exponential(1.0 / qps, size=draw))
+    while offsets[-1] < duration_s:  # pathological seed: extend
+        extra = np.cumsum(rng.exponential(1.0 / qps, size=draw)) + offsets[-1]
+        offsets = np.concatenate([offsets, extra])
+    return offsets[offsets < duration_s]
+
+
+@dataclass(frozen=True)
+class FamilyLoad:
+    """Traffic for one model family: payloads cycled round-robin.
+
+    ``model`` is forwarded to ``submit(payload, model=...)`` when set (the
+    sharded server's family selector); ``None`` submits positionally (the
+    single-family in-process server).  ``weight`` sets this family's share
+    of the total arrival stream.
+    """
+
+    payloads: Tuple[np.ndarray, ...]
+    model: Optional[str] = None
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.payloads:
+            raise ValueError("FamilyLoad needs at least one payload")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        object.__setattr__(self, "payloads", tuple(self.payloads))
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one open-loop run offered and what came back.
+
+    Latency is measured from each request's *scheduled* arrival, so both
+    server queueing and generator slip (the generator falling behind its
+    own schedule, ``max_slip_ms``) are charged to the request -- the
+    coordinated-omission-free convention.  ``goodput_rps`` counts only
+    successful completions over the window from first scheduled arrival to
+    last completion (offered window plus drain).
+    """
+
+    offered_qps: float
+    duration_s: float
+    sent: int
+    completed: int
+    failed: int
+    goodput_rps: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    max_slip_ms: float
+    drain_s: float
+    errors: Tuple[Tuple[str, int], ...] = field(default=())
+
+    def as_dict(self) -> dict:
+        payload = dict(self.__dict__)
+        payload["errors"] = {name: count for name, count in self.errors}
+        return payload
+
+
+class OpenLoopGenerator:
+    """Fire a Poisson request stream at a server and report what happened.
+
+    Parameters
+    ----------
+    submit:
+        ``submit(payload)`` or ``submit(payload, model=...)`` returning a
+        ``concurrent.futures.Future`` (both servers' ``submit`` qualifies).
+        A synchronous raise (e.g. admission rejection) counts as a failed
+        request; it does not stop the run.
+    mix:
+        One or more :class:`FamilyLoad`; each arrival is assigned a family
+        by ``weight`` (deterministically, from ``seed``).
+    qps / duration_s:
+        Offered load and how long to offer it.
+    deadline_ms:
+        Optional per-request deadline forwarded to ``submit``.
+    seed:
+        Drives both the arrival process and the family assignment.
+    drain_timeout_s:
+        After the last send, how long to wait for stragglers before
+        counting them as failed (``"Unresolved"``).
+    """
+
+    def __init__(self, submit: Callable, mix: Sequence[FamilyLoad], *,
+                 qps: float, duration_s: float,
+                 deadline_ms: Optional[float] = None, seed: int = 0,
+                 drain_timeout_s: float = 60.0):
+        if not mix:
+            raise ValueError("need at least one FamilyLoad")
+        self.submit = submit
+        self.mix = tuple(mix)
+        self.qps = float(qps)
+        self.duration_s = float(duration_s)
+        self.deadline_ms = deadline_ms
+        self.seed = int(seed)
+        self.drain_timeout_s = float(drain_timeout_s)
+
+    def run(self) -> LoadReport:
+        offsets = poisson_arrivals(self.qps, self.duration_s, seed=self.seed)
+        rng = np.random.default_rng(self.seed + 1)
+        weights = np.array([family.weight for family in self.mix], dtype=np.float64)
+        family_ids = rng.choice(len(self.mix), size=len(offsets),
+                                p=weights / weights.sum())
+        per_family_cursor = [0] * len(self.mix)
+
+        lock = threading.Lock()
+        latencies_ms: list = []
+        errors: Counter = Counter()
+        completed = [0]
+        last_completion = [0.0]
+        outstanding = threading.Semaphore(0)
+
+        def _finish(scheduled: float, future) -> None:
+            now = time.monotonic()
+            error = future.exception()
+            with lock:
+                if error is None:
+                    completed[0] += 1
+                    latencies_ms.append((now - scheduled) * 1e3)
+                    last_completion[0] = max(last_completion[0], now)
+                else:
+                    errors[type(error).__name__] += 1
+            outstanding.release()
+
+        start = time.monotonic()
+        max_slip = 0.0
+        sent = 0
+        fired = 0
+        for offset, family_id in zip(offsets, family_ids):
+            scheduled = start + float(offset)
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            else:
+                max_slip = max(max_slip, -delay)
+            family = self.mix[family_id]
+            cursor = per_family_cursor[family_id]
+            per_family_cursor[family_id] = cursor + 1
+            payload = family.payloads[cursor % len(family.payloads)]
+            sent += 1
+            try:
+                if family.model is not None:
+                    future = self.submit(payload, model=family.model,
+                                         deadline_ms=self.deadline_ms)
+                elif self.deadline_ms is not None:
+                    future = self.submit(payload, deadline_ms=self.deadline_ms)
+                else:
+                    future = self.submit(payload)
+            except Exception as error:  # noqa: BLE001 - rejection is data
+                with lock:
+                    errors[type(error).__name__] += 1
+                continue
+            fired += 1
+            future.add_done_callback(
+                lambda fut, scheduled=scheduled: _finish(scheduled, fut))
+
+        # Drain: wait for every in-flight future (bounded).
+        drain_deadline = time.monotonic() + self.drain_timeout_s
+        drained = 0
+        while drained < fired:
+            remaining = drain_deadline - time.monotonic()
+            if remaining <= 0 or not outstanding.acquire(timeout=max(remaining, 0.01)):
+                with lock:
+                    errors["Unresolved"] += fired - drained
+                break
+            drained += 1
+
+        end = time.monotonic()
+        with lock:
+            latencies = np.array(latencies_ms, dtype=np.float64)
+            done = completed[0]
+            error_counts = tuple(sorted(errors.items()))
+        window = max(last_completion[0] - start, self.duration_s) if done else self.duration_s
+        if latencies.size:
+            mean = float(latencies.mean())
+            p50, p95, p99 = (float(v) for v in
+                             np.percentile(latencies, [50.0, 95.0, 99.0]))
+        else:
+            mean = p50 = p95 = p99 = float("nan")
+        return LoadReport(
+            offered_qps=self.qps,
+            duration_s=self.duration_s,
+            sent=sent,
+            completed=done,
+            failed=sent - done,
+            goodput_rps=done / window if window > 0 else float("nan"),
+            latency_ms_mean=mean,
+            latency_ms_p50=p50,
+            latency_ms_p95=p95,
+            latency_ms_p99=p99,
+            max_slip_ms=max_slip * 1e3,
+            drain_s=max(end - start - self.duration_s, 0.0),
+            errors=error_counts,
+        )

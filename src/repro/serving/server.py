@@ -60,7 +60,7 @@ import time
 import traceback
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -72,6 +72,7 @@ __all__ = [
     "RequestTiming",
     "InferenceResult",
     "InferenceServer",
+    "ServerStats",
     "ServingError",
     "InvalidRequest",
     "DeadlineExceeded",
@@ -79,6 +80,7 @@ __all__ = [
     "ServerClosed",
     "ServerUnavailable",
     "NonFiniteOutput",
+    "validate_payload",
 ]
 
 _TIMEOUT = object()
@@ -222,6 +224,83 @@ class BatchingConfig:
             raise ValueError("engine_restart_limit must be >= 0")
 
 
+@dataclass(frozen=True)
+class ServerStats:
+    """Typed serving statistics, shared by the in-process
+    :class:`InferenceServer` and the multi-process
+    :class:`~repro.serving.cluster.ShardedServer`.
+
+    Counts (requests, sheds, rejects, ...) are exact since server start;
+    latency and batch-size aggregates cover the most recent
+    :data:`STATS_WINDOW` requests.  For a sharded server the top-level
+    object aggregates the cluster and ``shards`` holds one per-shard
+    :class:`ServerStats` (with ``shards`` empty in turn), so per-shard
+    queue depth, sheds, rejects, retries, and restarts stay inspectable.
+
+    Supports mapping-style access (``stats["requests"]``, ``dict(stats)``)
+    so report/benchmark code can treat it like the dict it replaced.
+    """
+
+    state: str
+    requests: int
+    batches: int
+    mean_batch_size: float
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    throughput_rps: float
+    queue_depth: int
+    shed_deadline: int
+    shed_watermark: int
+    rejected: int
+    requeues: int
+    failed_requests: int
+    nonfinite_outputs: int
+    engine_crashes: int
+    engine_restarts: int
+    worker_respawns: int = 0
+    oversized_transfers: int = 0
+    workers: int = 1
+    shards: Tuple["ServerStats", ...] = field(default=())
+
+    def __getitem__(self, key: str):
+        if not isinstance(key, str) or not hasattr(self, key):
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def keys(self):
+        return [f.name for f in fields(self)]
+
+    def as_dict(self) -> dict:
+        """A plain-dict rendering (shards rendered recursively)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["shards"] = [shard.as_dict() for shard in self.shards]
+        return out
+
+
+def _percentiles(latencies_ms: Sequence[float]) -> Tuple[float, float, float, float]:
+    values = np.asarray(latencies_ms, dtype=np.float64)
+    if not values.size:
+        nan = float("nan")
+        return nan, nan, nan, nan
+    return (float(values.mean()), float(np.percentile(values, 50)),
+            float(np.percentile(values, 95)), float(np.percentile(values, 99)))
+
+
+def validate_payload(payload: np.ndarray) -> None:
+    """Submit-time poison screening shared by both serving front ends:
+    numeric dtype, non-empty, and (for floating payloads) finite."""
+    if payload.dtype == object or not np.issubdtype(payload.dtype, np.number):
+        raise InvalidRequest(
+            f"request dtype {payload.dtype} is not numeric")
+    if payload.size == 0:
+        raise InvalidRequest("request payload is empty")
+    if np.issubdtype(payload.dtype, np.floating) and not np.all(np.isfinite(payload)):
+        raise InvalidRequest(
+            "request payload contains non-finite values (NaN/inf)")
+
+
 @dataclass
 class RequestTiming:
     """Per-request latency accounting."""
@@ -321,14 +400,7 @@ class InferenceServer:
     # Submission APIs
     # -------------------------------------------------------------- #
     def _validate_payload(self, payload: np.ndarray) -> None:
-        if payload.dtype == object or not np.issubdtype(payload.dtype, np.number):
-            raise InvalidRequest(
-                f"request dtype {payload.dtype} is not numeric")
-        if payload.size == 0:
-            raise InvalidRequest("request payload is empty")
-        if np.issubdtype(payload.dtype, np.floating) and not np.all(np.isfinite(payload)):
-            raise InvalidRequest(
-                "request payload contains non-finite values (NaN/inf)")
+        validate_payload(payload)
 
     def _admit(self) -> None:
         """Admission control: acquire one unit of queue capacity or raise."""
@@ -396,6 +468,21 @@ class InferenceServer:
                 deadline_ms: Optional[float] = None) -> InferenceResult:
         """Synchronous submission: enqueue and wait for the result."""
         return self.submit(request, deadline_ms=deadline_ms).result(timeout=timeout)
+
+    # -------------------------------------------------------------- #
+    # Health / load, cheap enough for a router's per-request hot path
+    # -------------------------------------------------------------- #
+    @property
+    def state(self) -> str:
+        """``"healthy"`` | ``"degraded"`` (crash recovery in progress) |
+        ``"failed"`` (restart budget exhausted, refusing work)."""
+        return self._state
+
+    @property
+    def queue_depth(self) -> int:
+        """Unresolved requests currently held (queued, batched, or retrying)."""
+        with self._stats_lock:
+            return self._inflight
 
     # -------------------------------------------------------------- #
     # Lifecycle
@@ -788,12 +875,12 @@ class InferenceServer:
     # -------------------------------------------------------------- #
     # Accounting
     # -------------------------------------------------------------- #
-    def stats(self) -> dict:
+    def stats(self) -> ServerStats:
         """Request/batch counts, robustness counters, and throughput since
         start; latency and batch-size aggregates over the most recent
         :data:`STATS_WINDOW`."""
         with self._stats_lock:
-            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            latencies = list(self._latencies_ms)
             batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
             completed = self._completed
             batches = self._batches
@@ -811,18 +898,21 @@ class InferenceServer:
                 "engine_restarts": self._engine_restarts,
             }
         wall = (last - first) if (first is not None and last is not None) else None
-        return {
-            "state": self._state,
-            "requests": completed,
-            "batches": batches,
-            "mean_batch_size": float(batch_sizes.mean()) if batch_sizes.size else float("nan"),
-            "latency_ms_mean": float(latencies.mean()) if latencies.size else float("nan"),
-            "latency_ms_p50": float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
-            "latency_ms_p95": float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
-            "latency_ms_p99": float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
-            "throughput_rps": (completed / wall) if wall and wall > 0 else float("nan"),
+        mean, p50, p95, p99 = _percentiles(latencies)
+        return ServerStats(
+            state=self._state,
+            requests=completed,
+            batches=batches,
+            mean_batch_size=float(batch_sizes.mean()) if batch_sizes.size else float("nan"),
+            latency_ms_mean=mean,
+            latency_ms_p50=p50,
+            latency_ms_p95=p95,
+            latency_ms_p99=p99,
+            throughput_rps=(completed / wall) if wall and wall > 0 else float("nan"),
+            worker_respawns=getattr(self.engine, "respawns", 0),
+            oversized_transfers=getattr(self.engine, "oversized_transfers", 0),
             **counters,
-        }
+        )
 
 
 class _ServerFailed(Exception):

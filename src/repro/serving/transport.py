@@ -1,0 +1,207 @@
+"""Shared-memory slot rings: zero-copy array transfer between processes.
+
+The sharded serving tier (:mod:`repro.serving.cluster`) moves request and
+response batches between the front-end process and its engine workers.
+Pickling a NumPy array over a ``multiprocessing`` pipe serializes every byte
+twice (once into the pickle buffer, once through the OS pipe); for a
+32-request CNN batch that is ~400 KiB per direction per batch, all of it
+copied through kernel space.  A :class:`ShmRing` instead places the array
+bytes directly into a ``multiprocessing.shared_memory`` segment both
+processes have mapped: the producer does one ``memcpy`` into a free slot,
+sends a tiny control header (slot index, shape, dtype -- a few dozen bytes)
+over the pipe, and the consumer reads the payload as a NumPy *view* of the
+mapped buffer -- no serialization, no second copy, no kernel transit for
+the bulk data.
+
+Design notes:
+
+* **Slots, not a byte stream.**  The segment is divided into fixed-size
+  slots.  Each in-flight array occupies one slot; slot lifetime is managed
+  by the *producer* side (:meth:`ShmRing.acquire` / :meth:`ShmRing.release`)
+  and release is driven by the peer's control messages ("I am done with
+  slot k").  This keeps the shared segment free of any cross-process
+  mutable state -- the control pipe is the only synchronization channel,
+  so the usual lock-free-shared-memory hazards never arise.
+* **Oversized payloads fall back to the pipe.**  An array larger than one
+  slot cannot be staged in the ring; callers check :meth:`ShmRing.fits`
+  and send such payloads pickled over the control pipe instead (counted by
+  the caller, see ``ServerStats.oversized_transfers``).  Correctness never
+  depends on the slot size; only the zero-copy fast path does.
+* **The creator owns the segment.**  The process that builds the ring
+  (``create=True``) is responsible for ``unlink()``; peers attach with
+  :meth:`ShmRing.attach` via :func:`attach_shared_memory`, which avoids
+  taking ``resource_tracker`` ownership of segments the front end still
+  owns (``track=False`` on 3.13+; plain attach on 3.11/3.12, where spawn
+  children share the owner's tracker and duplicate registrations dedupe).
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TransportError", "ShmRing", "attach_shared_memory"]
+
+
+class TransportError(RuntimeError):
+    """Misuse of the shared-memory transport (bad slot, closed ring, ...)."""
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without taking tracker ownership.
+
+    On CPython 3.13+ this is the official ``track=False`` parameter: the
+    attach leaves no ``resource_tracker`` trace at all.  On 3.11/3.12 every
+    attach REGISTERs the name with the resource tracker; because cluster
+    workers are ``spawn`` children they share the *parent's* tracker
+    process, whose name cache is a set -- the duplicate REGISTER dedupes,
+    and the owner's unlink-time UNREGISTER clears the single entry.  What
+    must be avoided is an extra child-side ``unregister``: two UNREGISTERs
+    for one entry make the shared tracker log ``KeyError`` tracebacks at
+    shutdown.  So the fallback is a plain attach, and single-owner cleanup
+    semantics hold on every supported version.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter (see docstring)
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmRing:
+    """A fixed-slot shared-memory ring for one direction of array traffic.
+
+    One side *creates* the ring (and later unlinks it); the peer *attaches*
+    by name.  Whichever side produces arrays into the ring manages the free
+    list: ``acquire()`` a slot, ``write()`` the array, ship the slot index
+    in a control message, and ``release()`` the slot when the peer reports
+    it is done.  The consumer side only ever calls :meth:`view`.
+
+    The ring itself is intentionally dumb: it holds no cursors or flags in
+    shared memory, so a peer dying at any point cannot corrupt it -- the
+    owner just resets its local free list (:meth:`reset`) and carries on
+    (or tears the ring down and builds a fresh one).
+    """
+
+    def __init__(self, slot_size: int, num_slots: int,
+                 name: Optional[str] = None, create: bool = True):
+        if slot_size < 1 or num_slots < 1:
+            raise TransportError(
+                f"ring needs positive slot_size/num_slots, got {slot_size}/{num_slots}")
+        self.slot_size = int(slot_size)
+        self.num_slots = int(num_slots)
+        if create:
+            name = name or f"repro_ring_{secrets.token_hex(8)}"
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=self.slot_size * self.num_slots)
+        else:
+            self._shm = attach_shared_memory(name)
+            if self._shm.size < self.slot_size * self.num_slots:
+                self._shm.close()
+                raise TransportError(
+                    f"segment {name} is {self._shm.size} bytes, smaller than "
+                    f"{num_slots} x {slot_size}")
+        self._owner = create
+        self._free: List[int] = list(range(self.num_slots))
+        self._closed = False
+
+    @classmethod
+    def attach(cls, name: str, slot_size: int, num_slots: int) -> "ShmRing":
+        """Attach to a ring created by the peer (no unlink responsibility)."""
+        return cls(slot_size, num_slots, name=name, create=False)
+
+    # ----------------------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a payload of ``nbytes`` fits in one slot."""
+        return nbytes <= self.slot_size
+
+    def acquire(self) -> Optional[int]:
+        """Take a free slot (producer side); ``None`` when the ring is full."""
+        if self._closed:
+            raise TransportError("ring is closed")
+        if not self._free:
+            return None
+        return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free list (producer side, peer-acknowledged)."""
+        if not 0 <= slot < self.num_slots:
+            raise TransportError(f"slot {slot} out of range [0, {self.num_slots})")
+        if slot in self._free:
+            raise TransportError(f"slot {slot} released twice")
+        self._free.append(slot)
+
+    def reset(self) -> None:
+        """Forget all outstanding slots (after the peer died mid-transfer)."""
+        self._free = list(range(self.num_slots))
+
+    # ----------------------------------------------------------------- #
+    def write(self, slot: int, array: np.ndarray) -> Tuple[Tuple[int, ...], str]:
+        """Copy ``array`` into ``slot``; returns the ``(shape, dtype)`` header.
+
+        This is the single ``memcpy`` of the transfer: the bytes land
+        directly in the shared mapping the peer will view.
+        """
+        if self._closed:
+            raise TransportError("ring is closed")
+        array = np.ascontiguousarray(array)
+        if array.nbytes > self.slot_size:
+            raise TransportError(
+                f"array of {array.nbytes} bytes exceeds the {self.slot_size}-byte slot")
+        offset = slot * self.slot_size
+        staged = np.ndarray(array.shape, dtype=array.dtype,
+                            buffer=self._shm.buf[offset:offset + array.nbytes])
+        np.copyto(staged, array)
+        return tuple(array.shape), array.dtype.str
+
+    def view(self, slot: int, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+        """A zero-copy NumPy view of the array staged in ``slot``.
+
+        The view is only valid until the producer reuses the slot; callers
+        that keep the data past their acknowledgement must copy.
+        """
+        if self._closed:
+            raise TransportError("ring is closed")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes > self.slot_size:
+            raise TransportError(
+                f"header describes {nbytes} bytes, larger than a {self.slot_size}-byte slot")
+        offset = slot * self.slot_size
+        return np.ndarray(shape, dtype=dtype,
+                          buffer=self._shm.buf[offset:offset + nbytes])
+
+    # ----------------------------------------------------------------- #
+    def close(self) -> None:
+        """Unmap the segment; the owner also unlinks it from the system."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked (double close race)
+                pass
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # belt and braces; explicit close() is the contract
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            pass

@@ -434,3 +434,51 @@ class TestLifecycleRaces:
             server.close()  # join re-raises with the worker's traceback
         with pytest.raises(ServerClosed):
             server.submit(rng.standard_normal(32))
+
+
+class TestWorkerExitFault:
+    """The worker_exit fault: hard process death, scheduled deterministically.
+
+    In-process tests must not actually die, so they inject a recording
+    ``exit_hook``; the cluster suite (``test_cluster.py``) runs the same
+    fault with the real ``os._exit`` inside a worker process.
+    """
+
+    def test_scheduled_exit_runs_hook_with_exit_code(self):
+        recorded = []
+        plan = FaultPlan(exit_calls=(1,), exit_code=17)
+        engine = FaultInjectingEngine(make_engine(), plan,
+                                      exit_hook=recorded.append)
+        batch = np.zeros((2, 32))
+        engine.predict(batch)  # call 0: clean
+        with pytest.raises(EngineCrash, match="injected worker exit at call 1"):
+            engine.predict(batch)
+        assert recorded == [17]
+        assert engine.log.worker_exits == 1
+        # Unlike a crash fault, an exit leaves no sticky down state in the
+        # wrapper -- a real exit destroys the process, and a hooked one
+        # must not wedge the engine for later calls.
+        engine.predict(batch)
+        assert engine.log.calls == 3
+
+    def test_rate_based_exit_is_deterministic(self):
+        def exits_for(seed):
+            plan = FaultPlan(seed=seed, exit_rate=0.3)
+            engine = FaultInjectingEngine(make_engine(), plan,
+                                          exit_hook=lambda code: None)
+            fired = []
+            for index in range(20):
+                try:
+                    engine.predict(np.zeros((1, 32)))
+                except EngineCrash:
+                    fired.append(index)
+            return fired
+
+        first, second = exits_for(5), exits_for(5)
+        assert first == second  # same seed, same schedule
+        assert first  # 20 calls at 30%: some exits certainly fired
+        assert exits_for(6) != first  # different seed, different schedule
+
+    def test_exit_rate_validated(self):
+        with pytest.raises(ValueError, match="exit_rate"):
+            FaultPlan(exit_rate=1.5)

@@ -1,0 +1,158 @@
+"""Open-loop load generator: arrival process, accounting, and honesty
+(latency from scheduled arrival, failures counted, nothing lost)."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serving import FamilyLoad, LoadReport, OpenLoopGenerator, poisson_arrivals
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_fixed_seed(self):
+        a = poisson_arrivals(200.0, 1.0, seed=3)
+        b = poisson_arrivals(200.0, 1.0, seed=3)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, poisson_arrivals(200.0, 1.0, seed=4))
+
+    def test_rate_and_window(self):
+        offsets = poisson_arrivals(1000.0, 2.0, seed=0)
+        assert offsets[0] >= 0 and offsets[-1] < 2.0
+        assert np.all(np.diff(offsets) > 0)
+        # Poisson count concentrates around qps * duration = 2000.
+        assert 1700 < len(offsets) < 2300
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(100.0, -1.0)
+
+
+class TestFamilyLoad:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one payload"):
+            FamilyLoad(payloads=())
+        with pytest.raises(ValueError, match="weight"):
+            FamilyLoad(payloads=(np.zeros(4),), weight=0.0)
+
+
+def immediate_submit(calls):
+    """A fake server: records the call, resolves the future instantly."""
+
+    def submit(payload, model=None, deadline_ms=None):
+        calls.append((np.asarray(payload).shape, model, deadline_ms))
+        future = Future()
+        future.set_result(object())
+        return future
+
+    return submit
+
+
+class TestOpenLoopGenerator:
+    def test_counts_close_and_families_mix(self):
+        calls = []
+        mix = (FamilyLoad(payloads=(np.zeros(4),), model="a", weight=0.5),
+               FamilyLoad(payloads=(np.zeros(8),), model="b", weight=0.5))
+        report = OpenLoopGenerator(immediate_submit(calls), mix,
+                                   qps=400.0, duration_s=0.25, seed=1).run()
+        assert report.sent == len(calls) > 0
+        assert report.completed == report.sent and report.failed == 0
+        assert report.errors == ()
+        models = {model for _, model, _ in calls}
+        assert models == {"a", "b"}  # both families actually offered
+        assert report.goodput_rps > 0
+        assert report.latency_ms_p99 >= report.latency_ms_p50 >= 0
+
+    def test_deterministic_schedule_for_fixed_seed(self):
+        def shapes_for_run():
+            calls = []
+            OpenLoopGenerator(immediate_submit(calls),
+                              (FamilyLoad(payloads=(np.zeros(2), np.zeros(3)),
+                                          model="m"),),
+                              qps=300.0, duration_s=0.2, seed=9).run()
+            return [shape for shape, _, _ in calls]
+
+        assert shapes_for_run() == shapes_for_run()
+
+    def test_synchronous_rejections_counted_not_fatal(self):
+        attempts = [0]
+
+        def submit(payload):
+            attempts[0] += 1
+            if attempts[0] % 2 == 0:
+                raise RuntimeError("rejected at admission")
+            future = Future()
+            future.set_result(object())
+            return future
+
+        mix = (FamilyLoad(payloads=(np.zeros(4),)),)
+        report = OpenLoopGenerator(submit, mix, qps=300.0, duration_s=0.2,
+                                   seed=2).run()
+        assert report.sent == attempts[0]
+        assert report.failed == dict(report.errors)["RuntimeError"]
+        assert report.completed + report.failed == report.sent
+
+    def test_failed_futures_counted_by_error_type(self):
+        def submit(payload):
+            future = Future()
+            future.set_exception(TimeoutError("too slow"))
+            return future
+
+        mix = (FamilyLoad(payloads=(np.zeros(4),)),)
+        report = OpenLoopGenerator(submit, mix, qps=200.0, duration_s=0.2,
+                                   seed=3).run()
+        assert report.completed == 0
+        assert report.failed == report.sent
+        assert dict(report.errors) == {"TimeoutError": report.sent}
+
+    def test_latency_measured_from_scheduled_arrival(self):
+        """A future resolved late must show the full latency even though
+        the generator itself never blocked on it (open loop)."""
+        pending = []
+
+        def submit(payload):
+            future = Future()
+            pending.append(future)
+            return future
+
+        mix = (FamilyLoad(payloads=(np.zeros(2),)),)
+        generator = OpenLoopGenerator(submit, mix, qps=100.0, duration_s=0.15,
+                                      seed=4, drain_timeout_s=10.0)
+        resolver = threading.Timer(0.4, lambda: [f.set_result(object())
+                                                 for f in pending])
+        resolver.start()
+        try:
+            report = generator.run()
+        finally:
+            resolver.cancel()
+        assert report.completed == report.sent > 0
+        # The first request was scheduled near t=0 and resolved at t~0.4s:
+        # its latency must reflect that wait, not the submit overhead.
+        assert report.latency_ms_p99 >= 200.0
+
+    def test_unresolved_futures_counted_after_drain_timeout(self):
+        def submit(payload):
+            return Future()  # never resolves
+
+        mix = (FamilyLoad(payloads=(np.zeros(2),)),)
+        start = time.monotonic()
+        report = OpenLoopGenerator(submit, mix, qps=100.0, duration_s=0.1,
+                                   seed=5, drain_timeout_s=0.3).run()
+        assert time.monotonic() - start < 5.0  # bounded by drain timeout
+        assert report.completed == 0
+        assert dict(report.errors)["Unresolved"] == report.sent
+
+    def test_report_round_trips_to_dict(self):
+        report = LoadReport(offered_qps=1.0, duration_s=1.0, sent=1,
+                            completed=1, failed=0, goodput_rps=1.0,
+                            latency_ms_mean=1.0, latency_ms_p50=1.0,
+                            latency_ms_p95=1.0, latency_ms_p99=1.0,
+                            max_slip_ms=0.0, drain_s=0.0,
+                            errors=(("X", 2),))
+        rendered = report.as_dict()
+        assert rendered["errors"] == {"X": 2}
+        assert rendered["goodput_rps"] == 1.0

@@ -1,0 +1,178 @@
+"""Shared-memory transport edge cases: oversized payloads, peer death
+mid-transfer, and leak-free teardown (no stray ``/dev/shm`` segments,
+resource-tracker warnings promoted to errors)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serving import ShmRing, TransportError, attach_shared_memory
+
+SHM_DIR = Path("/dev/shm")
+
+
+def repro_ring_segments():
+    if not SHM_DIR.is_dir():  # non-Linux: nothing to inspect
+        return set()
+    return {entry for entry in os.listdir(SHM_DIR)
+            if entry.startswith("repro_ring_")}
+
+
+class TestSlotLifecycle:
+    def test_round_trip_is_bit_identical(self):
+        with ShmRing(slot_size=4096, num_slots=2) as ring:
+            payload = np.random.default_rng(0).standard_normal((8, 16))
+            slot = ring.acquire()
+            shape, dtype = ring.write(slot, payload)
+            assert np.array_equal(ring.view(slot, shape, dtype), payload)
+            ring.release(slot)
+
+    def test_acquire_exhaustion_returns_none(self):
+        with ShmRing(slot_size=64, num_slots=2) as ring:
+            slots = [ring.acquire(), ring.acquire()]
+            assert None not in slots
+            assert ring.acquire() is None  # full: caller falls back to pickle
+            ring.release(slots[0])
+            assert ring.acquire() == slots[0]
+
+    def test_double_release_and_bad_slot_rejected(self):
+        with ShmRing(slot_size=64, num_slots=2) as ring:
+            slot = ring.acquire()
+            ring.release(slot)
+            with pytest.raises(TransportError, match="released twice"):
+                ring.release(slot)
+            with pytest.raises(TransportError, match="out of range"):
+                ring.release(99)
+
+
+class TestOversizedPayloads:
+    def test_fits_and_write_reject_payloads_larger_than_a_slot(self):
+        with ShmRing(slot_size=128, num_slots=2) as ring:
+            big = np.zeros(1024, dtype=np.float64)  # 8 KiB >> 128 B slot
+            assert not ring.fits(big.nbytes)
+            slot = ring.acquire()
+            with pytest.raises(TransportError, match="exceeds"):
+                ring.write(slot, big)
+            # The slot survives the refused write and still serves payloads
+            # that do fit -- an oversized request must not poison the ring.
+            small = np.arange(16, dtype=np.float64)
+            shape, dtype = ring.write(slot, small)
+            assert np.array_equal(ring.view(slot, shape, dtype), small)
+
+    def test_view_rejects_header_larger_than_a_slot(self):
+        with ShmRing(slot_size=128, num_slots=1) as ring:
+            with pytest.raises(TransportError, match="larger than"):
+                ring.view(0, (1024,), "<f8")
+
+
+class TestPeerDeathMidTransfer:
+    def test_attacher_death_leaves_owner_ring_usable(self):
+        """A peer that dies holding in-flight slots must not corrupt the
+        ring: the owner resets its free list and keeps serving."""
+        owner = ShmRing(slot_size=256, num_slots=2)
+        try:
+            taken = [owner.acquire(), owner.acquire()]
+            owner.write(taken[0], np.arange(8, dtype=np.float64))
+            # Simulate the peer: attach, view, die without any release
+            # acknowledgement (its process just disappears).
+            code = (
+                "import sys; sys.path.insert(0, %r)\n"
+                "from repro.serving import ShmRing\n"
+                "import os\n"
+                "ring = ShmRing.attach(%r, 256, 2)\n"
+                "ring.view(%d, (8,), '<f8')\n"
+                "os._exit(9)\n"
+            ) % (str(Path(__file__).resolve().parents[2] / "src"),
+                 owner.name, taken[0])
+            process = subprocess.run([sys.executable, "-c", code], timeout=60)
+            assert process.returncode == 9
+            assert owner.free_slots == 0
+            owner.reset()  # owner's recovery path after a peer death
+            assert owner.free_slots == 2
+            slot = owner.acquire()
+            shape, dtype = owner.write(slot, np.full(4, 7.0))
+            assert np.array_equal(owner.view(slot, shape, dtype), np.full(4, 7.0))
+        finally:
+            owner.close()
+
+    def test_attach_validates_segment_size(self):
+        with ShmRing(slot_size=64, num_slots=2) as ring:
+            with pytest.raises(TransportError, match="smaller than"):
+                ShmRing.attach(ring.name, slot_size=64, num_slots=999)
+
+
+class TestCleanTeardown:
+    def test_close_unlinks_the_segment(self):
+        ring = ShmRing(slot_size=64, num_slots=1)
+        name = ring.name
+        assert name in repro_ring_segments() or not SHM_DIR.is_dir()
+        ring.close()
+        assert name not in repro_ring_segments()
+        ring.close()  # idempotent
+        with pytest.raises(TransportError, match="closed"):
+            ring.acquire()
+
+    def test_attacher_close_does_not_unlink(self):
+        owner = ShmRing(slot_size=64, num_slots=1)
+        try:
+            peer = ShmRing.attach(owner.name, 64, 1)
+            peer.close()
+            if SHM_DIR.is_dir():
+                assert owner.name in repro_ring_segments()
+            # The owner can still serve after the peer detached.
+            slot = owner.acquire()
+            shape, dtype = owner.write(slot, np.ones(3))
+            assert np.array_equal(owner.view(slot, shape, dtype), np.ones(3))
+        finally:
+            owner.close()
+        assert owner.name not in repro_ring_segments()
+
+    def test_full_lifecycle_is_warning_free(self):
+        """Run a create/attach/transfer/close cycle in a subprocess with
+        every warning promoted to an error and assert silence: no
+        resource_tracker 'leaked shared_memory' warnings, no KeyError
+        tracebacks from double-unregistration, no leftover segments."""
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        code = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "import numpy as np\n"
+            "from repro.serving import ShmRing\n"
+            "owner = ShmRing(slot_size=1024, num_slots=2)\n"
+            "peer = ShmRing.attach(owner.name, 1024, 2)\n"
+            "slot = owner.acquire()\n"
+            "shape, dtype = owner.write(slot, np.arange(32, dtype=np.float64))\n"
+            "assert np.array_equal(peer.view(slot, shape, dtype),\n"
+            "                      np.arange(32, dtype=np.float64))\n"
+            "owner.release(slot)\n"
+            "peer.close()\n"
+            "owner.close()\n"
+            "print('NAME=' + owner.name)\n"
+        )
+        process = subprocess.run(
+            [sys.executable, "-W", "error", "-c", code, src],
+            capture_output=True, text=True, timeout=60)
+        assert process.returncode == 0, process.stderr
+        assert process.stderr == ""  # tracker noise goes to stderr at exit
+        name = process.stdout.strip().removeprefix("NAME=")
+        assert name.startswith("repro_ring_")
+        assert name not in repro_ring_segments()
+
+
+class TestAttachHelper:
+    def test_attach_shared_memory_maps_existing_segment(self):
+        with ShmRing(slot_size=64, num_slots=1) as ring:
+            segment = attach_shared_memory(ring.name)
+            try:
+                assert segment.size >= 64
+            finally:
+                segment.close()
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(TransportError, match="positive"):
+            ShmRing(slot_size=0, num_slots=1)
+        with pytest.raises(TransportError, match="positive"):
+            ShmRing(slot_size=64, num_slots=0)
