@@ -49,8 +49,10 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import nn
+from repro import nn, observability
 from repro.core.bfp import BFPConfig
+from repro.observability import validate_chrome_trace, validate_prometheus_text
+from repro.observability.tracing import PIPELINE_STAGES
 from repro.models import MLP, mobilenet_v2, resnet20, tiny_yolo, transformer_small, vgg11
 from repro.nn.quantized import QuantizedConv2d, QuantizedLinear
 from repro.serving import (
@@ -90,6 +92,14 @@ CLUSTER_LOAD_LEVELS = (0.6, 1.25, 2.5)
 #: Ceiling on offered QPS: past this the single-threaded generator's own
 #: submit loop becomes the bottleneck and "offered load" stops being honest.
 CLUSTER_MAX_QPS = 6000.0
+#: Observability gate: with metrics + tracing enabled, serving throughput
+#: must stay at or above this fraction of the disabled-gate throughput
+#: (instrumentation may cost at most 5%).
+OBSERVABILITY_GATE = 0.95
+#: Trace sample rate used for the overhead measurement -- the documented
+#: production setting (every request still updates metrics; one in ten gets
+#: a full span timeline).
+OBSERVABILITY_SAMPLE_RATE = 0.1
 
 
 def usable_cpus() -> int:
@@ -337,6 +347,81 @@ def bench_degraded(num_requests: int, rng) -> dict:
         "engine_restarts": stats["engine_restarts"],
         "final_state": final_state,
         "faults_injected": faulty.log.as_dict(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Observability: what enabling metrics + tracing costs, and whether the
+# exported formats actually validate (Prometheus text, Chrome trace JSON).
+# --------------------------------------------------------------------------- #
+def bench_observability(num_requests: int, rng) -> dict:
+    """Instrumented-vs-bare serving throughput plus schema validation.
+
+    Runs the standard CNN workload through the batching server twice per
+    attempt -- observability gate off, then on (metrics + tracing at the
+    documented production sample rate) -- and gates on the throughput
+    ratio.  The ratio is taken best-of-3 (``bench_utils.best_of``): a noisy
+    host can make either run slower, and the gate should trip on real
+    instrumentation cost, not an unlucky time slice.  While the gate is on,
+    the Prometheus exposition and the exported Chrome trace are validated
+    against their schemas, including every in-process pipeline stage.
+    """
+    cap = FAMILY_BATCH_CAPS.get(STANDARD_CONFIG, DEFAULT_BATCH_CAP)
+    _, engine, input_shape = frozen_engine(STANDARD_CONFIG,
+                                           compute_dtype=np.float32)
+    requests = rng.standard_normal((num_requests,) + input_shape).astype(np.float32)
+    engine.warmup(requests[:1])
+    engine.warmup(requests[:cap])
+    batching = BatchingConfig(max_batch_size=cap, max_delay_ms=2.0)
+
+    def serve_once() -> float:
+        engine.reset_stats()
+        with InferenceServer(engine, batching, name="obs-bench") as server:
+            start = time.perf_counter()
+            futures = [server.submit(request) for request in requests]
+            for future in futures:
+                future.result(timeout=300)
+            return num_requests / (time.perf_counter() - start)
+
+    local_stages = tuple(s for s in PIPELINE_STAGES if s != "transport")
+    prometheus_samples = trace_events = 0
+
+    def measure() -> dict:
+        nonlocal prometheus_samples, trace_events
+        was_enabled = observability.set_enabled(False)
+        assert not was_enabled, "observability gate unexpectedly on"
+        observability.reset()
+        bare_rps = serve_once()
+        observability.set_enabled(True, sample_rate=OBSERVABILITY_SAMPLE_RATE)
+        try:
+            instrumented_rps = serve_once()
+            prometheus_samples = validate_prometheus_text(
+                observability.registry().render_prometheus())
+            trace_events = validate_chrome_trace(
+                observability.tracer().to_chrome(),
+                require_stages=local_stages)
+        finally:
+            observability.set_enabled(False)
+            observability.reset()
+        return {"bare_rps": bare_rps, "instrumented_rps": instrumented_rps,
+                "ratio": instrumented_rps / bare_rps}
+
+    best, attempts = best_of(
+        measure, attempts=3,
+        key=lambda result: result["ratio"],
+        good_enough=lambda ratio: ratio >= OBSERVABILITY_GATE,
+        label="observability overhead gate")
+    return {
+        "requests": num_requests,
+        "sample_rate": OBSERVABILITY_SAMPLE_RATE,
+        "bare_rps": best["bare_rps"],
+        "instrumented_rps": best["instrumented_rps"],
+        "ratio": best["ratio"],
+        "gate": OBSERVABILITY_GATE,
+        "attempts": len(attempts),
+        "prometheus_samples": prometheus_samples,
+        "trace_events": trace_events,
+        "schemas": "pass",
     }
 
 
@@ -616,6 +701,19 @@ def main(argv=None) -> int:
     print("degraded-mode gate: PASS (request accounting closed, crash recovered, "
           f"{degraded['successes']}/{degraded['requests']} served)")
 
+    # Observability: instrumentation overhead + exported-format validation.
+    obs = bench_observability(num_requests, rng)
+    print_rows(
+        ["bare (req/s)", "instrumented (req/s)", "ratio", "sample rate",
+         "prom samples", "trace events"],
+        [(f"{obs['bare_rps']:.0f}", f"{obs['instrumented_rps']:.0f}",
+          f"{obs['ratio']:.3f}", f"{obs['sample_rate']:.2f}",
+          str(obs['prometheus_samples']), str(obs['trace_events']))],
+        title=(f"Observability overhead ({STANDARD_CONFIG}, {num_requests} "
+               "requests; metrics + tracing vs. disabled gate)"))
+    print("observability schemas: PASS (Prometheus exposition and Chrome "
+          "trace JSON validated, all in-process pipeline stages present)")
+
     # Sharded tier: 1/2/4 worker processes, open-loop Poisson traffic.
     print_banner("Sharded serving tier: open-loop goodput vs. offered load")
     cluster = bench_cluster(num_requests, duration_s=1.2 if args.quick else 2.5,
@@ -664,6 +762,7 @@ def main(argv=None) -> int:
         "storage_standard": storage,
         "results": results,
         "degraded": degraded,
+        "observability": obs,
         "cluster": cluster,
         "gate_attempts": gate_attempts,
     }
@@ -677,6 +776,15 @@ def main(argv=None) -> int:
           f"{gate_attempts} measurement{'s' if gate_attempts > 1 else ''})")
     if standard["speedup"] < SPEEDUP_GATE:
         print("FAIL: batched serving speedup below the gate", file=sys.stderr)
+        return 1
+
+    print(f"observability overhead: instrumented serving at {obs['ratio']:.3f}x "
+          f"the bare throughput (gate {OBSERVABILITY_GATE:.2f}x, best of "
+          f"{obs['attempts']} measurement{'s' if obs['attempts'] > 1 else ''})")
+    if obs["ratio"] < OBSERVABILITY_GATE:
+        print("FAIL: observability instrumentation costs more than "
+              f"{(1 - OBSERVABILITY_GATE):.0%} of serving throughput",
+              file=sys.stderr)
         return 1
 
     gate = cluster["gate"]

@@ -100,6 +100,11 @@ def summarize_serving(report: dict) -> dict:
                         "rps", "shed_rate", "failure_rate", "requeues",
                         "engine_restarts", "final_state")
         } if (degraded := report.get("degraded")) else None,
+        "observability": {
+            key: obs.get(key)
+            for key in ("bare_rps", "instrumented_rps", "ratio", "gate",
+                        "sample_rate", "prometheus_samples", "trace_events")
+        } if (obs := report.get("observability")) else None,
         "cluster": {
             "cpus": cluster.get("cpus"),
             "capacity_single_rps": cluster.get("capacity_single_rps"),

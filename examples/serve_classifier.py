@@ -10,9 +10,14 @@ Walks the full inference lifecycle the `repro.serving` subsystem provides:
    compare one-at-a-time submission against concurrent submission,
 5. (with `--workers N`) scale out: serve the same checkpoint through a
    `ShardedServer` of N worker processes with shared-memory batch transport
-   and open-loop Poisson traffic.
+   and open-loop Poisson traffic,
+6. (with `--trace out.json`) record the whole serving run through the
+   observability layer: sampled per-request span timelines exported as
+   Chrome trace-event JSON (open in Perfetto / chrome://tracing) plus a
+   Prometheus-style metrics summary.
 
-Run with:  PYTHONPATH=src python examples/serve_classifier.py [--workers N]
+Run with:  PYTHONPATH=src python examples/serve_classifier.py \
+               [--workers N] [--trace out.json]
 """
 
 import argparse
@@ -20,7 +25,7 @@ import time
 
 import numpy as np
 
-from repro import nn, serving
+from repro import nn, observability, serving
 from repro.core import BFPConfig
 from repro.data import DataLoader, SyntheticImageDataset
 from repro.nn.quantized import QuantizedConv2d, QuantizedLinear
@@ -48,8 +53,16 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=0,
                         help="also serve through a ShardedServer of N worker "
                              "processes (0 = in-process serving only)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="enable the observability layer and export the "
+                             "serving run as Chrome trace-event JSON to PATH "
+                             "(viewable in Perfetto / chrome://tracing)")
     args = parser.parse_args()
     rng = np.random.default_rng(0)
+    if args.trace:
+        # Trace every request: the demo serves ~a hundred requests, so a
+        # full sample still yields a small, viewer-friendly file.
+        observability.set_enabled(True, sample_rate=1.0)
 
     section("1. Train a quantized classifier")
     dataset = SyntheticImageDataset(num_samples=192, num_classes=4, image_size=32, seed=1)
@@ -136,6 +149,21 @@ def main() -> None:
               f"{report.latency_ms_p50:.1f} ms, p99 {report.latency_ms_p99:.1f} ms")
         print(f"  per-shard requests: {[s.requests for s in stats.shards]}; "
               "batches crossed the process boundary through shared-memory rings")
+
+    if args.trace:
+        section("Trace export")
+        tracer = observability.tracer()
+        trace_path = tracer.export(args.trace)
+        registry = observability.registry()
+        requests_served = sum(
+            metric["value"] for metric in registry.snapshot()["metrics"]
+            if metric["name"] == "serving_requests_total")
+        print(f"  {len(tracer)} span(s) -> {trace_path} "
+              "(open in Perfetto or chrome://tracing)")
+        print(f"  metrics registry counted {requests_served:.0f} served "
+              f"request(s); Prometheus exposition spans "
+              f"{len(registry.render_prometheus().splitlines())} lines")
+        observability.set_enabled(False)
 
 
 if __name__ == "__main__":

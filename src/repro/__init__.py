@@ -19,9 +19,22 @@ Package layout (see DESIGN.md for the full system inventory):
   training time/energy model.
 * :mod:`repro.analysis`  -- exponent statistics, sensitivity sweeps, report
   rendering.
+* :mod:`repro.observability` -- metrics registry (Prometheus/JSON export),
+  sampled request tracing (Chrome trace events), kernel profiling hooks.
 """
 
-from . import analysis, core, data, formats, hardware, models, nn, serving, training
+from . import (
+    analysis,
+    core,
+    data,
+    formats,
+    hardware,
+    models,
+    nn,
+    observability,
+    serving,
+    training,
+)
 from .core import BFPConfig, BFPTensor, bfp_quantize, bfp_quantize_tensor, relative_improvement
 from .formats import get_format
 from .training import ClassificationTrainer, FASTSchedule, build_schedule
@@ -38,6 +51,7 @@ __all__ = [
     "serving",
     "hardware",
     "analysis",
+    "observability",
     "BFPConfig",
     "BFPTensor",
     "bfp_quantize",

@@ -27,6 +27,7 @@ golden model for the equivalence tests and the baseline for
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Optional
 
@@ -36,6 +37,7 @@ from .rounding import RoundingMode, VALID_MODES, apply_rounding, draw_noise
 
 __all__ = [
     "MIN_EXPONENT",
+    "set_profiler",
     "GroupedLayout",
     "LayoutCache",
     "default_layout_cache",
@@ -55,6 +57,22 @@ __all__ = [
 #: Exponent assigned to all-zero groups.  Matches the smallest normal FP32
 #: exponent so that zero groups never dominate the shared-exponent window.
 MIN_EXPONENT = -126
+
+#: Observability hook.  ``None`` (the default) keeps the hot paths on their
+#: pre-existing code path: the instrumented kernels do one global load and
+#: one ``is not None`` branch, allocating nothing.  Installed/removed by
+#: :mod:`repro.observability` -- this module never imports observability.
+_PROFILER = None
+
+
+def set_profiler(profiler) -> object:
+    """Install (or with ``None`` remove) the kernel profiler; returns the
+    previous one.  ``profiler`` needs one method:
+    ``record(kernel, seconds, elements)``."""
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
 
 
 # --------------------------------------------------------------------------- #
@@ -342,6 +360,8 @@ def quantize_groups(
     float32 and float64 alike, so the result is bit-identical to the float64
     reference.
     """
+    profiler = _PROFILER
+    start = time.perf_counter() if profiler is not None else 0.0
     if rounding not in VALID_MODES:
         raise ValueError(f"unknown rounding mode {rounding!r}; expected one of {VALID_MODES}")
     groups = np.asarray(groups)
@@ -397,6 +417,9 @@ def quantize_groups(
         quantized = magnitudes
     else:
         quantized = np.ldexp(magnitudes, np.negative(shift), out=magnitudes)
+    if profiler is not None:
+        profiler.record("quantize_groups", time.perf_counter() - start,
+                        quantized.size)
     return quantized, signs, mantissas
 
 
@@ -419,6 +442,8 @@ def bfp_quantize_fast(
     same-shaped tensors -- the per-iteration W/A/G pattern of training --
     skip layout re-derivation and reuse the padded-grouping workspace.
     """
+    profiler = _PROFILER
+    start = time.perf_counter() if profiler is not None else 0.0
     x = np.asarray(x)
     original_dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
     groups, pad, moved_shape = resolve_groups(x, group_size, axis=axis, layout=layout)
@@ -430,7 +455,11 @@ def bfp_quantize_fast(
         rng=rng, noise_bits=noise_bits, magnitudes=magnitudes, group_max=group_max,
     )
     result = ungroup_values_reference(quantized, pad, moved_shape, axis=axis)
-    return result.reshape(x.shape).astype(original_dtype, copy=False)
+    result = result.reshape(x.shape).astype(original_dtype, copy=False)
+    if profiler is not None:
+        profiler.record("bfp_quantize_fast", time.perf_counter() - start,
+                        result.size)
+    return result
 
 
 # --------------------------------------------------------------------------- #

@@ -15,6 +15,7 @@ hooks used by the fake-quantized training substrate:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
@@ -43,7 +44,22 @@ __all__ = [
     "clear_im2col_cache",
     "conv_fast_path_enabled",
     "set_conv_fast_path_enabled",
+    "set_profiler",
 ]
+
+#: Observability hook, same contract as ``repro.core.kernels._PROFILER``:
+#: ``None`` keeps the GEMM/im2col hot paths on their pre-existing code path
+#: (one global load + branch, zero allocations); installed/removed by
+#: :mod:`repro.observability`.
+_PROFILER = None
+
+
+def set_profiler(profiler) -> object:
+    """Install (or with ``None`` remove) the profiler; returns the previous."""
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
 
 #: When enabled (default), convolution forward/backward products run through
 #: BLAS ``matmul`` instead of ``np.einsum`` and ``col2im`` scatters through a
@@ -160,8 +176,13 @@ def _gather_patches(x: np.ndarray, k, i, j, padding: int) -> np.ndarray:
 
 def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int) -> np.ndarray:
     """Rearrange image patches into columns: output (N, C*kh*kw, out_h*out_w)."""
+    profiler = _PROFILER
+    start = time.perf_counter() if profiler is not None else 0.0
     k, i, j, _, _ = im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
-    return _gather_patches(x, k, i, j, padding)
+    cols = _gather_patches(x, k, i, j, padding)
+    if profiler is not None:
+        profiler.record("im2col", time.perf_counter() - start, cols.size)
+    return cols
 
 
 _SCATTER_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
@@ -269,6 +290,8 @@ def _conv2d_forward(
     columns gives exactly the per-group blocks (the depthwise case,
     ``Og=1, F=k*k``, is pathological for a per-slice loop).
     """
+    profiler = _PROFILER
+    start = time.perf_counter() if profiler is not None else 0.0
     batch = x_data.shape[0]
     out_channels, in_per_group, kernel_h, kernel_w = weight_data.shape
     k, i, j, out_h, out_w = im2col_indices(x_data.shape, kernel_h, kernel_w, stride, padding)
@@ -319,7 +342,11 @@ def _conv2d_forward(
         out_data = out_data.reshape(batch, out_channels, -1)
     if bias_data is not None:
         out_data = out_data + bias_data.reshape(1, -1, 1)
-    return out_data.reshape(batch, out_channels, out_h, out_w), cols, out_h, out_w
+    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
+    if profiler is not None:
+        profiler.record("conv2d_forward", time.perf_counter() - start,
+                        out_data.size)
+    return out_data, cols, out_h, out_w
 
 
 def conv2d_infer(
@@ -645,9 +672,13 @@ def one_hot(indices: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarr
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine transform ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    profiler = _PROFILER
+    start = time.perf_counter() if profiler is not None else 0.0
     out = as_tensor(x) @ as_tensor(weight).swapaxes(-1, -2)
     if bias is not None:
         out = out + bias
+    if profiler is not None:
+        profiler.record("linear", time.perf_counter() - start, out.data.size)
     return out
 
 

@@ -1,0 +1,542 @@
+"""Thread-safe metrics primitives: counters, gauges, log-bucket histograms.
+
+The serving tier needs latency percentiles over millions of requests
+without retaining samples.  :class:`LatencyHistogram` keeps a fixed set of
+geometrically-spaced buckets (``per_decade`` buckets per decade, so the
+bucket width bounds the relative quantile error at ``10**(1/per_decade)-1``
+~= 15% worst-case and far less in practice with intra-bucket
+interpolation), plus exact ``count``/``sum``/``min``/``max`` so the mean is
+exact.  Histograms merge by adding bucket counts, which is what makes
+cross-process aggregation (worker deltas piggybacked on the control pipe)
+and windowless long-running stats possible in O(buckets) memory.
+
+:class:`MetricsRegistry` is the process-wide container: get-or-create
+metrics by ``(name, labels)``, snapshot everything as JSON-ready dicts,
+render the Prometheus text exposition format, and ship/apply *deltas* --
+each metric remembers what was last collected, so a worker can send only
+the increments since its previous reply and the parent applies them
+additively (a respawned worker restarts from zero and its deltas keep
+adding up; nothing is lost or double-counted).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "log_buckets",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "validate_prometheus_text",
+]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def log_buckets(lo: float = 1e-2, hi: float = 1e5,
+                per_decade: int = 16) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds from ``lo`` to at least ``hi``.
+
+    Consecutive bounds differ by the factor ``10**(1/per_decade)``; a
+    quantile estimated by intra-bucket interpolation is therefore within
+    one bucket width (``factor - 1`` relative) of the exact sample
+    percentile.  The defaults cover 10 us .. 100 s when the unit is
+    milliseconds, in 112 buckets.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    steps = int(math.ceil(round(math.log10(hi / lo) * per_decade, 9)))
+    return tuple(lo * 10.0 ** (i / per_decade) for i in range(steps + 1))
+
+
+DEFAULT_LATENCY_BUCKETS_MS = log_buckets()
+
+
+def _check_name(name: str) -> str:
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_items(labels: dict) -> LabelItems:
+    for key in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def _render_labels(items: LabelItems) -> str:
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape_label_value(value)}"'
+                    for key, value in items)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Common identity (name + sorted label items) and lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: LabelItems, help: str = ""):
+        self.name = _check_name(name)
+        self.labels = labels
+        self.help = help
+        self._lock = threading.Lock()
+
+    @property
+    def key(self) -> Tuple[str, LabelItems]:
+        return (self.name, self.labels)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value (use ``*_total`` names)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = (), help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+        self._collected = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def collect_delta(self) -> Optional[float]:
+        with self._lock:
+            delta = self._value - self._collected
+            self._collected = self._value
+        return delta if delta else None
+
+    def apply_delta(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, workers alive)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = (), help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+        self._collected: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def collect_delta(self) -> Optional[float]:
+        # Gauges are last-write-wins: ship the value whenever it changed.
+        with self._lock:
+            if self._value == self._collected:
+                return None
+            self._collected = self._value
+            return self._value
+
+    def apply_delta(self, value: float) -> None:
+        self.set(value)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "type": self.kind,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class LatencyHistogram(_Metric):
+    """Fixed log-scale buckets: p50/p95/p99 without retaining samples."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str = "latency_ms", labels: LabelItems = (),
+                 help: str = "",
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS):
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in buckets)
+        if len(bounds) < 2 or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("buckets must be at least 2 increasing bounds")
+        self.bounds = bounds
+        # counts has one extra slot: the overflow bucket above bounds[-1].
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._collected_counts = [0] * (len(bounds) + 1)
+        self._collected_sum = 0.0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._counts[bisect_right(self.bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else float("nan")
+
+    # ------------------------------------------------------------------ #
+    def _bucket_edges(self, index: int) -> Tuple[float, float]:
+        """(lower, upper) value range of bucket ``index``, clamped to the
+        observed min/max so interpolation never extrapolates."""
+        if index == 0:
+            lo, hi = -math.inf, self.bounds[0]
+        elif index == len(self.bounds):
+            lo, hi = self.bounds[-1], math.inf
+        else:
+            lo, hi = self.bounds[index - 1], self.bounds[index]
+        lo = max(lo, self._min)
+        hi = min(hi, self._max)
+        return lo, max(hi, lo)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by linear interpolation in-bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return float("nan")
+            target = max(q * self._count, 1.0)
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if not bucket_count:
+                    continue
+                if cumulative + bucket_count >= target:
+                    lo, hi = self._bucket_edges(index)
+                    fraction = (target - cumulative) / bucket_count
+                    return lo + (hi - lo) * fraction
+                cumulative += bucket_count
+            return self._max  # unreachable unless float fuzz; be safe
+
+    def percentiles(self, qs: Sequence[float] = (0.50, 0.95, 0.99),
+                    ) -> Tuple[float, ...]:
+        return tuple(self.quantile(q) for q in qs)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name, "type": self.kind,
+                "labels": dict(self.labels),
+                "count": self._count, "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "counts": list(self._counts),
+            }
+
+    def merge_dict(self, payload: dict) -> None:
+        counts = payload["counts"]
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram layout mismatch: {len(counts)} buckets vs "
+                f"{len(self._counts)}")
+        with self._lock:
+            for index, extra in enumerate(counts):
+                self._counts[index] += extra
+            self._count += payload["count"]
+            self._sum += payload["sum"]
+            if payload.get("min") is not None:
+                self._min = min(self._min, payload["min"])
+            if payload.get("max") is not None:
+                self._max = max(self._max, payload["max"])
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        self.merge_dict(other.to_dict())
+
+    def collect_delta(self) -> Optional[dict]:
+        with self._lock:
+            delta_count = self._count - sum(self._collected_counts)
+            if not delta_count:
+                return None
+            counts = [now - then for now, then
+                      in zip(self._counts, self._collected_counts)]
+            delta = {
+                "count": delta_count,
+                "sum": self._sum - self._collected_sum,
+                "min": self._min, "max": self._max,
+                "counts": counts,
+            }
+            self._collected_counts = list(self._counts)
+            self._collected_sum = self._sum
+        return delta
+
+    def apply_delta(self, delta: dict) -> None:
+        self.merge_dict(delta)
+
+
+class MetricsRegistry:
+    """Process-wide, thread-safe container of named metrics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelItems], _Metric] = {}
+
+    # ------------------------------------------------------------------ #
+    def _get_or_create(self, cls, name: str, labels: dict, help: str,
+                       **kwargs) -> _Metric:
+        key = (name, _label_items(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], help=help, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+                  **labels) -> LatencyHistogram:
+        return self._get_or_create(LatencyHistogram, name, labels, help,
+                                   buckets=buckets)
+
+    def get(self, name: str, **labels) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get((name, _label_items(labels)))
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every metric (histograms include buckets)."""
+        return {"metrics": [metric.to_dict() for metric in self.metrics()]}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        by_name: Dict[str, List[_Metric]] = {}
+        for metric in self.metrics():
+            by_name.setdefault(metric.name, []).append(metric)
+        for name in sorted(by_name):
+            family = by_name[name]
+            help_text = next((m.help for m in family if m.help), "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {family[0].kind}")
+            for metric in family:
+                if isinstance(metric, LatencyHistogram):
+                    lines.extend(self._render_histogram(metric))
+                else:
+                    lines.append(f"{name}{_render_labels(metric.labels)} "
+                                 f"{_format_value(metric.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    @staticmethod
+    def _render_histogram(hist: LatencyHistogram) -> List[str]:
+        state = hist.to_dict()
+        lines = []
+        cumulative = 0
+        for bound, bucket_count in zip(hist.bounds, state["counts"]):
+            cumulative += bucket_count
+            items = hist.labels + (("le", _format_value(bound)),)
+            lines.append(f"{hist.name}_bucket{_render_labels(items)} "
+                         f"{cumulative}")
+        items = hist.labels + (("le", "+Inf"),)
+        lines.append(f"{hist.name}_bucket{_render_labels(items)} "
+                     f"{state['count']}")
+        lines.append(f"{hist.name}_sum{_render_labels(hist.labels)} "
+                     f"{_format_value(state['sum'])}")
+        lines.append(f"{hist.name}_count{_render_labels(hist.labels)} "
+                     f"{state['count']}")
+        return lines
+
+    # ------------------------------------------------------------------ #
+    def collect_delta(self) -> Optional[dict]:
+        """Increments since the last collect, or ``None`` if nothing moved.
+
+        The payload is small, picklable, and additive: apply it to any
+        registry (usually in another process) with :meth:`apply_delta`.
+        """
+        entries = []
+        for metric in self.metrics():
+            delta = metric.collect_delta()
+            if delta is None:
+                continue
+            entries.append((metric.name, metric.labels, metric.kind, delta))
+        return {"entries": entries} if entries else None
+
+    def apply_delta(self, payload: dict,
+                    extra_labels: Optional[dict] = None) -> None:
+        """Apply a :meth:`collect_delta` payload, optionally re-labelled.
+
+        ``extra_labels`` (e.g. ``{"shard": "0", "model": "cnn"}``) are
+        merged into every entry's labels so a parent can aggregate many
+        workers into one registry with a per-worker breakdown.
+        """
+        extra = _label_items(extra_labels or {})
+        for name, labels, kind, delta in payload["entries"]:
+            merged = dict(labels)
+            merged.update(extra)
+            if kind == "counter":
+                self.counter(name, **merged).apply_delta(delta)
+            elif kind == "gauge":
+                self.gauge(name, **merged).apply_delta(delta)
+            elif kind == "histogram":
+                self.histogram(name, **merged).apply_delta(delta)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Schema validation (shared by tests and the CI perf-smoke step).
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$")
+_LABEL_PAIR_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate Prometheus text exposition; returns the sample count.
+
+    Checks line syntax (HELP/TYPE comments, sample lines with optional
+    labels), parseable float values, and -- for families declared
+    ``histogram`` -- that the ``_bucket`` series is cumulative-monotone per
+    label set with a ``+Inf`` bucket equal to ``_count``.  Raises
+    ``ValueError`` on the first violation.
+    """
+    types: Dict[str, str] = {}
+    buckets: Dict[Tuple[str, LabelItems], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, LabelItems], float] = {}
+    samples = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {line_no}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {line_no}: bad TYPE {line!r}")
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        label_text = match.group("labels")
+        items: List[Tuple[str, str]] = []
+        if label_text:
+            for pair in label_text.split(","):
+                if not _LABEL_PAIR_RE.match(pair):
+                    raise ValueError(
+                        f"line {line_no}: malformed label {pair!r}")
+                key, _, value = pair.partition("=")
+                items.append((key, value[1:-1]))
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf")
+                          .replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_no}: unparseable value {raw_value!r}") from None
+        samples += 1
+        name = match.group("name")
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)]
+            if name.endswith(suffix) and types.get(base) == "histogram":
+                labels = tuple(sorted(i for i in items if i[0] != "le"))
+                if suffix == "_bucket":
+                    le = dict(items).get("le")
+                    if le is None:
+                        raise ValueError(
+                            f"line {line_no}: histogram bucket without le")
+                    bound = math.inf if le == "+Inf" else float(le)
+                    buckets.setdefault((base, labels), []).append(
+                        (bound, value))
+                elif suffix == "_count":
+                    counts[(base, labels)] = value
+                break
+    for (base, labels), series in buckets.items():
+        series.sort(key=lambda item: item[0])
+        cumulative = [count for _, count in series]
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            raise ValueError(
+                f"histogram {base}{dict(labels)}: buckets not cumulative")
+        if not series or not math.isinf(series[-1][0]):
+            raise ValueError(f"histogram {base}{dict(labels)}: no +Inf bucket")
+        total = counts.get((base, labels))
+        if total is not None and total != series[-1][1]:
+            raise ValueError(
+                f"histogram {base}{dict(labels)}: +Inf bucket "
+                f"{series[-1][1]} != _count {total}")
+    return samples

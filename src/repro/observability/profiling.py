@@ -1,0 +1,96 @@
+"""Profiling hooks for the hot kernels and trainers.
+
+The hot paths (``core/kernels.py`` quantize kernels, ``nn/functional.py``
+GEMM/im2col) each hold a module-level ``_PROFILER`` global that is ``None``
+by default; the instrumented functions check ``if profiler is not None``
+-- one global load and one branch, zero allocations -- so the disabled
+path is the pre-existing code path.  :func:`install` flips those globals
+to a shared :class:`KernelProfiler`; :func:`uninstall` restores ``None``.
+
+The imports happen inside the functions, not at module level: kernels must
+never import observability (the dependency points one way only), and this
+module must not drag the kernel modules in just because metrics are used.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .metrics import MetricsRegistry, log_buckets
+
+__all__ = ["KernelProfiler", "install", "uninstall"]
+
+# Kernel calls run ~1 us .. ~1 s; finer default range than request latency.
+_KERNEL_BUCKETS_MS = log_buckets(1e-3, 1e4, per_decade=16)
+
+
+class KernelProfiler:
+    """Records per-kernel call counts, wall time, and element throughput.
+
+    One instance is shared by every instrumented module; ``record`` is the
+    only entry point and is safe to call from any thread.  Metrics land in
+    the owning registry as ``kernel_calls_total`` / ``kernel_seconds_total``
+    / ``kernel_elements_total`` counters and a ``kernel_call_ms`` histogram,
+    all labelled ``{kernel=<name>}``.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._cache: dict = {}
+
+    def _metrics(self, kernel: str):
+        metrics = self._cache.get(kernel)
+        if metrics is None:
+            with self._lock:
+                metrics = self._cache.get(kernel)
+                if metrics is None:
+                    metrics = (
+                        self.registry.counter(
+                            "kernel_calls_total",
+                            help="Instrumented kernel invocations",
+                            kernel=kernel),
+                        self.registry.counter(
+                            "kernel_seconds_total",
+                            help="Wall seconds inside instrumented kernels",
+                            kernel=kernel),
+                        self.registry.counter(
+                            "kernel_elements_total",
+                            help="Array elements processed by kernels",
+                            kernel=kernel),
+                        self.registry.histogram(
+                            "kernel_call_ms",
+                            help="Per-call kernel wall time (ms)",
+                            buckets=_KERNEL_BUCKETS_MS, kernel=kernel),
+                    )
+                    self._cache[kernel] = metrics
+        return metrics
+
+    def record(self, kernel: str, seconds: float, elements: int = 0) -> None:
+        calls, total_seconds, total_elements, call_ms = self._metrics(kernel)
+        calls.inc()
+        total_seconds.inc(seconds)
+        if elements:
+            total_elements.inc(elements)
+        call_ms.observe(seconds * 1e3)
+
+
+def install(registry: MetricsRegistry) -> KernelProfiler:
+    """Point every instrumented module's ``_PROFILER`` at one profiler."""
+    from ..core import kernels
+    from ..nn import functional
+
+    profiler = KernelProfiler(registry)
+    kernels.set_profiler(profiler)
+    functional.set_profiler(profiler)
+    return profiler
+
+
+def uninstall() -> None:
+    """Restore the zero-overhead disabled path in every hooked module."""
+    from ..core import kernels
+    from ..nn import functional
+
+    kernels.set_profiler(None)
+    functional.set_profiler(None)

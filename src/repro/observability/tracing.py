@@ -1,0 +1,189 @@
+"""Per-request tracing: sampled span timelines as Chrome trace events.
+
+Spans are recorded as *complete* (``"ph": "X"``) events in the Chrome
+trace-event JSON format, so an exported file loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing`` and renders the request
+pipeline -- submit, admit, queue, batch-assemble, transport, compute,
+respond -- as nested per-thread/per-process timelines.
+
+Timestamps come from ``time.monotonic()``.  On Linux that is
+``CLOCK_MONOTONIC``, which is system-wide: spans recorded inside a worker
+process line up on the same timeline as the parent's, which is exactly
+what makes the cross-process transport/compute breakdown readable.
+
+Sampling is deterministic (every ``round(1/rate)``-th sampled request gets
+a trace id) so a fixed request count yields a fixed number of traces.
+Request-level spans are recorded only for sampled requests; batch-level
+spans (assembly, compute, transport) are recorded whenever tracing is
+armed, since there are few of them.  The event buffer is bounded --
+long-running servers keep the most recent ``max_events`` spans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Tracer", "validate_chrome_trace"]
+
+# The stage names the serving pipeline emits, in order.  Exported for
+# tests and schema validation ("did the trace cover the pipeline?").
+PIPELINE_STAGES = ("submit", "admit", "queue", "batch-assemble",
+                   "transport", "compute", "respond")
+
+
+class Tracer:
+    """Bounded, thread-safe collector of Chrome trace events."""
+
+    def __init__(self, sample_rate: float = 1.0, max_events: int = 100_000,
+                 clock=time.monotonic):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sample_rate = float(sample_rate)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=int(max_events))
+        self._seen = 0
+        self._next_trace_id = 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def armed(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def sample(self) -> Optional[int]:
+        """Sampling decision for one request: a trace id, or ``None``.
+
+        Deterministic: at rate ``r`` every ``round(1/r)``-th call gets an
+        id, so traces are evenly spread through the request stream.
+        """
+        if self.sample_rate <= 0.0:
+            return None
+        with self._lock:
+            self._seen += 1
+            interval = max(int(round(1.0 / self.sample_rate)), 1)
+            if (self._seen - 1) % interval:
+                return None
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+        return trace_id
+
+    # ------------------------------------------------------------------ #
+    def add_event(self, name: str, start_s: float, duration_s: float, *,
+                  category: str = "serving", args: Optional[dict] = None,
+                  pid: Optional[int] = None, tid: Optional[int] = None) -> None:
+        """Record one complete span (start and duration in clock seconds)."""
+        event = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start_s * 1e6,          # microseconds, trace-event convention
+            "dur": max(duration_s, 0.0) * 1e6,
+            "pid": os.getpid() if pid is None else int(pid),
+            "tid": threading.get_ident() if tid is None else int(tid),
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    @contextmanager
+    def span(self, name: str, *, category: str = "serving",
+             args: Optional[dict] = None):
+        """Context manager recording the enclosed block as one span."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.add_event(name, start, self.clock() - start,
+                           category=category, args=args)
+
+    def extend(self, events: Sequence[dict]) -> None:
+        """Absorb foreign events (e.g. drained from a worker process)."""
+        with self._lock:
+            for event in events:
+                if "name" not in event or "ts" not in event:
+                    raise ValueError(f"malformed trace event: {event!r}")
+                self._events.append(event)
+
+    # ------------------------------------------------------------------ #
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[dict]:
+        """Pop and return all buffered events (worker piggyback path)."""
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+        return events
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._seen = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------ #
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome trace-event JSON object."""
+        events = sorted(self.events(), key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path) -> str:
+        """Write the trace to ``path``; open the file in Perfetto to view."""
+        payload = self.to_chrome()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return str(path)
+
+
+def validate_chrome_trace(payload: dict,
+                          require_stages: Sequence[str] = ()) -> int:
+    """Validate a Chrome trace-event object; returns the event count.
+
+    Checks the container shape (``traceEvents`` list + ``displayTimeUnit``)
+    and, per event, the complete-event schema this module emits: non-empty
+    string ``name``, ``ph == "X"``, numeric non-negative ``ts``/``dur``,
+    integer ``pid``/``tid``.  ``require_stages`` additionally demands that
+    every named stage appears at least once (the "all pipeline stages
+    present" acceptance check).
+    Raises ``ValueError`` on the first violation.
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    seen: Dict[str, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index}: not an object")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"event {index}: missing name")
+        if event.get("ph") != "X":
+            raise ValueError(f"event {index} ({name}): ph must be 'X'")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"event {index} ({name}): bad {key}={value!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(
+                    f"event {index} ({name}): missing integer {key}")
+        seen[name] = max(seen.get(name, 0.0), float(event["dur"]))
+    missing = [stage for stage in require_stages if stage not in seen]
+    if missing:
+        raise ValueError(f"trace missing pipeline stages: {missing} "
+                         f"(have {sorted(seen)})")
+    return len(events)

@@ -87,7 +87,7 @@ from .cluster import (
     WorkerSpec,
     WorkerStartupError,
 )
-from .engine import EngineCrash, InferenceEngine
+from .engine import EngineCrash, EngineStats, InferenceEngine
 from .faults import FaultInjectingEngine, FaultPlan, TransientEngineError
 from .loadgen import FamilyLoad, LoadReport, OpenLoopGenerator, poisson_arrivals
 from .frozen import (
@@ -129,6 +129,7 @@ __all__ = [
     "CheckpointError",
     "InferenceEngine",
     "EngineCrash",
+    "EngineStats",
     "InferenceServer",
     "BatchingConfig",
     "InferenceResult",

@@ -55,17 +55,17 @@ import multiprocessing
 import os
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .engine import EngineCrash, InferenceEngine
+from .. import observability
+from ..observability.metrics import LatencyHistogram
+from .engine import EngineCrash, EngineStats, InferenceEngine
 from .faults import FaultInjectingEngine, FaultPlan, TransientEngineError
 from .server import (
-    STATS_WINDOW,
     BatchingConfig,
     InferenceServer,
     InvalidRequest,
@@ -74,7 +74,6 @@ from .server import (
     ServerStats,
     ServerUnavailable,
     ServingError,
-    _percentiles,
     validate_payload,
 )
 from .transport import ShmRing
@@ -244,7 +243,8 @@ class ClusterConfig:
 # Worker process
 # --------------------------------------------------------------------------- #
 def _worker_main(spec: WorkerSpec, conn, req_ring_name: str, resp_ring_name: str,
-                 slot_size: int, ring_slots: int, generation: int) -> None:
+                 slot_size: int, ring_slots: int, generation: int,
+                 telemetry: bool = False) -> None:
     """Engine worker: load the frozen checkpoint, warm up, serve batches.
 
     Protocol (control messages over ``conn``; array bytes through the
@@ -255,20 +255,38 @@ def _worker_main(spec: WorkerSpec, conn, req_ring_name: str, resp_ring_name: str
       slot the parent is done with), ``("rewarm",)``, ``("stop",)``.
     * worker -> parent: ``("ready", pid, warmup_seconds)``,
       ``("startup_failed", message)``,
-      ``("result", req_id, slot, shape, dtype, req_slot)``,
-      ``("result_pickled", req_id, array, req_slot)``,
-      ``("error", req_id, kind, type_name, message, req_slot)`` with
-      ``kind`` in ``{"crash", "batch"}``, ``("rewarmed", seconds)``,
+      ``("result", req_id, slot, shape, dtype, req_slot, telemetry)``,
+      ``("result_pickled", req_id, array, req_slot, telemetry)``,
+      ``("error", req_id, kind, type_name, message, req_slot, telemetry)``
+      with ``kind`` in ``{"crash", "batch"}``, ``("rewarmed", seconds)``,
       ``("rewarm_failed", message)``.
 
     ``req_slot`` rides along on every reply so the parent can return the
     request's ring slot to its free list exactly when the worker no longer
-    reads from it.
+    reads from it.  ``telemetry`` is ``None`` when observability was off at
+    spawn time; otherwise a dict with the worker's metric delta since the
+    previous reply (``"metrics"``), its drained trace spans (``"spans"``),
+    and the batch's engine-only compute time (``"compute_ms"``) so the
+    parent can attribute the rest of the round-trip to transport.
     """
     # The request ring is parent-produced (this side only views); the
     # response ring is produced here, so this side owns its free list.
     req_ring = ShmRing.attach(req_ring_name, slot_size, ring_slots)
     resp_ring = ShmRing.attach(resp_ring_name, slot_size, ring_slots)
+    if telemetry:
+        # Fresh spawn-context process: arm this worker's own registry and
+        # kernel hooks so metric deltas/spans can piggyback on replies.
+        observability.set_enabled(True)
+
+    def _collect_telemetry(compute_ms: Optional[float]):
+        if not telemetry:
+            return None
+        tracer = observability.tracer()
+        return {
+            "metrics": observability.registry().collect_delta(),
+            "spans": tracer.drain() if tracer.armed else [],
+            "compute_ms": compute_ms,
+        }
     try:
         from .checkpoint import load_frozen  # deferred: spawn imports lazily
 
@@ -317,21 +335,38 @@ def _worker_main(spec: WorkerSpec, conn, req_ring_name: str, resp_ring_name: str
                 req_slot = None
             else:
                 continue  # unknown message: ignore, stay alive
+            compute_started = time.monotonic()
             try:
                 outputs = np.ascontiguousarray(engine.predict(batch))
             except EngineCrash as error:
-                conn.send(("error", req_id, "crash", "EngineCrash", str(error), req_slot))
+                conn.send(("error", req_id, "crash", "EngineCrash", str(error),
+                           req_slot, _collect_telemetry(None)))
                 continue
             except Exception as error:  # noqa: BLE001 - per-batch failure
                 conn.send(("error", req_id, "batch", type(error).__name__,
-                           str(error), req_slot))
+                           str(error), req_slot, _collect_telemetry(None)))
                 continue
+            compute_done = time.monotonic()
+            if telemetry:
+                tracer = observability.active_tracer()
+                if tracer is not None and tracer.armed:
+                    # CLOCK_MONOTONIC is system-wide on Linux, so this span
+                    # lines up with the parent's timeline; the worker pid
+                    # keeps it on its own track in the trace viewer.
+                    tracer.add_event("compute", compute_started,
+                                     compute_done - compute_started,
+                                     args={"model": spec.model,
+                                           "generation": generation,
+                                           "batch_size": int(np.asarray(batch).shape[0])})
+            compute_ms = (compute_done - compute_started) * 1e3
             out_slot = resp_ring.acquire() if resp_ring.fits(outputs.nbytes) else None
             if out_slot is not None:
                 shape, dtype = resp_ring.write(out_slot, outputs)
-                conn.send(("result", req_id, out_slot, shape, dtype, req_slot))
+                conn.send(("result", req_id, out_slot, shape, dtype, req_slot,
+                           _collect_telemetry(compute_ms)))
             else:
-                conn.send(("result_pickled", req_id, outputs, req_slot))
+                conn.send(("result_pickled", req_id, outputs, req_slot,
+                           _collect_telemetry(compute_ms)))
     finally:
         req_ring.close()
         resp_ring.close()
@@ -370,6 +405,13 @@ class RemoteEngine:
         self.oversized_transfers = 0
         self.warmed_up = False
         self.warmup_seconds = 0.0
+        #: Transport share of the last predict() round-trip (round-trip
+        #: minus the worker-reported compute time), or None when the worker
+        #: ships no telemetry.  Read by InferenceServer for RequestTiming.
+        self.last_transport_ms: Optional[float] = None
+        #: Extra labels stamped onto worker metric deltas when they are
+        #: merged into this process's registry (set by ShardedServer).
+        self.telemetry_labels: Dict[str, str] = {}
         self._req_id = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False
@@ -383,10 +425,14 @@ class RemoteEngine:
         self._req_ring = ShmRing(config.slot_size, config.ring_slots)
         self._resp_ring = ShmRing(config.slot_size, config.ring_slots)
         self._conn, child_conn = self._ctx.Pipe()
+        # Telemetry enablement is latched at (re)spawn time: a worker ships
+        # deltas iff the global gate was on when its process started.
+        self._telemetry = observability.enabled()
         process = self._ctx.Process(
             target=_worker_main,
             args=(self.spec, child_conn, self._req_ring.name, self._resp_ring.name,
-                  config.slot_size, config.ring_slots, self.generation),
+                  config.slot_size, config.ring_slots, self.generation,
+                  self._telemetry),
             name=f"engine-worker-{self.spec.model}",
             daemon=True,
         )
@@ -476,32 +522,57 @@ class RemoteEngine:
                 # Larger than a ring slot: correctness over zero-copy.
                 self.oversized_transfers += 1
                 self._conn.send(("batch_pickled", req_id, batch))
-            reply = self._handle_reply(self._recv(self.config.request_timeout_s), req_id)
-            return reply
+            sent_at = time.monotonic()
+            reply = self._recv(self.config.request_timeout_s)
+            roundtrip_ms = (time.monotonic() - sent_at) * 1e3
+            return self._handle_reply(reply, req_id, roundtrip_ms)
 
     __call__ = predict
 
-    def _handle_reply(self, reply, req_id: int) -> np.ndarray:
+    def _handle_reply(self, reply, req_id: int, roundtrip_ms: float) -> np.ndarray:
         kind = reply[0]
         if kind == "result":
-            _, rid, out_slot, shape, dtype, req_slot = reply
+            _, rid, out_slot, shape, dtype, req_slot, telemetry = reply
             self._release_request_slot(req_slot)
+            self._absorb_telemetry(telemetry, roundtrip_ms)
             # The worker reuses the slot only after our "free" ack, but the
             # result outlives this call, so copy out of the mapping.
             outputs = np.array(self._resp_ring.view(out_slot, shape, dtype), copy=True)
             self._send_free(out_slot)
             return outputs
         if kind == "result_pickled":
-            _, rid, outputs, req_slot = reply
+            _, rid, outputs, req_slot, telemetry = reply
             self._release_request_slot(req_slot)
+            self._absorb_telemetry(telemetry, roundtrip_ms)
             return outputs
         if kind == "error":
-            _, rid, ekind, type_name, message, req_slot = reply
+            _, rid, ekind, type_name, message, req_slot, telemetry = reply
             self._release_request_slot(req_slot)
+            self._absorb_telemetry(telemetry, roundtrip_ms)
             if ekind == "crash":
                 raise EngineCrash(f"worker engine crashed: {message}")
             raise _rebuild_error(type_name, message)
         raise EngineCrash(f"unexpected worker reply {kind!r}")
+
+    def _absorb_telemetry(self, telemetry: Optional[dict],
+                          roundtrip_ms: float) -> None:
+        """Merge a worker reply's piggybacked telemetry into this process."""
+        if telemetry is None:
+            self.last_transport_ms = None
+            return
+        compute_ms = telemetry.get("compute_ms")
+        self.last_transport_ms = (
+            max(0.0, roundtrip_ms - float(compute_ms))
+            if compute_ms is not None else None)
+        delta = telemetry.get("metrics")
+        if delta is not None and observability.enabled():
+            observability.registry().apply_delta(
+                delta, extra_labels=self.telemetry_labels)
+        spans = telemetry.get("spans")
+        if spans:
+            tracer = observability.active_tracer()
+            if tracer is not None:
+                tracer.extend(spans)
 
     def _release_request_slot(self, req_slot: Optional[int]) -> None:
         if req_slot is not None:
@@ -584,16 +655,16 @@ class RemoteEngine:
             self._teardown_transport()
 
     # -------------------------------------------------------------- #
-    def stats(self) -> dict:
-        return {
-            "alive": self._process.is_alive() and not self._closed,
-            "pid": self._process.pid,
-            "generation": self.generation,
-            "respawns": self.respawns,
-            "oversized_transfers": self.oversized_transfers,
-            "warmup_seconds": self.warmup_seconds,
-            "warmed_up": self.warmed_up,
-        }
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            alive=self._process.is_alive() and not self._closed,
+            pid=self._process.pid,
+            generation=self.generation,
+            respawns=self.respawns,
+            oversized_transfers=self.oversized_transfers,
+            warmup_seconds=self.warmup_seconds,
+            warmed_up=self.warmed_up,
+        )
 
     def reset_stats(self) -> None:  # engine-protocol compatibility
         pass
@@ -633,7 +704,7 @@ class ShardedServer:
         self._closed = False
         self._close_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._latencies_ms = deque(maxlen=STATS_WINDOW)
+        self._latency_hist = LatencyHistogram("cluster_request_latency_ms")
         self._completed = 0
         self._rejected = 0
         self._first_enqueued: Optional[float] = None
@@ -650,7 +721,10 @@ class ShardedServer:
             for engine in engines:
                 engine.wait_ready()
             for index, (spec, engine) in enumerate(zip(workers, engines)):
-                server = InferenceServer(engine, shard_batching)
+                engine.telemetry_labels = {"model": spec.model,
+                                           "shard": str(index)}
+                server = InferenceServer(engine, shard_batching,
+                                         name=f"shard{index}")
                 self._shards.append(_Shard(index, spec, engine, server))
         except BaseException:
             for shard in self._shards:
@@ -794,7 +868,7 @@ class ShardedServer:
         with self._stats_lock:
             self._completed += 1
             self._last_completed = time.monotonic()
-            self._latencies_ms.append(result.timing.total_ms)
+            self._latency_hist.observe(result.timing.total_ms)
 
     # -------------------------------------------------------------- #
     # Lifecycle
@@ -841,7 +915,8 @@ class ShardedServer:
         in ``shards`` (same type, ``shards`` empty in turn)."""
         shard_stats = tuple(shard.server.stats() for shard in self._shards)
         with self._stats_lock:
-            latencies = list(self._latencies_ms)
+            mean = self._latency_hist.mean
+            p50, p95, p99 = self._latency_hist.percentiles()
             completed = self._completed
             rejected = self._rejected
             first = self._first_enqueued
@@ -854,7 +929,6 @@ class ShardedServer:
         else:
             state = "failed"
         wall = (last - first) if (first is not None and last is not None) else None
-        mean, p50, p95, p99 = _percentiles(latencies)
         batch_sizes = [s.mean_batch_size * s.batches for s in shard_stats
                        if s.batches]
         total_batches = sum(s.batches for s in shard_stats)
@@ -884,3 +958,19 @@ class ShardedServer:
             workers=len(self._shards),
             shards=shard_stats,
         )
+
+    # -------------------------------------------------------------- #
+    # Cluster-wide telemetry view
+    # -------------------------------------------------------------- #
+    # Worker metric deltas piggyback on batch replies and are merged into
+    # this process's global registry with {"model", "shard"} labels (see
+    # RemoteEngine._absorb_telemetry), so the registry already holds the
+    # single cluster-wide view with a per-shard breakdown.  These helpers
+    # just expose it from the serving front end.
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready snapshot of every metric, worker shards included."""
+        return observability.registry().snapshot()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the cluster-wide registry."""
+        return observability.registry().render_prometheus()

@@ -10,13 +10,50 @@ latency/throughput accounting.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, fields
 from typing import Optional
 
 import numpy as np
 
 from .frozen import FrozenModel
 
-__all__ = ["EngineCrash", "InferenceEngine"]
+__all__ = ["EngineCrash", "EngineStats", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Typed engine-side counters (mapping-compatible like ``ServerStats``).
+
+    The first block applies to every engine.  The ``Optional`` block is
+    populated only by :class:`~repro.serving.cluster.RemoteEngine`, whose
+    counters describe the worker *process* rather than in-process forwards;
+    an in-process engine leaves them ``None``.
+    """
+
+    calls: int = 0
+    samples: int = 0
+    total_seconds: float = 0.0
+    mean_call_ms: float = float("nan")
+    last_call_ms: float = float("nan")
+    throughput_sps: float = float("nan")
+    warmed_up: bool = False
+    alive: Optional[bool] = None
+    pid: Optional[int] = None
+    generation: Optional[int] = None
+    respawns: Optional[int] = None
+    oversized_transfers: Optional[int] = None
+    warmup_seconds: Optional[float] = None
+
+    def __getitem__(self, key: str):
+        if not isinstance(key, str) or not hasattr(self, key):
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def keys(self):
+        return [f.name for f in fields(self)]
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class EngineCrash(RuntimeError):
@@ -90,19 +127,19 @@ class InferenceEngine:
     __call__ = predict
 
     # -------------------------------------------------------------- #
-    def stats(self) -> dict:
+    def stats(self) -> EngineStats:
         """Aggregate engine-side timing counters."""
         mean_call = self.total_seconds / self.calls if self.calls else float("nan")
         throughput = self.samples / self.total_seconds if self.total_seconds > 0 else float("nan")
-        return {
-            "calls": self.calls,
-            "samples": self.samples,
-            "total_seconds": self.total_seconds,
-            "mean_call_ms": mean_call * 1e3,
-            "last_call_ms": self.last_seconds * 1e3,
-            "throughput_sps": throughput,
-            "warmed_up": self.warmed_up,
-        }
+        return EngineStats(
+            calls=self.calls,
+            samples=self.samples,
+            total_seconds=self.total_seconds,
+            mean_call_ms=mean_call * 1e3,
+            last_call_ms=self.last_seconds * 1e3,
+            throughput_sps=throughput,
+            warmed_up=self.warmed_up,
+        )
 
     def reset_stats(self) -> None:
         self.calls = 0

@@ -35,6 +35,8 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observability.metrics import LatencyHistogram
+
 __all__ = ["poisson_arrivals", "FamilyLoad", "LoadReport", "OpenLoopGenerator"]
 
 
@@ -159,7 +161,9 @@ class OpenLoopGenerator:
         per_family_cursor = [0] * len(self.mix)
 
         lock = threading.Lock()
-        latencies_ms: list = []
+        # Bounded memory at any offered load: quantiles come from the same
+        # log-scale histogram the servers use, not a retained sample list.
+        latency_hist = LatencyHistogram("loadgen_latency_ms")
         errors: Counter = Counter()
         completed = [0]
         last_completion = [0.0]
@@ -171,7 +175,7 @@ class OpenLoopGenerator:
             with lock:
                 if error is None:
                     completed[0] += 1
-                    latencies_ms.append((now - scheduled) * 1e3)
+                    latency_hist.observe((now - scheduled) * 1e3)
                     last_completion[0] = max(last_completion[0], now)
                 else:
                     errors[type(error).__name__] += 1
@@ -222,16 +226,11 @@ class OpenLoopGenerator:
 
         end = time.monotonic()
         with lock:
-            latencies = np.array(latencies_ms, dtype=np.float64)
+            mean = latency_hist.mean
+            p50, p95, p99 = latency_hist.percentiles()
             done = completed[0]
             error_counts = tuple(sorted(errors.items()))
         window = max(last_completion[0] - start, self.duration_s) if done else self.duration_s
-        if latencies.size:
-            mean = float(latencies.mean())
-            p50, p95, p99 = (float(v) for v in
-                             np.percentile(latencies, [50.0, 95.0, 99.0]))
-        else:
-            mean = p50 = p95 = p99 = float("nan")
         return LoadReport(
             offered_qps=self.qps,
             duration_s=self.duration_s,

@@ -58,13 +58,14 @@ import queue
 import threading
 import time
 import traceback
-from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import observability
+from ..observability.metrics import LatencyHistogram
 from .engine import EngineCrash, InferenceEngine
 
 __all__ = [
@@ -84,8 +85,6 @@ __all__ = [
 ]
 
 _TIMEOUT = object()
-#: Most recent requests/batches covered by the latency and batch-size stats.
-STATS_WINDOW = 10_000
 
 
 # --------------------------------------------------------------------------- #
@@ -231,9 +230,10 @@ class ServerStats:
     :class:`~repro.serving.cluster.ShardedServer`.
 
     Counts (requests, sheds, rejects, ...) are exact since server start;
-    latency and batch-size aggregates cover the most recent
-    :data:`STATS_WINDOW` requests.  For a sharded server the top-level
-    object aggregates the cluster and ``shards`` holds one per-shard
+    latency percentiles come from a fixed-bucket log-scale histogram
+    (:class:`~repro.observability.metrics.LatencyHistogram`) covering every
+    request since start in O(buckets) memory.  For a sharded server the
+    top-level object aggregates the cluster and ``shards`` holds one per-shard
     :class:`ServerStats` (with ``shards`` empty in turn), so per-shard
     queue depth, sheds, rejects, retries, and restarts stay inspectable.
 
@@ -279,15 +279,6 @@ class ServerStats:
         return out
 
 
-def _percentiles(latencies_ms: Sequence[float]) -> Tuple[float, float, float, float]:
-    values = np.asarray(latencies_ms, dtype=np.float64)
-    if not values.size:
-        nan = float("nan")
-        return nan, nan, nan, nan
-    return (float(values.mean()), float(np.percentile(values, 50)),
-            float(np.percentile(values, 95)), float(np.percentile(values, 99)))
-
-
 def validate_payload(payload: np.ndarray) -> None:
     """Submit-time poison screening shared by both serving front ends:
     numeric dtype, non-empty, and (for floating payloads) finite."""
@@ -303,7 +294,16 @@ def validate_payload(payload: np.ndarray) -> None:
 
 @dataclass
 class RequestTiming:
-    """Per-request latency accounting."""
+    """Per-request latency accounting.
+
+    ``compute_ms`` is the engine call alone; ``assemble_ms`` is the batch
+    stack/pad step that precedes it (both shared by every request in the
+    batch).  ``transport_ms`` is the process-boundary overhead for batches
+    served through a :class:`~repro.serving.cluster.RemoteEngine`
+    (round-trip minus worker compute; ``None`` for in-process engines).
+    ``trace_id`` is set when this request was sampled by the observability
+    tracer -- its span timeline appears in the exported Chrome trace.
+    """
 
     queue_ms: float
     compute_ms: float
@@ -312,6 +312,9 @@ class RequestTiming:
     bucket: Tuple
     retries: int = 0
     deadline_ms: Optional[float] = None
+    assemble_ms: float = 0.0
+    transport_ms: Optional[float] = None
+    trace_id: Optional[int] = None
 
 
 @dataclass
@@ -324,10 +327,11 @@ class InferenceResult:
 
 class _Request:
     __slots__ = ("payload", "future", "enqueued", "deadline", "deadline_ms",
-                 "requeues", "failures", "tag", "ready_at")
+                 "requeues", "failures", "tag", "ready_at", "trace_id")
 
     def __init__(self, payload: np.ndarray, future: Future, enqueued: float,
-                 deadline_ms: Optional[float] = None):
+                 deadline_ms: Optional[float] = None,
+                 trace_id: Optional[int] = None):
         self.payload = payload
         self.future = future
         self.enqueued = enqueued
@@ -337,6 +341,7 @@ class _Request:
         self.failures = 0     # solo (singleton-batch) failures, vs. max_retries
         self.tag: Tuple[int, ...] = ()  # bisection lineage: halves never re-merge
         self.ready_at = enqueued
+        self.trace_id = trace_id  # sampled-tracing id, None when unsampled
 
 
 class _Shutdown:
@@ -351,9 +356,11 @@ class InferenceServer:
     """Dynamic-batching, fault-tolerant request server over an
     :class:`InferenceEngine`."""
 
-    def __init__(self, engine: InferenceEngine, config: Optional[BatchingConfig] = None):
+    def __init__(self, engine: InferenceEngine, config: Optional[BatchingConfig] = None,
+                 name: str = "server"):
         self.engine = engine
         self.config = config if config is not None else BatchingConfig()
+        self.name = name  # label on this server's global-registry metrics
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
         self._state = "healthy"  # healthy | degraded | failed
@@ -374,11 +381,16 @@ class InferenceServer:
         self._pending: Dict[Tuple, List[_Request]] = {}
         self._flush_deadlines: Dict[Tuple, float] = {}
         self._retry_buffer: List[_Request] = []
-        # Bounded windows: percentile/mean stats cover the most recent
-        # requests so a long-lived server neither grows without bound nor
-        # slows stats() down; request/batch counts stay exact.
-        self._latencies_ms = deque(maxlen=STATS_WINDOW)
-        self._batch_sizes = deque(maxlen=STATS_WINDOW)
+        # Fixed-bucket log-scale histogram: p50/p95/p99 over every request
+        # since start in O(buckets) memory -- a long-lived server neither
+        # grows without bound nor slows stats() down, and the percentiles
+        # are computed the same way as the load rig's (loadgen.py).
+        self._latency_hist = LatencyHistogram("serving_request_latency_ms")
+        self._batched_requests = 0  # sum of executed batch sizes (exact mean)
+        # Lazily-created global-registry metrics, only while the
+        # observability gate is enabled (None otherwise).
+        self._obs_metrics = None
+        self._obs_registry = None
         self._completed = 0
         self._batches = 0
         self._inflight = 0
@@ -425,6 +437,9 @@ class InferenceServer:
         request still waiting when its deadline expires is shed before
         batch assembly and its future raises :class:`DeadlineExceeded`.
         """
+        tracer = observability.active_tracer()
+        trace_id = tracer.sample() if tracer is not None else None
+        submit_started = time.monotonic() if trace_id is not None else 0.0
         payload = np.asarray(request)
         if self.config.validate_requests:
             self._validate_payload(payload)
@@ -435,7 +450,12 @@ class InferenceServer:
                 raise InvalidRequest(
                     f"token request of length {payload.shape[0]} exceeds the largest "
                     f"bucket length {self.config.pad_lengths[-1]}")
+        admit_started = time.monotonic() if trace_id is not None else 0.0
         self._admit()
+        if trace_id is not None:
+            tracer.add_event("admit", admit_started,
+                             time.monotonic() - admit_started,
+                             args={"trace_id": trace_id, "server": self.name})
         future: "Future[InferenceResult]" = Future()
         if self._capacity is not None:
             future.add_done_callback(lambda _f: self._capacity.release())
@@ -453,11 +473,16 @@ class InferenceServer:
                     raise ServerUnavailable(
                         "server is unavailable: "
                         f"{self._failure_reason or 'engine failed'}")
-                self._queue.put(_Request(payload, future, now, deadline_ms))
+                self._queue.put(_Request(payload, future, now, deadline_ms,
+                                         trace_id=trace_id))
         except BaseException:
             # The future will never resolve; undo its admission accounting.
             future.set_exception(ServerClosed("request was never enqueued"))
             raise
+        if trace_id is not None:
+            tracer.add_event("submit", submit_started,
+                             time.monotonic() - submit_started,
+                             args={"trace_id": trace_id, "server": self.name})
         return future
 
     def _on_resolved(self, _future) -> None:
@@ -680,8 +705,10 @@ class InferenceServer:
         if not requests:
             return
         batch_started = time.monotonic()
+        t_assembled = batch_started
         try:
             batch = self._assemble(base_key, requests)
+            t_assembled = time.monotonic()
             outputs = self.engine.predict(batch)
             outputs = np.asarray(outputs)
             if outputs.shape[0] != len(requests):
@@ -695,7 +722,12 @@ class InferenceServer:
             self._handle_batch_failure(requests, error)
             return
         done = time.monotonic()
-        compute_ms = (done - batch_started) * 1e3
+        assemble_ms = (t_assembled - batch_started) * 1e3
+        roundtrip_ms = (done - t_assembled) * 1e3
+        transport_ms = getattr(self.engine, "last_transport_ms", None)
+        if transport_ms is not None:
+            transport_ms = min(max(float(transport_ms), 0.0), roundtrip_ms)
+        compute_ms = roundtrip_ms - (transport_ms or 0.0)
         batch_size = len(requests)
         poisoned: Dict[int, NonFiniteOutput] = {}
         if self.config.validate_outputs and np.issubdtype(outputs.dtype, np.floating):
@@ -706,18 +738,25 @@ class InferenceServer:
                     f"engine output row {int(index)} of a {batch_size}-request "
                     "batch contains NaN/inf")
         with self._stats_lock:
-            self._batch_sizes.append(batch_size)
+            self._batched_requests += batch_size
             self._completed += batch_size - len(poisoned)
             self._batches += 1
             self._last_completed = done
             for request in requests:
-                self._latencies_ms.append((done - request.enqueued) * 1e3)
+                self._latency_hist.observe((done - request.enqueued) * 1e3)
+        tracer = observability.active_tracer()
+        if tracer is not None and tracer.armed:
+            self._emit_batch_spans(tracer, base_key, batch_size,
+                                   batch_started, t_assembled, done, transport_ms)
+        if observability.enabled():
+            self._observe_batch(requests, batch_size, compute_ms, done)
         for index, request in enumerate(requests):
             if index in poisoned:
                 with self._stats_lock:
                     self._nonfinite_outputs += 1
                 self._fail_request(request, poisoned[index])
                 continue
+            respond_started = time.monotonic() if request.trace_id is not None else 0.0
             timing = RequestTiming(
                 queue_ms=(batch_started - request.enqueued) * 1e3,
                 compute_ms=compute_ms,
@@ -726,9 +765,78 @@ class InferenceServer:
                 bucket=base_key,
                 retries=request.requeues,
                 deadline_ms=request.deadline_ms,
+                assemble_ms=assemble_ms,
+                transport_ms=transport_ms,
+                trace_id=request.trace_id,
             )
             if not request.future.done():
                 request.future.set_result(InferenceResult(outputs[index], timing))
+            if request.trace_id is not None and tracer is not None and tracer.armed:
+                args = {"trace_id": request.trace_id, "server": self.name}
+                tracer.add_event("queue", request.enqueued,
+                                 batch_started - request.enqueued, args=args)
+                tracer.add_event("respond", respond_started,
+                                 time.monotonic() - respond_started, args=args)
+
+    def _emit_batch_spans(self, tracer, base_key: Tuple, batch_size: int,
+                          batch_started: float, t_assembled: float,
+                          done: float, transport_ms: Optional[float]) -> None:
+        """Emit batch-level pipeline spans (assemble / transport / compute).
+
+        Transport time for a remote engine covers both the request and the
+        response leg; it is drawn as two half-duration spans bracketing the
+        compute span so the three tile the engine round-trip exactly.
+        """
+        args = {"server": self.name, "bucket": repr(base_key),
+                "batch_size": batch_size}
+        tracer.add_event("batch-assemble", batch_started,
+                         t_assembled - batch_started, args=args)
+        if transport_ms is None:
+            tracer.add_event("compute", t_assembled, done - t_assembled, args=args)
+            return
+        leg_s = transport_ms / 2e3
+        tracer.add_event("transport", t_assembled, leg_s, args=args)
+        tracer.add_event("compute", t_assembled + leg_s,
+                         max(0.0, done - t_assembled - 2 * leg_s), args=args)
+        tracer.add_event("transport", done - leg_s, leg_s, args=args)
+
+    def _server_metrics(self):
+        registry = observability.registry()
+        if self._obs_metrics is None or self._obs_registry is not registry:
+            self._obs_metrics = (
+                registry.counter(
+                    "serving_requests_total",
+                    help="Requests completed by the batching server.",
+                    server=self.name),
+                registry.counter(
+                    "serving_batches_total",
+                    help="Batches executed by the batching server.",
+                    server=self.name),
+                registry.histogram(
+                    "serving_request_latency_ms",
+                    help="End-to-end request latency in milliseconds.",
+                    server=self.name),
+                registry.histogram(
+                    "serving_batch_compute_ms",
+                    help="Engine compute time per batch in milliseconds.",
+                    server=self.name),
+                registry.gauge(
+                    "serving_queue_depth",
+                    help="Requests admitted but not yet completed.",
+                    server=self.name),
+            )
+            self._obs_registry = registry
+        return self._obs_metrics
+
+    def _observe_batch(self, requests: List[_Request], batch_size: int,
+                       compute_ms: float, done: float) -> None:
+        req_total, batch_total, latency, compute, depth = self._server_metrics()
+        req_total.inc(batch_size)
+        batch_total.inc()
+        compute.observe(compute_ms)
+        for request in requests:
+            latency.observe((done - request.enqueued) * 1e3)
+        depth.set(self.queue_depth)
 
     def _flush(self, key: Tuple) -> None:
         requests = self._pending.pop(key, [])
@@ -876,12 +984,13 @@ class InferenceServer:
     # Accounting
     # -------------------------------------------------------------- #
     def stats(self) -> ServerStats:
-        """Request/batch counts, robustness counters, and throughput since
-        start; latency and batch-size aggregates over the most recent
-        :data:`STATS_WINDOW`."""
+        """Request/batch counts, robustness counters, throughput, and latency
+        aggregates covering every request since the server started (bounded
+        memory: latency lives in a fixed-bucket log-scale histogram)."""
         with self._stats_lock:
-            latencies = list(self._latencies_ms)
-            batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+            mean = self._latency_hist.mean
+            p50, p95, p99 = self._latency_hist.percentiles()
+            batched = self._batched_requests
             completed = self._completed
             batches = self._batches
             first = self._first_enqueued
@@ -898,12 +1007,11 @@ class InferenceServer:
                 "engine_restarts": self._engine_restarts,
             }
         wall = (last - first) if (first is not None and last is not None) else None
-        mean, p50, p95, p99 = _percentiles(latencies)
         return ServerStats(
             state=self._state,
             requests=completed,
             batches=batches,
-            mean_batch_size=float(batch_sizes.mean()) if batch_sizes.size else float("nan"),
+            mean_batch_size=(batched / batches) if batches else float("nan"),
             latency_ms_mean=mean,
             latency_ms_p50=p50,
             latency_ms_p95=p95,

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from .. import nn
+from .. import nn, observability
 from ..data.loader import DataLoader, cast_floating
 from ..models.yolo import decode_predictions, yolo_loss
 from ..nn.losses import cross_entropy, sequence_cross_entropy
@@ -99,6 +99,9 @@ class _BaseTrainer:
         self.schedule = schedule if schedule is not None else FP32Schedule()
         self.iteration = 0
         self.abort_on_nonfinite = abort_on_nonfinite
+        self._step_started = None
+        self._metrics_registry = None
+        self._metrics = None
         self.compute_dtype = None if compute_dtype is None else np.dtype(compute_dtype)
         if self.compute_dtype is not None:
             self.model.to(self.compute_dtype)
@@ -117,9 +120,48 @@ class _BaseTrainer:
 
     def _pre_step(self) -> None:
         self.schedule.on_iteration(self.iteration)
+        self._step_started = (time.perf_counter()
+                              if observability.enabled() else None)
 
     def _post_step(self) -> None:
         self.iteration += 1
+        if self._step_started is not None:
+            elapsed = time.perf_counter() - self._step_started
+            steps, step_ms = self._train_metrics()[:2]
+            steps.inc()
+            step_ms.observe(elapsed * 1e3)
+
+    def _train_metrics(self):
+        """Lazily-created registry metrics, rebuilt if the registry is swapped."""
+        registry = observability.registry()
+        if self._metrics is None or self._metrics_registry is not registry:
+            labels = {"trainer": type(self).__name__,
+                      "schedule": self.schedule.name}
+            self._metrics = (
+                registry.counter("training_steps_total",
+                                 help="Optimization steps taken", **labels),
+                registry.histogram("training_step_ms",
+                                   help="Wall time per optimization step (ms)",
+                                   **labels),
+                registry.counter("training_epochs_total",
+                                 help="Training epochs completed", **labels),
+                registry.histogram("training_epoch_ms",
+                                   help="Wall time per epoch (ms)", **labels),
+                registry.gauge("training_last_loss",
+                               help="Mean loss of the last completed epoch",
+                               **labels),
+            )
+            self._metrics_registry = registry
+        return self._metrics
+
+    def _observe_epoch(self, epoch_seconds: float, mean_loss: float) -> None:
+        """Per-epoch metrics; no-op unless the observability gate is on."""
+        if not observability.enabled():
+            return
+        _, _, epochs, epoch_ms, last_loss = self._train_metrics()
+        epochs.inc()
+        epoch_ms.observe(epoch_seconds * 1e3)
+        last_loss.set(mean_loss)
 
     def _check_loss(self, value: float, epoch: int, step: int) -> float:
         """Opt-in divergence guard: raise on the first NaN/inf loss."""
@@ -181,6 +223,7 @@ class ClassificationTrainer(_BaseTrainer):
                 self._post_step()
             result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
+            self._observe_epoch(result.epoch_time_history[-1], result.loss_history[-1])
             result.train_metric_history.append(float(np.mean(epoch_accuracy)))
             if val_loader is not None:
                 result.val_metric_history.append(self.evaluate(val_loader))
@@ -246,6 +289,7 @@ class Seq2SeqTrainer(_BaseTrainer):
                 self._post_step()
             result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
+            self._observe_epoch(result.epoch_time_history[-1], result.loss_history[-1])
             result.train_metric_history.append(-result.loss_history[-1])
             if val_dataset is not None:
                 result.val_metric_history.append(self.evaluate_bleu(val_dataset))
@@ -302,6 +346,7 @@ class DetectionTrainer(_BaseTrainer):
                 self._post_step()
             result.epoch_time_history.append(time.perf_counter() - epoch_start)
             result.loss_history.append(float(np.mean(epoch_losses)))
+            self._observe_epoch(result.epoch_time_history[-1], result.loss_history[-1])
             result.train_metric_history.append(-result.loss_history[-1])
             if val_dataset is not None:
                 result.val_metric_history.append(self.evaluate_map(val_dataset))

@@ -1,0 +1,113 @@
+"""Tracer: sampling determinism, schema round-trip, bounded buffers."""
+
+import json
+
+import pytest
+
+from repro.observability.tracing import (
+    PIPELINE_STAGES,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+class TestSampling:
+    def test_rate_one_traces_everything(self):
+        tracer = Tracer(sample_rate=1.0)
+        assert [tracer.sample() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_deterministic_every_nth(self):
+        tracer = Tracer(sample_rate=0.25)
+        decisions = [tracer.sample() for _ in range(12)]
+        assert decisions == [1, None, None, None,
+                             2, None, None, None,
+                             3, None, None, None]
+
+    def test_rate_zero_disarms(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert not tracer.armed
+        assert tracer.sample() is None
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestEventsAndExport:
+    def test_chrome_round_trip_validates(self, tmp_path):
+        """Export -> json.load -> schema validation, with every pipeline
+        stage present (the viewer-compatibility acceptance check)."""
+        tracer = Tracer()
+        start = 1.0
+        for stage in PIPELINE_STAGES:
+            tracer.add_event(stage, start, 0.002, args={"trace_id": 1})
+            start += 0.002
+        path = tracer.export(tmp_path / "trace.json")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["displayTimeUnit"] == "ms"
+        count = validate_chrome_trace(payload, require_stages=PIPELINE_STAGES)
+        assert count == len(PIPELINE_STAGES)
+        # Events are in ts order and carry microsecond timestamps.
+        ts = [event["ts"] for event in payload["traceEvents"]]
+        assert ts == sorted(ts)
+        assert payload["traceEvents"][0]["ts"] == pytest.approx(1e6)
+        assert payload["traceEvents"][0]["dur"] == pytest.approx(2e3)
+
+    def test_span_context_manager_records_duration(self):
+        fake_now = [10.0]
+        tracer = Tracer(clock=lambda: fake_now[0])
+        with tracer.span("compute", args={"batch": 4}):
+            fake_now[0] += 0.5
+        (event,) = tracer.events()
+        assert event["name"] == "compute"
+        assert event["dur"] == pytest.approx(0.5e6)
+        assert event["args"] == {"batch": 4}
+
+    def test_negative_duration_clamped(self):
+        tracer = Tracer()
+        tracer.add_event("x", 1.0, -0.1)
+        assert tracer.events()[0]["dur"] == 0.0
+
+    def test_buffer_is_bounded_keeping_newest(self):
+        tracer = Tracer(max_events=10)
+        for index in range(25):
+            tracer.add_event(f"e{index}", float(index), 0.001)
+        events = tracer.events()
+        assert len(events) == 10
+        assert events[0]["name"] == "e15" and events[-1]["name"] == "e24"
+
+    def test_drain_then_extend_moves_events_across_tracers(self):
+        """The worker piggyback path: drain in the worker, extend in the
+        parent, events survive verbatim."""
+        worker, parent = Tracer(), Tracer()
+        worker.add_event("compute", 2.0, 0.01, pid=1234, tid=1)
+        drained = worker.drain()
+        assert len(worker) == 0
+        parent.extend(drained)
+        (event,) = parent.events()
+        assert event["pid"] == 1234 and event["name"] == "compute"
+        with pytest.raises(ValueError):
+            parent.extend([{"ts": 1.0}])  # nameless event is malformed
+
+
+class TestValidator:
+    def test_rejects_wrong_container(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_bad_event_fields(self):
+        base = {"name": "x", "ph": "X", "ts": 0.0, "dur": 1.0,
+                "pid": 1, "tid": 1}
+        for corruption in ({"name": ""}, {"ph": "B"}, {"ts": -1.0},
+                           {"dur": "fast"}, {"pid": "main"}):
+            event = dict(base, **corruption)
+            with pytest.raises(ValueError):
+                validate_chrome_trace({"traceEvents": [event]})
+
+    def test_missing_stage_is_named_in_the_error(self):
+        tracer = Tracer()
+        tracer.add_event("submit", 0.0, 0.1)
+        with pytest.raises(ValueError, match="transport"):
+            validate_chrome_trace(tracer.to_chrome(),
+                                  require_stages=("submit", "transport"))
