@@ -121,10 +121,51 @@ def summarize_serving(report: dict) -> dict:
     }
 
 
+def summarize_generation(report: dict) -> dict:
+    decode = report.get("decode") or {}
+    batching = report.get("batching") or {}
+    quantized = report.get("quantized_cache") or {}
+    return {
+        "decode_speedup_by_length": {
+            str(p["steps"]): p["speedup"] for p in decode.get("points", [])
+        },
+        "decode_gated_speedup": decode.get("gated_speedup"),
+        "decode_gate": decode.get("gate"),
+        "batching": {
+            "tokens_per_second_ratio": batching.get("tokens_per_second_ratio"),
+            "gate": batching.get("gate"),
+            "offered_qps": batching.get("offered_qps"),
+            "max_active": batching.get("max_active"),
+            "continuous_tokens_per_second":
+                (batching.get("continuous") or {}).get("tokens_per_second"),
+            "static_tokens_per_second":
+                (batching.get("static") or {}).get("tokens_per_second"),
+            "continuous_ttft_ms_p50":
+                (batching.get("continuous") or {}).get("ttft_ms_p50"),
+            "static_ttft_ms_p50":
+                (batching.get("static") or {}).get("ttft_ms_p50"),
+            "mean_batch_per_step":
+                (batching.get("continuous") or {}).get("mean_batch_per_step"),
+        },
+        "kv_cache_divergence": {
+            f"m={d['mantissa_bits']}": {
+                "worst_mean_relative_error": d["worst_mean_relative_error"],
+                "argmax_agreement": d["argmax_agreement"],
+            }
+            for d in quantized.get("divergence", [])
+        },
+        "kv_cache_compression": {
+            f["format"]: f["compression_vs_fp32"]
+            for f in quantized.get("formats", [])
+        },
+    }
+
+
 SUMMARIZERS = {
     "perf_quantization.json": ("bench_perf_quantization", summarize_quantization),
     "perf_train_step.json": ("bench_perf_train_step", summarize_train_step),
     "perf_serving.json": ("bench_perf_serving", summarize_serving),
+    "perf_generation.json": ("bench_perf_generation", summarize_generation),
 }
 
 

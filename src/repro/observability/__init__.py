@@ -45,7 +45,12 @@ from .metrics import (
     validate_prometheus_text,
 )
 from .profiling import KernelProfiler
-from .tracing import PIPELINE_STAGES, Tracer, validate_chrome_trace
+from .tracing import (
+    GENERATION_STAGES,
+    PIPELINE_STAGES,
+    Tracer,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "enabled",
@@ -64,6 +69,7 @@ __all__ = [
     "Tracer",
     "KernelProfiler",
     "PIPELINE_STAGES",
+    "GENERATION_STAGES",
     "validate_prometheus_text",
     "validate_chrome_trace",
 ]

@@ -29,12 +29,20 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["Tracer", "validate_chrome_trace"]
+__all__ = ["Tracer", "validate_chrome_trace", "PIPELINE_STAGES",
+           "GENERATION_STAGES"]
 
 # The stage names the serving pipeline emits, in order.  Exported for
 # tests and schema validation ("did the trace cover the pipeline?").
 PIPELINE_STAGES = ("submit", "admit", "queue", "batch-assemble",
                    "transport", "compute", "respond")
+
+# The continuous-batching generation tier's stages: one ``prefill`` span per
+# admitted sequence (encoder + cross-attention K/V projection), one
+# ``decode_step`` span per batched incremental step.  Kept separate from
+# PIPELINE_STAGES because classifier-serving traces are validated against
+# the full pipeline tuple and never emit these.
+GENERATION_STAGES = ("prefill", "decode_step")
 
 
 class Tracer:

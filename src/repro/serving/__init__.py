@@ -70,6 +70,24 @@ with every fault-tolerance semantic above applied per shard and dead
 workers respawned, re-warmed, and routed around automatically.
 :mod:`repro.serving.loadgen` provides the open-loop (Poisson-arrival)
 traffic generator used to measure the scaling honestly.
+
+Sequence generation (the continuous-batching tier)::
+
+    frozen = serving.freeze(seq2seq_model, meta={"bos_index": 1, "eos_index": 2})
+    with serving.GenerationServer(frozen) as server:
+        result = server.generate(src_tokens, max_new_tokens=32)   # sync
+        for token in server.stream(src_tokens):                   # streaming
+            ...
+
+``GenerationServer`` decodes autoregressively with a per-sequence KV cache
+(bit-identical to full recompute when unquantized; BFP-packed via
+``GenerationConfig(kv_mantissa_bits=...)``) and a per-decode-step
+admit/retire scheduler: short sequences retire and new ones join mid-flight
+instead of waiting for the longest member of a static batch.  The cache is
+a preallocated block pool (``KVCacheManager``) with worst-case reservation
+at admission, so a running sequence can never hit pool exhaustion.
+``loadgen.GenerationLoadGenerator`` drives it open-loop for
+tokens/sec-vs-streams and TTFT measurements.
 """
 
 from .checkpoint import (
@@ -89,7 +107,26 @@ from .cluster import (
 )
 from .engine import EngineCrash, EngineStats, InferenceEngine
 from .faults import FaultInjectingEngine, FaultPlan, TransientEngineError
-from .loadgen import FamilyLoad, LoadReport, OpenLoopGenerator, poisson_arrivals
+from .generation import (
+    CacheExhausted,
+    CacheStats,
+    GenerationConfig,
+    GenerationResult,
+    GenerationServer,
+    GenerationStats,
+    GenerationTiming,
+    KVCacheManager,
+    TokenStream,
+)
+from .loadgen import (
+    FamilyLoad,
+    GenerationLoadGenerator,
+    GenerationLoadReport,
+    LoadReport,
+    OpenLoopGenerator,
+    SequenceLoad,
+    poisson_arrivals,
+)
 from .frozen import (
     FrozenModel,
     FrozenOp,
@@ -159,4 +196,16 @@ __all__ = [
     "FamilyLoad",
     "LoadReport",
     "poisson_arrivals",
+    "GenerationServer",
+    "GenerationConfig",
+    "GenerationResult",
+    "GenerationTiming",
+    "GenerationStats",
+    "TokenStream",
+    "KVCacheManager",
+    "CacheStats",
+    "CacheExhausted",
+    "SequenceLoad",
+    "GenerationLoadGenerator",
+    "GenerationLoadReport",
 ]

@@ -27,6 +27,17 @@ VGG, ResNet (basic + bottleneck), MobileNet-v2, TinyYOLO, and the
 encoder-decoder Transformer (including greedy decoding).  New architectures
 register a freezer with :func:`register_freezer`.
 
+The frozen Transformer additionally exposes an **incremental decode** path
+(:meth:`FrozenSeq2SeqTransformer.decode_step` over a :class:`DecodeCache`):
+each generated token's K/V projections are appended to a per-sequence cache
+and attention runs over the cached prefix -- O(T) per token instead of the
+O(T^2) full recompute.  With cache quantization off the cached path's greedy
+tokens are bit-identical to :meth:`FrozenSeq2SeqTransformer.greedy_decode`
+(and, on BLAS-regime-stable shapes, the per-step logits are bit-identical
+too -- see :func:`_row_matmul`); with an :class:`ActivationQuantizer`
+attached the cache itself lives on the BFP grid, trading bounded divergence
+for the paper's activation-format memory footprint.
+
 One serving-relevant caveat: BFP activation quantization shares its exponent
 window across the whole tensor, so with a narrow window (``exponent_bits``
 of 2-3) a request's quantization can depend on its batch companions.  The
@@ -66,6 +77,8 @@ from ..nn.quantized import (
 __all__ = [
     "FrozenOp",
     "FrozenModel",
+    "DecodeCache",
+    "ActivationQuantizer",
     "freeze",
     "freeze_module",
     "register_freezer",
@@ -769,6 +782,75 @@ class FrozenMLP(FrozenOp):
 # --------------------------------------------------------------------------- #
 # Transformer ops
 # --------------------------------------------------------------------------- #
+def _row_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` for single-row ``a`` (..., 1, K), on the multi-row BLAS path.
+
+    NumPy routes single-row products through a different BLAS kernel (gemv)
+    than multi-row ones (gemm), and the two accumulate in different orders,
+    so the "obvious" one-token product is *not* bit-identical to the same row
+    of the full-sequence product.  Duplicating the row to M=2 and slicing the
+    result back restores the gemm path: the stacked-4D products used in
+    attention then reproduce the full path's rows bit for bit (verified for
+    float64 and float32, including against padded key columns and zero-weight
+    value contributions).  The duplicate row costs a negligible O(K*N).
+
+    Plain 2D gemm rows are *not* M-invariant at every shape (small-M kernel
+    switches), which is why only the 4D attention products use this trick;
+    the projection layers' bits can differ from the full path's in the last
+    ulp on some shapes, and token-level equivalence is gated instead.
+    """
+    doubled = np.matmul(np.concatenate([a, a], axis=-2), b)
+    return doubled[..., :1, :]
+
+
+class DecodeCache:
+    """Preallocated per-layer self-attention K/V cache for incremental decode.
+
+    One contiguous (batch, heads, capacity, head_dim) buffer per decoder
+    layer, written in place; :meth:`append` returns views of the filled
+    prefix (the prefix of a row-contiguous buffer stays row-contiguous, so
+    the attention products see the same memory layout a freshly-assembled
+    array would).  With a ``quantizer`` (an :class:`ActivationQuantizer`)
+    every cached K/V row is snapped to the BFP grid on write -- the paper's
+    activation quantization applied to the cache itself -- and bit-exactness
+    vs recompute becomes bounded divergence, measured in the benchmark
+    harness.  Grid values are exactly representable, so a quantized cache
+    can be *packed* to BFP storage losslessly (see ``serving.generation``).
+    """
+
+    def __init__(self, num_layers: int, capacity: int, quantizer=None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.num_layers = int(num_layers)
+        self.capacity = int(capacity)
+        self.quantizer = quantizer
+        self._k: List[Optional[np.ndarray]] = [None] * self.num_layers
+        self._v: List[Optional[np.ndarray]] = [None] * self.num_layers
+        self.length = 0
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray):
+        """Append one step's (batch, heads, 1, head_dim) K/V; return the
+        cached (K, V) prefixes including it."""
+        if self.quantizer is not None:
+            k_new = self.quantizer(k_new)
+            v_new = self.quantizer(v_new)
+        if self._k[layer] is None:
+            batch, heads, _, head_dim = k_new.shape
+            shape = (batch, heads, self.capacity, head_dim)
+            self._k[layer] = np.empty(shape, dtype=k_new.dtype)
+            self._v[layer] = np.empty(shape, dtype=v_new.dtype)
+        step = k_new.shape[2]
+        if self.length + step > self.capacity:
+            raise ValueError(
+                f"DecodeCache capacity {self.capacity} exceeded at length {self.length}")
+        self._k[layer][:, :, self.length:self.length + step] = k_new
+        self._v[layer][:, :, self.length:self.length + step] = v_new
+        filled = self.length + step
+        if layer == self.num_layers - 1:  # all layers saw this step
+            self.length = filled
+        return self._k[layer][:, :, :filled], self._v[layer][:, :, :filled]
+
+
 @_register_op
 class FrozenMultiHeadAttention(FrozenOp):
     kind = "multi_head_attention"
@@ -785,12 +867,20 @@ class FrozenMultiHeadAttention(FrozenOp):
         head_dim = embed // self.num_heads
         return x.reshape(batch, length, self.num_heads, head_dim).transpose(0, 2, 1, 3)
 
-    def run(self, query, key=None, value=None, mask=None):
+    def kv(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """Split-head (K, V) projections of ``x``, for caching."""
+        return (self._split_heads(self.k_proj.run(x)),
+                self._split_heads(self.v_proj.run(x)))
+
+    def run(self, query, key=None, value=None, mask=None, cached_kv=None):
         key = query if key is None else key
         value = key if value is None else value
         q = self._split_heads(self.q_proj.run(query))
-        k = self._split_heads(self.k_proj.run(key))
-        v = self._split_heads(self.v_proj.run(value))
+        if cached_kv is not None:
+            k, v = cached_kv
+        else:
+            k = self._split_heads(self.k_proj.run(key))
+            v = self._split_heads(self.v_proj.run(value))
         head_dim = q.shape[-1]
         # Python-float scale: an np.float64 scalar would promote float32.
         scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * float(1.0 / np.sqrt(head_dim))
@@ -802,6 +892,32 @@ class FrozenMultiHeadAttention(FrozenOp):
         attended = np.matmul(weights, v)
         batch, _, length, _ = attended.shape
         merged = attended.transpose(0, 2, 1, 3).reshape(batch, length, -1)
+        return self.out_proj.run(merged)
+
+    def run_step(self, query, k, v, mask=None, *, first_step=False):
+        """One-token attention over cached split-head K/V.
+
+        ``query`` is the (batch, 1, embed) hidden state of the current token;
+        ``k``/``v`` are (batch, heads, length, head_dim) caches that already
+        include the current position.  The full decode path masks future
+        positions with a finite ``-1e9`` fill whose softmax weights underflow
+        to exact zeros, so attending over only the cached prefix reproduces
+        the full path's attention row bit for bit -- provided the products
+        run on the same BLAS path, which is what :func:`_row_matmul` ensures.
+        ``first_step`` keeps the length-1 case on the full path's own
+        single-row kernel instead.
+        """
+        q = self._split_heads(self.q_proj.run(query))
+        head_dim = q.shape[-1]
+        product = np.matmul if first_step else _row_matmul
+        scores = product(q, k.transpose(0, 1, 3, 2)) * float(1.0 / np.sqrt(head_dim))
+        if mask is not None:
+            scores = scores + mask
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        weights = exps / exps.sum(axis=-1, keepdims=True)
+        attended = product(weights, v)
+        merged = attended.transpose(0, 2, 1, 3).reshape(attended.shape[0], 1, -1)
         return self.out_proj.run(merged)
 
     def state(self):
@@ -883,10 +999,27 @@ class FrozenDecoderLayer(FrozenOp):
         self.norm2 = norm2
         self.norm3 = norm3
 
-    def run(self, x, memory, self_mask=None, memory_mask=None):
+    def run(self, x, memory, self_mask=None, memory_mask=None, memory_kv=None):
+        # ``memory_kv`` short-circuits the cross-attention K/V projections of
+        # the (static) encoder memory; project once per sequence via
+        # ``self.cross_attention.kv(memory)`` instead of once per decode call.
         x = x + self.self_attention.run(self.norm1.run(x), mask=self_mask)
         x = x + self.cross_attention.run(self.norm2.run(x), key=memory, value=memory,
-                                         mask=memory_mask)
+                                         mask=memory_mask, cached_kv=memory_kv)
+        x = x + self.feed_forward.run(self.norm3.run(x))
+        return x
+
+    def run_step(self, x, cache, layer_index, memory_kv, self_mask=None,
+                 memory_mask=None, *, first_step=False):
+        """One decoder step: append this token's self-attention K/V to
+        ``cache`` and attend over the cached prefix plus the precomputed
+        cross-attention ``memory_kv``.  ``x`` is (batch, 1, embed)."""
+        h = self.norm1.run(x)
+        k, v = cache.append(layer_index, *self.self_attention.kv(h))
+        x = x + self.self_attention.run_step(h, k, v, mask=self_mask,
+                                             first_step=first_step)
+        x = x + self.cross_attention.run_step(self.norm2.run(x), *memory_kv,
+                                              mask=memory_mask, first_step=first_step)
         x = x + self.feed_forward.run(self.norm3.run(x))
         return x
 
@@ -944,14 +1077,93 @@ class FrozenSeq2SeqTransformer(FrozenOp):
             x = layer.run(x)
         return self.encoder_norm.run(x)
 
-    def decode(self, tgt_tokens: np.ndarray, memory: np.ndarray) -> np.ndarray:
+    def decode(self, tgt_tokens: np.ndarray, memory: np.ndarray,
+               memory_kv=None) -> np.ndarray:
         x = self._embed(tgt_tokens)
         # Match the embedding dtype so a float32 cast is not silently
         # promoted back to float64 by the additive mask.
         mask = causal_mask(np.asarray(tgt_tokens).shape[1]).astype(x.dtype, copy=False)
-        for layer in self.decoder_layers:
-            x = layer.run(x, memory, self_mask=mask)
+        for index, layer in enumerate(self.decoder_layers):
+            x = layer.run(x, memory, self_mask=mask,
+                          memory_kv=None if memory_kv is None else memory_kv[index])
         return self.decoder_norm.run(x)
+
+    # ----------------------- incremental decode ----------------------- #
+    def memory_kv(self, memory: np.ndarray) -> Tuple:
+        """Cross-attention (K, V) of the encoder memory, projected once per
+        decoder layer (the memory is static across decode steps)."""
+        return tuple(layer.cross_attention.kv(memory) for layer in self.decoder_layers)
+
+    def prefill(self, src_tokens: np.ndarray):
+        """Encode the source and project the per-layer cross-attention K/V.
+
+        Returns ``(memory, memory_kv)`` -- everything a sequence needs
+        besides its (initially empty) self-attention :class:`DecodeCache`.
+        """
+        memory = self.encode(np.asarray(src_tokens, dtype=np.int64))
+        return memory, self.memory_kv(memory)
+
+    def start_cache(self, max_length: Optional[int] = None,
+                    quantizer=None) -> DecodeCache:
+        capacity = self.max_length if max_length is None else int(max_length)
+        return DecodeCache(len(self.decoder_layers), capacity, quantizer=quantizer)
+
+    def decode_step(self, tokens: np.ndarray, positions: np.ndarray,
+                    cache, memory_kv, self_mask=None,
+                    memory_mask=None) -> np.ndarray:
+        """Next-token logits after one incremental decoder step.
+
+        ``tokens`` (batch,) are the current tokens sitting at ``positions``
+        (batch,); their K/V are appended to ``cache`` and every decoder layer
+        attends over the cached prefix.  Returns (batch, vocab) logits --
+        the same values ``run``'s last time-step produces, without re-running
+        the prefix.  Sequences in one batch may sit at different positions
+        (continuous batching); ``self_mask`` then masks cache padding.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1, 1)
+        positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+        if positions.size and (positions.min() < 0 or positions.max() >= self.max_length):
+            raise ValueError(
+                f"positions must lie in [0, {self.max_length}), got "
+                f"[{positions.min()}, {positions.max()}]")
+        x = self.embedding.run(tokens) * float(np.sqrt(self.embed_dim))
+        x = x + self.positional[positions][:, None, :]
+        first_step = bool(positions.max() == 0) if positions.size else True
+        for index, layer in enumerate(self.decoder_layers):
+            x = layer.run_step(x, cache, index, memory_kv[index],
+                               self_mask=self_mask, memory_mask=memory_mask,
+                               first_step=first_step)
+        x = self.decoder_norm.run(x)
+        return self.output_projection.run(x)[:, 0, :]
+
+    def greedy_decode_cached(self, src_tokens: np.ndarray, bos_index: int,
+                             eos_index: int, max_length: Optional[int] = None,
+                             cache_quantizer=None) -> np.ndarray:
+        """KV-cached greedy decode: O(T) attention per emitted token.
+
+        Token-identical to :meth:`greedy_decode` when ``cache_quantizer`` is
+        ``None`` (gated in ``benchmarks/bench_perf_generation.py``); with an
+        :class:`ActivationQuantizer` the cached K/V live on the BFP grid and
+        the divergence is bounded, not zero.
+        """
+        max_length = max_length if max_length is not None else self.max_length
+        src_tokens = np.asarray(src_tokens, dtype=np.int64)
+        batch = src_tokens.shape[0]
+        _, memory_kv = self.prefill(src_tokens)
+        cache = self.start_cache(max_length=max_length, quantizer=cache_quantizer)
+        generated = np.full((batch, 1), bos_index, dtype=np.int64)
+        finished = np.zeros(batch, dtype=bool)
+        tokens = generated[:, -1]
+        for step in range(max_length - 1):
+            logits = self.decode_step(tokens, np.full(batch, step, dtype=np.int64),
+                                      cache, memory_kv)
+            next_tokens = np.where(finished, self.pad_index, logits.argmax(axis=-1))
+            generated = np.concatenate([generated, next_tokens[:, None]], axis=1)
+            finished = finished | (next_tokens == eos_index)
+            if finished.all():
+                break
+            tokens = next_tokens
+        return generated
 
     def run(self, src_tokens: np.ndarray, tgt_tokens: np.ndarray) -> np.ndarray:
         """Teacher-forced logits (batch, tgt_len, vocab)."""
@@ -960,18 +1172,38 @@ class FrozenSeq2SeqTransformer(FrozenOp):
         return self.output_projection.run(decoded)
 
     def greedy_decode(self, src_tokens: np.ndarray, bos_index: int, eos_index: int,
-                      max_length: Optional[int] = None) -> np.ndarray:
+                      max_length: Optional[int] = None, *,
+                      early_retirement: bool = True) -> np.ndarray:
+        """Full-recompute greedy decode (the O(T^2) reference path).
+
+        Finished rows are retired from the compute: once a row emits EOS it
+        stops flowing through the decoder (its remaining positions are pad by
+        definition), so ragged batches pay for their active rows only.  The
+        decoded token matrix is identical either way (``early_retirement``
+        exists so tests can pin that); cross-attention memory K/V are
+        projected once up front instead of once per step.
+        """
         max_length = max_length if max_length is not None else self.max_length
         src_tokens = np.asarray(src_tokens, dtype=np.int64)
         batch = src_tokens.shape[0]
         memory = self.encode(src_tokens)
+        memory_kv = self.memory_kv(memory)
         generated = np.full((batch, 1), bos_index, dtype=np.int64)
         finished = np.zeros(batch, dtype=bool)
         for _ in range(max_length - 1):
-            decoded = self.decode(generated, memory)
-            logits = self.output_projection.run(decoded)[:, -1, :]
-            next_tokens = logits.argmax(axis=-1)
-            next_tokens = np.where(finished, self.pad_index, next_tokens)
+            next_tokens = np.full(batch, self.pad_index, dtype=np.int64)
+            if early_retirement and finished.any():
+                active = np.flatnonzero(~finished)
+                decoded = self.decode(
+                    generated[active], memory[active],
+                    memory_kv=tuple((k[active], v[active]) for k, v in memory_kv))
+                logits = self.output_projection.run(decoded)[:, -1, :]
+                next_tokens[active] = logits.argmax(axis=-1)
+            else:
+                decoded = self.decode(generated, memory, memory_kv=memory_kv)
+                logits = self.output_projection.run(decoded)[:, -1, :]
+                next_tokens = np.where(finished, self.pad_index,
+                                       logits.argmax(axis=-1))
             generated = np.concatenate([generated, next_tokens[:, None]], axis=1)
             finished = finished | (next_tokens == eos_index)
             if finished.all():

@@ -37,7 +37,8 @@ import numpy as np
 
 from ..observability.metrics import LatencyHistogram
 
-__all__ = ["poisson_arrivals", "FamilyLoad", "LoadReport", "OpenLoopGenerator"]
+__all__ = ["poisson_arrivals", "FamilyLoad", "LoadReport", "OpenLoopGenerator",
+           "SequenceLoad", "GenerationLoadReport", "GenerationLoadGenerator"]
 
 
 def poisson_arrivals(qps: float, duration_s: float, seed: int = 0) -> np.ndarray:
@@ -242,6 +243,216 @@ class OpenLoopGenerator:
             latency_ms_p50=p50,
             latency_ms_p95=p95,
             latency_ms_p99=p99,
+            max_slip_ms=max_slip * 1e3,
+            drain_s=max(end - start - self.duration_s, 0.0),
+            errors=error_counts,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Sequence (generation) workload
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SequenceLoad:
+    """Traffic for one class of generation request.
+
+    ``prompts`` are 1-D integer source sequences cycled round-robin;
+    ``max_new_tokens`` bounds each request's generation length.  Mixing
+    several :class:`SequenceLoad` entries with different lengths is how the
+    benchmark builds the mixed-length stream that separates continuous from
+    static batching (short requests stuck behind long ones).
+    """
+
+    prompts: Tuple[np.ndarray, ...]
+    max_new_tokens: int = 16
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.prompts:
+            raise ValueError("SequenceLoad needs at least one prompt")
+        if self.max_new_tokens <= 0:
+            raise ValueError(
+                f"max_new_tokens must be positive, got {self.max_new_tokens}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        object.__setattr__(self, "prompts", tuple(self.prompts))
+
+
+@dataclass(frozen=True)
+class GenerationLoadReport:
+    """What one open-loop generation run offered and what came back.
+
+    Same coordinated-omission-free convention as :class:`LoadReport`:
+    sequence latency and time-to-first-token are measured from each
+    request's *scheduled* arrival.  ``tokens_per_second`` is the headline
+    generation throughput -- completed tokens over the window from first
+    scheduled arrival to last completion.  ``peak_concurrent_streams`` is
+    the largest number of sequences in flight at once.
+    """
+
+    offered_qps: float
+    duration_s: float
+    sent: int
+    completed: int
+    failed: int
+    tokens_generated: int
+    tokens_per_second: float
+    goodput_sps: float
+    ttft_ms_mean: float
+    ttft_ms_p50: float
+    ttft_ms_p95: float
+    ttft_ms_p99: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    peak_concurrent_streams: int
+    max_slip_ms: float
+    drain_s: float
+    errors: Tuple[Tuple[str, int], ...] = field(default=())
+
+    def as_dict(self) -> dict:
+        payload = dict(self.__dict__)
+        payload["errors"] = {name: count for name, count in self.errors}
+        return payload
+
+
+class GenerationLoadGenerator:
+    """Open-loop Poisson stream of generation requests.
+
+    ``submit(prompt, max_new_tokens=..., deadline_ms=...)`` must return a
+    future resolving to a ``GenerationResult``
+    (:meth:`repro.serving.generation.GenerationServer.submit` qualifies).
+    Mirrors :class:`OpenLoopGenerator`: arrivals fire on schedule regardless
+    of completions, a synchronous admission rejection counts as a failure,
+    and quantiles come from bounded histograms.
+    """
+
+    def __init__(self, submit: Callable, mix: Sequence[SequenceLoad], *,
+                 qps: float, duration_s: float,
+                 deadline_ms: Optional[float] = None, seed: int = 0,
+                 drain_timeout_s: float = 120.0):
+        if not mix:
+            raise ValueError("need at least one SequenceLoad")
+        self.submit = submit
+        self.mix = tuple(mix)
+        self.qps = float(qps)
+        self.duration_s = float(duration_s)
+        self.deadline_ms = deadline_ms
+        self.seed = int(seed)
+        self.drain_timeout_s = float(drain_timeout_s)
+
+    def run(self) -> GenerationLoadReport:
+        offsets = poisson_arrivals(self.qps, self.duration_s, seed=self.seed)
+        rng = np.random.default_rng(self.seed + 1)
+        weights = np.array([load.weight for load in self.mix], dtype=np.float64)
+        load_ids = rng.choice(len(self.mix), size=len(offsets),
+                              p=weights / weights.sum())
+        cursors = [0] * len(self.mix)
+
+        lock = threading.Lock()
+        latency_hist = LatencyHistogram("loadgen_generation_latency_ms")
+        ttft_hist = LatencyHistogram("loadgen_generation_ttft_ms")
+        errors: Counter = Counter()
+        completed = [0]
+        tokens = [0]
+        last_completion = [0.0]
+        in_flight = [0]
+        peak = [0]
+        outstanding = threading.Semaphore(0)
+
+        def _finish(scheduled: float, sent_at: float, future) -> None:
+            now = time.monotonic()
+            error = future.exception()
+            with lock:
+                in_flight[0] -= 1
+                if error is None:
+                    result = future.result()
+                    completed[0] += 1
+                    tokens[0] += int(result.tokens.shape[0]) - 1
+                    latency_hist.observe((now - scheduled) * 1e3)
+                    # Charge generator slip to TTFT too: scheduled -> first
+                    # token, not sent -> first token.
+                    ttft_hist.observe((sent_at - scheduled) * 1e3
+                                      + result.timing.ttft_ms)
+                    last_completion[0] = max(last_completion[0], now)
+                else:
+                    errors[type(error).__name__] += 1
+            outstanding.release()
+
+        start = time.monotonic()
+        max_slip = 0.0
+        sent = 0
+        fired = 0
+        for offset, load_id in zip(offsets, load_ids):
+            scheduled = start + float(offset)
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            else:
+                max_slip = max(max_slip, -delay)
+            load = self.mix[load_id]
+            cursor = cursors[load_id]
+            cursors[load_id] = cursor + 1
+            prompt = load.prompts[cursor % len(load.prompts)]
+            sent += 1
+            sent_at = time.monotonic()
+            try:
+                if self.deadline_ms is not None:
+                    future = self.submit(prompt,
+                                         max_new_tokens=load.max_new_tokens,
+                                         deadline_ms=self.deadline_ms)
+                else:
+                    future = self.submit(prompt,
+                                         max_new_tokens=load.max_new_tokens)
+            except Exception as error:  # noqa: BLE001 - rejection is data
+                with lock:
+                    errors[type(error).__name__] += 1
+                continue
+            fired += 1
+            with lock:
+                in_flight[0] += 1
+                peak[0] = max(peak[0], in_flight[0])
+            future.add_done_callback(
+                lambda fut, scheduled=scheduled, sent_at=sent_at:
+                    _finish(scheduled, sent_at, fut))
+
+        drain_deadline = time.monotonic() + self.drain_timeout_s
+        drained = 0
+        while drained < fired:
+            remaining = drain_deadline - time.monotonic()
+            if remaining <= 0 or not outstanding.acquire(timeout=max(remaining, 0.01)):
+                with lock:
+                    errors["Unresolved"] += fired - drained
+                break
+            drained += 1
+
+        end = time.monotonic()
+        with lock:
+            ttft_mean = ttft_hist.mean
+            ttft_p50, ttft_p95, ttft_p99 = ttft_hist.percentiles()
+            p50, p95, p99 = latency_hist.percentiles()
+            done = completed[0]
+            total_tokens = tokens[0]
+            error_counts = tuple(sorted(errors.items()))
+            top = peak[0]
+        window = max(last_completion[0] - start, self.duration_s) if done else self.duration_s
+        return GenerationLoadReport(
+            offered_qps=self.qps,
+            duration_s=self.duration_s,
+            sent=sent,
+            completed=done,
+            failed=sent - done,
+            tokens_generated=total_tokens,
+            tokens_per_second=total_tokens / window if window > 0 else float("nan"),
+            goodput_sps=done / window if window > 0 else float("nan"),
+            ttft_ms_mean=ttft_mean,
+            ttft_ms_p50=ttft_p50,
+            ttft_ms_p95=ttft_p95,
+            ttft_ms_p99=ttft_p99,
+            latency_ms_p50=p50,
+            latency_ms_p95=p95,
+            latency_ms_p99=p99,
+            peak_concurrent_streams=top,
             max_slip_ms=max_slip * 1e3,
             drain_s=max(end - start - self.duration_s, 0.0),
             errors=error_counts,

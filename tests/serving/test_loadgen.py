@@ -8,7 +8,17 @@ from concurrent.futures import Future
 import numpy as np
 import pytest
 
-from repro.serving import FamilyLoad, LoadReport, OpenLoopGenerator, poisson_arrivals
+from repro.serving import (
+    FamilyLoad,
+    GenerationLoadGenerator,
+    GenerationResult,
+    GenerationTiming,
+    LoadReport,
+    OpenLoopGenerator,
+    SequenceLoad,
+    ServerOverloaded,
+    poisson_arrivals,
+)
 
 
 class TestPoissonArrivals:
@@ -156,3 +166,69 @@ class TestOpenLoopGenerator:
         rendered = report.as_dict()
         assert rendered["errors"] == {"X": 2}
         assert rendered["goodput_rps"] == 1.0
+
+
+class TestGenerationLoadGenerator:
+    @staticmethod
+    def fake_result(new_tokens: int):
+        return GenerationResult(
+            tokens=np.concatenate([[1], np.full(new_tokens - 1, 5), [2]]),
+            timing=GenerationTiming(queue_ms=0.1, prefill_ms=0.2, ttft_ms=1.5,
+                                    total_ms=3.0, steps=new_tokens,
+                                    finish_reason="eos"))
+
+    def test_sequence_load_validation(self):
+        with pytest.raises(ValueError):
+            SequenceLoad(prompts=())
+        with pytest.raises(ValueError):
+            SequenceLoad(prompts=(np.array([3, 4]),), max_new_tokens=0)
+
+    def test_counts_tokens_and_rejections(self):
+        calls = []
+
+        def submit(prompt, max_new_tokens=None):
+            calls.append(max_new_tokens)
+            if len(calls) % 3 == 0:
+                raise ServerOverloaded("full")
+            future = Future()
+            future.set_result(self.fake_result(max_new_tokens))
+            return future
+
+        mix = (SequenceLoad(prompts=(np.array([3, 4, 5]),), max_new_tokens=4),)
+        report = GenerationLoadGenerator(submit, mix, qps=200.0,
+                                         duration_s=0.1, seed=2,
+                                         drain_timeout_s=5.0).run()
+        assert report.sent == len(calls) > 0
+        assert report.failed == len(calls) // 3
+        assert dict(report.errors).get("ServerOverloaded", 0) == report.failed
+        # Every completion carried max_new_tokens generated tokens.
+        assert report.tokens_generated == report.completed * 4
+        assert report.tokens_per_second > 0
+        assert report.ttft_ms_p50 >= 1.5  # includes the server-side TTFT
+        rendered = report.as_dict()
+        assert rendered["errors"].get("ServerOverloaded", 0) == report.failed
+
+    def test_peak_concurrency_tracked(self):
+        pending = []
+
+        def submit(prompt, max_new_tokens=None):
+            future = Future()
+            pending.append((future, max_new_tokens))
+            return future
+
+        mix = (SequenceLoad(prompts=(np.array([3]),), max_new_tokens=2),)
+        generator = GenerationLoadGenerator(submit, mix, qps=100.0,
+                                            duration_s=0.15, seed=3,
+                                            drain_timeout_s=10.0)
+        resolver = threading.Timer(
+            0.4, lambda: [f.set_result(self.fake_result(n))
+                          for f, n in pending])
+        resolver.start()
+        try:
+            report = generator.run()
+        finally:
+            resolver.cancel()
+        assert report.completed == report.sent > 0
+        # Everything resolved at once, so all requests were in flight together.
+        assert report.peak_concurrent_streams == report.sent
+        assert report.latency_ms_p99 >= 200.0
