@@ -15,6 +15,13 @@ Usage::
 ``--quick`` runs a reduced matrix suitable for CI and exits non-zero if the
 fast path is slower than the reference on the standard (m=4, g=16) nearest
 configuration -- the perf-regression gate.
+
+Also gates the runtime invariant sanitizer (:mod:`repro.devtools.sanitize`):
+with the sanitizer *uninstalled*, packed-tensor construction
+(``bfp_quantize_tensor``) must cost within 1% of a baseline replay of the
+same pipeline whose result dataclass has no ``__post_init__`` hook at all
+-- i.e. the disabled gate (one global load + branch per construction) is
+free at benchmark resolution.
 """
 
 import argparse
@@ -22,10 +29,12 @@ import json
 import platform
 import sys
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
+from repro.core import bfp, kernels
 from repro.core.kernels import bfp_quantize_fast, bfp_quantize_reference
 from repro.core.rounding import LFSR, NoisePool, VectorizedLFSR
 
@@ -128,6 +137,75 @@ def run_case(size, group_size, mantissa_bits, rounding, repeats, lfsr=False, poo
     }
 
 
+@dataclass
+class _PreSanitizerTensor:
+    """Field-for-field clone of BFPTensor with no ``__post_init__``.
+
+    Replays the packed-tensor construction exactly as it was before the
+    sanitizer hook existed, so the A/B below isolates the cost of the
+    disabled gate (one module-global load + ``is not None`` branch).
+    """
+
+    signs: np.ndarray
+    mantissas: np.ndarray
+    exponents: np.ndarray
+    config: object
+    shape: tuple
+    axis: int = -1
+    pad: int = 0
+    _moved_shape: tuple = field(default=None, repr=False)
+
+
+def _baseline_quantize_tensor(x, config, axis=-1):
+    """The body of ``bfp_quantize_tensor`` minus the sanitizer hook."""
+    groups, pad, moved_shape = kernels.resolve_groups(x, config.group_size, axis=axis)
+    exponents = bfp.compute_group_exponents(groups, config.exponent_bits)
+    _, signs, mantissas = kernels.quantize_groups(
+        groups, exponents, config.mantissa_bits, config.rounding,
+        rng=None, noise_bits=config.noise_bits, return_packed=True)
+    return _PreSanitizerTensor(signs, mantissas, exponents, config,
+                               tuple(x.shape), axis, pad, moved_shape)
+
+
+def sanitizer_gate_overhead(repeats: int) -> dict:
+    """Interleaved best-of-N A/B: shipped (gate off) vs pre-sanitizer path.
+
+    The two variants are timed in alternating rounds (not back-to-back
+    blocks) so slow drift -- thermal state, cache pressure from earlier
+    benchmark cases -- cancels out of the ratio instead of landing on
+    whichever variant ran second.
+    """
+    assert bfp._SANITIZER is None, "sanitizer must be uninstalled for this gate"
+    config = bfp.BFPConfig(mantissa_bits=4, group_size=16, rounding="nearest")
+    values = make_input(16_384)
+    calls = 50
+    rounds = max(repeats * 4, 12)
+
+    def run_shipped():
+        for _ in range(calls):
+            bfp.bfp_quantize_tensor(values, config)
+
+    def run_baseline():
+        for _ in range(calls):
+            _baseline_quantize_tensor(values, config)
+
+    run_shipped()
+    run_baseline()  # warm both paths before any timed round
+    shipped = baseline = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_shipped()
+        shipped = min(shipped, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_baseline()
+        baseline = min(baseline, time.perf_counter() - start)
+    return {
+        "shipped_ms_per_call": shipped / calls * 1e3,
+        "baseline_ms_per_call": baseline / calls * 1e3,
+        "overhead_ratio": shipped / baseline,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -169,6 +247,11 @@ def main(argv=None) -> int:
     print_rows(["size", "g", "m", "rounding", "ref (ms)", "fast (ms)", "speedup"], rows,
                title="BFP quantization timings (best of {} runs)".format(repeats))
 
+    gate = sanitizer_gate_overhead(repeats)
+    print(f"\nsanitizer gate (off): {gate['shipped_ms_per_call']:.3f} ms/call "
+          f"vs pre-hook baseline {gate['baseline_ms_per_call']:.3f} ms/call "
+          f"({(gate['overhead_ratio'] - 1) * 100:+.2f}%)")
+
     report = {
         "benchmark": "bench_perf_quantization",
         "mode": "quick" if args.quick else "full",
@@ -177,6 +260,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "equivalence": "pass",
+        "sanitizer_gate": gate,
         "results": results,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -191,6 +275,12 @@ def main(argv=None) -> int:
           f"at size {worst['size']:,}")
     if worst["speedup"] < 1.0:
         print("FAIL: fast path slower than the reference on the standard configuration",
+              file=sys.stderr)
+        return 1
+    if gate["overhead_ratio"] > 1.01:
+        print(f"FAIL: sanitizer-off construction is "
+              f"{(gate['overhead_ratio'] - 1) * 100:.2f}% slower than the "
+              "pre-hook baseline (gate must stay under 1%)",
               file=sys.stderr)
         return 1
     return 0

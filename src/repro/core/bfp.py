@@ -39,7 +39,24 @@ __all__ = [
     "group_values",
     "ungroup_values",
     "MIN_EXPONENT",
+    "set_sanitizer",
 ]
+
+#: Invariant-sanitizer hook (same gate idiom as the kernel profiler).
+#: ``None`` keeps :class:`BFPTensor` construction on the pre-existing code
+#: path: one global load and one branch.  Installed/removed by
+#: :mod:`repro.devtools.sanitize` -- this module never imports devtools.
+_SANITIZER = None
+
+
+def set_sanitizer(sanitizer) -> object:
+    """Install (or with ``None`` remove) the BFP invariant sanitizer;
+    returns the previous one.  ``sanitizer`` needs one method:
+    ``check_bfp_tensor(bfp_tensor)``."""
+    global _SANITIZER
+    previous = _SANITIZER
+    _SANITIZER = sanitizer
+    return previous
 
 
 @dataclass(frozen=True)
@@ -209,6 +226,10 @@ class BFPTensor:
     axis: int = -1
     pad: int = 0
     _moved_shape: tuple = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if _SANITIZER is not None:
+            _SANITIZER.check_bfp_tensor(self)
 
     @property
     def group_size(self) -> int:

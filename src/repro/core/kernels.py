@@ -476,7 +476,8 @@ def group_values_reference(x: np.ndarray, group_size: int, axis: int = -1):
     rows = moved.reshape(-1, length)
     pad = (-length) % group_size
     if pad:
-        rows = np.concatenate([rows, np.zeros((rows.shape[0], pad))], axis=1)
+        rows = np.concatenate([rows, np.zeros((rows.shape[0], pad), dtype=np.float64)],
+                              axis=1)
     groups = rows.reshape(rows.shape[0], -1, group_size)
     return groups, pad, moved_shape
 

@@ -309,7 +309,7 @@ class NoisePool:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if source is None:
-            source = np.random.default_rng()
+            source = np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
         elif isinstance(source, (int, np.integer)):
             source = np.random.default_rng(int(source))
         self.source = source
@@ -441,7 +441,7 @@ def draw_noise(rng, shape, noise_bits: Optional[int] = 8) -> np.ndarray:
     which is what makes the fast path seed-reproducible against the reference.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
     if isinstance(rng, (LFSR, NoisePool)):
         return rng.uniform(shape, noise_bits=noise_bits)
     if noise_bits is None:

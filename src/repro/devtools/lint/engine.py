@@ -1,0 +1,267 @@
+"""The lint engine: file walking, parsing, suppressions, baseline.
+
+Rules only see a :class:`LintContext` -- the parsed tree (with parent
+links), the raw source lines, and a handful of shared helpers -- and yield
+:class:`Finding` objects.  The engine owns everything rule-independent:
+which files to visit, inline/file-level suppressions, and the committed
+baseline that makes adoption incremental.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "attach_parents",
+    "lint_paths",
+    "lint_source",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next-line|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + path + stripped code line.
+
+        Deliberately excludes the line *number* so unrelated edits above a
+        baselined finding do not churn the baseline file.
+        """
+        return f"{self.rule}::{self.path}::{self.snippet.strip()}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Set ``_repro_parent`` on every node (engine-private attribute)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_repro_parent", None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield the parent chain from the immediate parent to the module."""
+    current = parent(node)
+    while current is not None:
+        yield current
+        current = parent(current)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to check one file."""
+
+    path: str  # normalized (posix, relative to the lint root)
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    # rule code -> set of suppressed line numbers; "__file__" key marks
+    # file-level suppressions (stored with line 0).
+    _suppressed: Dict[str, Set[int]] = field(default_factory=dict)
+    _file_suppressed: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "LintContext":
+        tree = ast.parse(source)
+        attach_parents(tree)
+        ctx = cls(path=path, source=source, tree=tree, lines=source.splitlines())
+        ctx._parse_suppressions()
+        return ctx
+
+    def _parse_suppressions(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            for match in _SUPPRESS_RE.finditer(text):
+                kind = match.group(1)
+                rules = [r.strip() for r in match.group(2).split(",")]
+                for rule in rules:
+                    if kind == "disable-file":
+                        self._file_suppressed.add(rule)
+                    elif kind == "disable-next-line":
+                        self._suppressed.setdefault(rule, set()).add(lineno + 1)
+                    else:  # disable (same line)
+                        self._suppressed.setdefault(rule, set()).add(lineno)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._file_suppressed or "all" in self._file_suppressed:
+            return True
+        for key in (rule, "all"):
+            if line in self._suppressed.get(key, set()):
+                return True
+        return False
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of a node ('' when unavailable)."""
+        try:
+            return ast.get_source_segment(self.source, node) or ""
+        except Exception:
+            return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=self.line_text(lineno),
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``description``, optionally narrow
+    their file scope with :meth:`applies`, and implement :meth:`check` as a
+    generator of findings.  Suppression filtering is the engine's job --
+    rules yield everything they see.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies(self, path: str) -> bool:
+        return True
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Baseline:
+    """Committed inventory of pre-existing findings, keyed by fingerprint.
+
+    The file maps fingerprints to occurrence counts; a finding fails the
+    build only once the live count for its fingerprint exceeds the
+    baselined count.  ``stale`` reports fingerprints whose findings were
+    since fixed (run ``--write-baseline`` to drop them).
+    """
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None):
+        self.counts: Counter = Counter(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        entries = data.get("findings", data) if isinstance(data, dict) else {}
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    def save(self, path: Path, findings: Sequence[Finding]) -> None:
+        counts = Counter(f.fingerprint for f in findings)
+        payload = {
+            "comment": (
+                "repro-lint baseline: pre-existing findings that do not fail "
+                "the build.  Regenerate with --write-baseline; prefer fixing "
+                "or inline-suppressing (with a reason) over baselining."
+            ),
+            "findings": {k: counts[k] for k in sorted(counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (new, baselined) and report stale entries."""
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(k for k, v in remaining.items() if v > 0)
+        return new, baselined, stale
+
+
+def lint_source(path: str, source: str, rules: Sequence[Rule]) -> List[Finding]:
+    """Lint one in-memory source file; returns suppression-filtered findings."""
+    try:
+        ctx = LintContext.from_source(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="RL000",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+                snippet=exc.text or "",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies(path):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path], root: Path) -> Iterator[Tuple[Path, str]]:
+    """Yield (absolute path, normalized relative path) for every .py file."""
+    seen: Set[Path] = set()
+    for base in paths:
+        base = base if base.is_absolute() else root / base
+        candidates = sorted(base.rglob("*.py")) if base.is_dir() else [base]
+        for file in candidates:
+            file = file.resolve()
+            if file in seen or file.suffix != ".py":
+                continue
+            seen.add(file)
+            try:
+                rel = file.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            yield file, rel
+
+
+def lint_paths(
+    paths: Sequence[Path], root: Path, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` (resolved against ``root``)."""
+    findings: List[Finding] = []
+    for file, rel in iter_python_files(paths, root):
+        source = file.read_text(encoding="utf-8")
+        findings.extend(lint_source(rel, source, rules))
+    return findings

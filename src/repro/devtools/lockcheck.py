@@ -1,0 +1,309 @@
+"""Dynamic lock-order detector: catch ABBA deadlocks without hitting them.
+
+A deadlock needs two threads to interleave *just so*; a lock-order
+*inversion* only needs each order to occur once, on any thread, at any
+time.  This module exploits that: :func:`install` replaces
+``threading.Lock`` with a factory for :class:`TrackedLock`, which records
+-- per acquisition -- the set of locks the acquiring thread already holds.
+Every (held -> acquired) pair becomes an edge in a global lock-order
+graph, labelled with the source site (``file:line``) that created it.  A
+cycle in that graph means two code paths acquire the same locks in
+opposite orders, i.e. a latent deadlock, and :func:`check` (or release of
+the offending lock) raises :class:`LockOrderError` with both sites --
+even though no thread ever blocked.
+
+The wrapper is protocol-complete (``acquire(blocking, timeout)`` /
+``release`` / ``locked`` / context manager), so ``queue.Queue``,
+``threading.Condition`` and friends work unchanged on top of it.
+
+Guarded-state checking complements the static RL004 rule at runtime:
+:func:`register_guard` associates an object (by id) with the lock that
+must be held to touch it, and :func:`record_access` -- sprinkled into
+tests or debug builds -- raises :class:`GuardViolation` when the owning
+lock is not held by the calling thread.
+
+Everything is opt-in: importing this module patches nothing.  Tests use
+the ``lock_order_check`` fixture (tests/serving/conftest.py), enabled by
+``REPRO_LOCKCHECK=1``, which installs around each test and fails the test
+on any inversion recorded during it.
+
+Known blind spots: locks created *before* :func:`install` are invisible
+(the fixture installs before the server under test is constructed, so
+this rarely matters), and ``threading.RLock`` is left untouched because
+re-entrancy makes hold-sets ambiguous.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderError",
+    "GuardViolation",
+    "TrackedLock",
+    "install",
+    "uninstall",
+    "installed",
+    "check",
+    "reset",
+    "edges",
+    "register_guard",
+    "unregister_guard",
+    "record_access",
+    "assert_owned",
+]
+
+_RealLock = threading.Lock  # the C factory, captured at import time
+
+# ---------------------------------------------------------------------- #
+# Global detector state.  One registry per process; the registry has its
+# own real (untracked) lock so the detector never traces itself.
+
+
+class LockOrderError(AssertionError):
+    """A cycle in the lock acquisition graph: a latent ABBA deadlock."""
+
+
+class GuardViolation(AssertionError):
+    """Registered shared state touched without holding its owning lock."""
+
+
+class _Registry:
+    def __init__(self) -> None:
+        self._mutex = _RealLock()
+        # (held_label, acquired_label) -> (held_site, acquired_site)
+        self.order: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        self.violations: List[str] = []
+        # id(obj) -> (TrackedLock, description)
+        self.guards: Dict[int, Tuple["TrackedLock", str]] = {}
+
+    def record(self, held: "TrackedLock", acquired: "TrackedLock",
+               site: str) -> Optional[str]:
+        """Add edge held->acquired; return a violation message on a cycle."""
+        if held.label == acquired.label:
+            # Same creation site (e.g. one lock per metric instance):
+            # distinct objects, no ordering relation to learn.
+            return None
+        with self._mutex:
+            key = (held.label, acquired.label)
+            if key not in self.order:
+                self.order[key] = (held.site, site)
+            if self._path_exists(acquired.label, held.label):
+                back = self.order.get((acquired.label, held.label))
+                message = (
+                    f"lock-order inversion: {held.label} -> {acquired.label} "
+                    f"at {site}, but {acquired.label} -> {held.label} was "
+                    f"recorded at {back[1] if back else '<indirect>'}")
+                self.violations.append(message)
+                return message
+        return None
+
+    def _path_exists(self, start: str, goal: str) -> bool:
+        """DFS over recorded edges (called with ``_mutex`` held)."""
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(b for (a, b) in self.order if a == node)
+        return False
+
+
+_registry = _Registry()
+_installed = False
+_raise_inline = True
+
+_held = threading.local()  # per-thread list of currently-held TrackedLocks
+
+
+def _held_list() -> List["TrackedLock"]:
+    locks = getattr(_held, "locks", None)
+    if locks is None:
+        locks = _held.locks = []
+    return locks
+
+
+def _call_site(depth: int = 2) -> str:
+    """``file:line`` of the caller ``depth`` frames up, repo-relative-ish."""
+    import sys
+
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename
+    for marker in ("/src/", "/tests/", "/benchmarks/"):
+        index = filename.rfind(marker)
+        if index >= 0:
+            filename = filename[index + 1:]
+            break
+    return f"{filename}:{frame.f_lineno}"
+
+
+class TrackedLock:
+    """Drop-in ``threading.Lock`` that records acquisition order.
+
+    The label identifying a lock in the order graph is its *creation
+    site*: all locks born on the same line (one per server instance, one
+    per metric) are the same "role", which is what an ordering discipline
+    is about.
+    """
+
+    __slots__ = ("_inner", "label", "site")
+
+    def __init__(self, label: Optional[str] = None):
+        self._inner = _RealLock()
+        self.site = _call_site(2)
+        self.label = label or self.site
+
+    # -- threading.Lock protocol --------------------------------------- #
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._acquire(blocking, timeout, depth=3)
+
+    def _acquire(self, blocking: bool, timeout: float, depth: int) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            site = _call_site(depth)
+            holders = _held_list()
+            message = None
+            for held_lock in holders:
+                message = _registry.record(held_lock, self, site) or message
+            holders.append(self)
+            if message and _raise_inline:
+                self._inner.release()
+                holders.pop()
+                raise LockOrderError(message)
+        return got
+
+    def release(self) -> None:
+        holders = _held_list()
+        if self in holders:
+            holders.remove(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self._acquire(True, -1, depth=3)
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<TrackedLock {self.label} {state}>"
+
+    # -- detector helpers ---------------------------------------------- #
+    def held_by_me(self) -> bool:
+        return self in _held_list()
+
+
+def _tracked_lock_factory() -> TrackedLock:
+    # One extra frame (this factory) between TrackedLock.__init__ and the
+    # code that called threading.Lock(); point the label at the latter.
+    lock = TrackedLock.__new__(TrackedLock)
+    lock._inner = _RealLock()
+    lock.site = _call_site(2)
+    lock.label = lock.site
+    return lock
+
+
+# ---------------------------------------------------------------------- #
+# Install / inspect / reset
+
+
+def install(raise_inline: bool = True) -> None:
+    """Patch ``threading.Lock`` so new locks are tracked.
+
+    ``raise_inline=False`` records inversions without raising at the
+    acquisition site; call :func:`check` later (the fixture does this at
+    test teardown, so the test body runs to completion first).
+    """
+    global _installed, _raise_inline
+    _raise_inline = raise_inline
+    if _installed:
+        return
+    threading.Lock = _tracked_lock_factory  # type: ignore[assignment]
+    _installed = True
+
+
+def uninstall() -> None:
+    """Restore the real ``threading.Lock``.  Existing TrackedLocks keep
+    working (they wrap a real lock), they just stop learning new edges
+    from freshly-created peers."""
+    global _installed
+    threading.Lock = _RealLock  # type: ignore[assignment]
+    _installed = False
+
+
+def installed() -> bool:
+    return _installed
+
+
+def check() -> None:
+    """Raise :class:`LockOrderError` if any inversion was recorded."""
+    with _registry._mutex:
+        violations = list(_registry.violations)
+    if violations:
+        raise LockOrderError("; ".join(violations))
+
+
+def reset() -> None:
+    """Forget all recorded edges, violations, and guards."""
+    with _registry._mutex:
+        _registry.order.clear()
+        _registry.violations.clear()
+        _registry.guards.clear()
+
+
+def edges() -> Dict[Tuple[str, str], Tuple[str, str]]:
+    """Snapshot of the recorded (held -> acquired) order graph."""
+    with _registry._mutex:
+        return dict(_registry.order)
+
+
+# ---------------------------------------------------------------------- #
+# Guarded shared-state checking
+
+
+def register_guard(obj: object, lock: TrackedLock,
+                   description: str = "") -> None:
+    """Declare that ``obj`` must only be touched while ``lock`` is held."""
+    if not isinstance(lock, TrackedLock):
+        raise TypeError(
+            "register_guard needs a TrackedLock (install() first, then "
+            f"create the lock); got {type(lock).__name__}")
+    with _registry._mutex:
+        _registry.guards[id(obj)] = (lock, description or repr(obj))
+
+
+def unregister_guard(obj: object) -> None:
+    with _registry._mutex:
+        _registry.guards.pop(id(obj), None)
+
+
+def record_access(obj: object) -> None:
+    """Assert the calling thread holds the lock registered for ``obj``.
+
+    No-op for unregistered objects, so call sites can be left in test
+    helpers unconditionally.
+    """
+    with _registry._mutex:
+        entry = _registry.guards.get(id(obj))
+    if entry is None:
+        return
+    lock, description = entry
+    if not lock.held_by_me():
+        raise GuardViolation(
+            f"guarded state {description} accessed at {_call_site(2)} "
+            f"without holding {lock.label}")
+
+
+def assert_owned(lock: TrackedLock) -> None:
+    """Assert the calling thread holds ``lock`` (for ``*_locked`` helpers)."""
+    if not lock.held_by_me():
+        raise GuardViolation(
+            f"{_call_site(2)} requires {lock.label} but the calling "
+            f"thread does not hold it")

@@ -1,0 +1,250 @@
+"""Runtime invariant sanitizer for the quantization substrate.
+
+Two families of checks, both **opt-in** and wired through the same
+zero-overhead gate idiom as the kernel profiler (a module-global that is
+``None`` by default, so the disabled path is one global load and one
+branch):
+
+* **BFPTensor construction invariants** -- every packed tensor built while
+  the sanitizer is installed is validated on construction
+  (``BFPTensor.__post_init__``): sign/mantissa/exponent dtypes and shapes,
+  mantissa magnitudes within ``2**m - 1``, signs in ``{-1, 0, +1}`` and
+  zero exactly where the mantissa is zero, shared exponents inside the
+  ``2**e``-wide window the kernel clamps to, and an exact pack/unpack
+  round-trip (``ldexp`` down and back reproduces the integer mantissas
+  bit-for-bit, so a corrupted shared exponent that pushes values to
+  overflow is caught at the source).  Violations raise
+  :class:`SanitizerError` with the failing field and indices.
+
+* **Non-finite provenance** -- every autograd op result
+  (``Tensor._make``) is scanned for NaN/Inf.  This is *record-only*:
+  serving fault-injection and the YOLO loss legitimately produce NaN
+  sentinels, so raising would break correct code.  Instead the sanitizer
+  keeps a bounded log of *origins* -- ops whose inputs were all finite but
+  whose output was not -- so the first NaN in a diverging run is
+  attributable to one op instead of the loss it eventually poisons.
+
+Enable per-process with :func:`install` / :func:`uninstall`, or for the
+test suite with ``REPRO_SANITIZE=1`` (see ``tests/conftest.py``).  The
+hooked modules (``core/bfp.py``, ``nn/tensor.py``) are imported lazily in
+:func:`install`, never at module import time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "SanitizerError",
+    "NonFiniteRecord",
+    "Sanitizer",
+    "install",
+    "uninstall",
+    "current",
+]
+
+# ldexp shifts below this are deep in float64-subnormal territory where an
+# integer mantissa no longer round-trips exactly (the subnormal format has
+# fewer significand bits than the mantissa needs).  Such groups only arise
+# from quantizing values around 1e-300; skip them rather than false-alarm.
+_MIN_EXACT_SHIFT = -1020
+
+
+class SanitizerError(AssertionError):
+    """A BFPTensor violated a construction invariant."""
+
+
+@dataclass(frozen=True)
+class NonFiniteRecord:
+    """One op whose inputs were finite but whose output was not."""
+
+    op: str
+    parent_ops: Tuple[str, ...]
+    shape: Tuple[int, ...]
+    nonfinite: int          # count of NaN/Inf elements in the output
+    first_index: tuple      # np.unravel_index of the first offender
+
+
+@dataclass
+class Sanitizer:
+    """Holds check counters and the bounded non-finite origin log."""
+
+    max_records: int = 256
+    bfp_checked: int = 0
+    bfp_failures: int = 0
+    ops_checked: int = 0
+    _records: deque = field(default_factory=lambda: deque(maxlen=256),
+                            repr=False)
+
+    def __post_init__(self):
+        self._records = deque(maxlen=int(self.max_records))
+
+    # ------------------------------------------------------------------ #
+    # BFPTensor construction invariants (raising)
+    # ------------------------------------------------------------------ #
+    def check_bfp_tensor(self, bfp) -> None:
+        import numpy as np
+
+        self.bfp_checked += 1
+        try:
+            self._check_bfp(np, bfp)
+        except SanitizerError:
+            self.bfp_failures += 1
+            raise
+
+    def _check_bfp(self, np, bfp) -> None:
+        signs, mantissas, exponents = bfp.signs, bfp.mantissas, bfp.exponents
+        config = bfp.config
+
+        def fail(message: str) -> None:
+            raise SanitizerError(
+                f"BFPTensor invariant violated (shape={bfp.shape}, "
+                f"m={config.mantissa_bits}, g={config.group_size}, "
+                f"e={config.exponent_bits}): {message}")
+
+        # -- structure ------------------------------------------------- #
+        if signs.shape != mantissas.shape:
+            fail(f"signs shape {signs.shape} != mantissas shape "
+                 f"{mantissas.shape}")
+        if signs.ndim != 3:
+            fail(f"packed arrays must be (rows, groups, g), got "
+                 f"{signs.ndim}-D {signs.shape}")
+        if signs.shape[-1] != config.group_size:
+            fail(f"group axis is {signs.shape[-1]} wide, config says "
+                 f"{config.group_size}")
+        if exponents.shape != signs.shape[:2]:
+            fail(f"exponents shape {exponents.shape} != group grid "
+                 f"{signs.shape[:2]}")
+        if not np.issubdtype(mantissas.dtype, np.integer):
+            fail(f"mantissas must be integers, got {mantissas.dtype}")
+        if not np.issubdtype(exponents.dtype, np.integer):
+            fail(f"exponents must be integers, got {exponents.dtype}")
+
+        # -- value ranges ---------------------------------------------- #
+        limit = (1 << config.mantissa_bits) - 1
+        bad = (mantissas < 0) | (mantissas > limit)
+        if bad.any():
+            index = tuple(int(i) for i in
+                          np.unravel_index(int(np.argmax(bad)), bad.shape))
+            fail(f"mantissa magnitude out of [0, {limit}] at {index}: "
+                 f"{int(mantissas[index])}")
+        bad = np.abs(signs.astype(np.int64)) > 1
+        if bad.any():
+            index = tuple(int(i) for i in
+                          np.unravel_index(int(np.argmax(bad)), bad.shape))
+            fail(f"sign not in {{-1, 0, +1}} at {index}: "
+                 f"{int(signs[index])}")
+        bad = (signs == 0) != (mantissas == 0)
+        if bad.any():
+            index = tuple(int(i) for i in
+                          np.unravel_index(int(np.argmax(bad)), bad.shape))
+            fail(f"sign/mantissa zero mismatch at {index}: sign="
+                 f"{int(signs[index])} mantissa={int(mantissas[index])}")
+
+        # -- shared-exponent range ------------------------------------- #
+        # float64 exponents live in [-1074, 1023]; anything outside is a
+        # corrupted field, not a representable scale.
+        if exponents.size:
+            low, high = int(exponents.min()), int(exponents.max())
+            if low < -1074 or high > 1023:
+                fail(f"shared exponent outside float64 range [-1074, 1023]: "
+                     f"min={low} max={high}")
+            if config.exponent_bits is not None:
+                window = (1 << config.exponent_bits) - 1
+                if high - low > window:
+                    fail(f"shared exponents span {high - low} > window "
+                         f"{window} of the {config.exponent_bits}-bit "
+                         f"format (kernel clamps to "
+                         f"[max - {window}, max]; a corrupt exponent "
+                         f"escapes that window)")
+
+        # -- pack/unpack round-trip ------------------------------------ #
+        # Dequantize and re-extract the integer mantissas: both directions
+        # are exact power-of-two scalings, so any mismatch means the
+        # packed fields do not describe representable values (e.g. an
+        # exponent corrupted high enough that ldexp overflows).
+        shift = (exponents - (config.mantissa_bits - 1)).astype(np.int32)
+        exact = shift >= _MIN_EXACT_SHIFT
+        if exact.any():
+            packed = signs.astype(np.float64) * mantissas.astype(np.float64)
+            values = np.ldexp(packed, shift[..., None])
+            back = np.ldexp(values, np.negative(shift)[..., None])
+            bad = (back != packed) & exact[..., None]
+            if bad.any():
+                index = tuple(int(i) for i in
+                              np.unravel_index(int(np.argmax(bad)),
+                                               bad.shape))
+                fail(f"pack/unpack round-trip failed at {index}: packed "
+                     f"mantissa {packed[index]} != re-extracted "
+                     f"{back[index]} (exponent "
+                     f"{int(exponents[index[:2]])})")
+
+    # ------------------------------------------------------------------ #
+    # Non-finite provenance (record-only)
+    # ------------------------------------------------------------------ #
+    def check_tensor_op(self, out, parents) -> None:
+        import numpy as np
+
+        self.ops_checked += 1
+        data = out.data
+        if data.dtype.kind != "f":
+            return
+        finite = np.isfinite(data)
+        if finite.all():
+            return
+        # Only log *origins*: ops that created non-finite values from
+        # finite inputs.  Downstream ops merely propagate them.
+        for parent in parents:
+            pdata = parent.data
+            if pdata.dtype.kind == "f" and not np.isfinite(pdata).all():
+                return
+        bad = ~finite
+        first = tuple(int(i) for i in
+                      np.unravel_index(int(np.argmax(bad)), bad.shape))
+        self._records.append(NonFiniteRecord(
+            op=out.op or "<unnamed>",
+            parent_ops=tuple(p.op or "<leaf>" for p in parents),
+            shape=tuple(data.shape),
+            nonfinite=int(bad.sum()),
+            first_index=first,
+        ))
+
+    def nonfinite_records(self) -> List[NonFiniteRecord]:
+        return list(self._records)
+
+    def clear_records(self) -> None:
+        self._records.clear()
+
+
+# ---------------------------------------------------------------------- #
+_current: Optional[Sanitizer] = None
+
+
+def install(max_records: int = 256) -> Sanitizer:
+    """Point the hooked modules' ``_SANITIZER`` gates at one sanitizer."""
+    global _current
+    from ..core import bfp
+    from ..nn import tensor
+
+    sanitizer = Sanitizer(max_records=max_records)
+    bfp.set_sanitizer(sanitizer)
+    tensor.set_sanitizer(sanitizer)
+    _current = sanitizer
+    return sanitizer
+
+
+def uninstall() -> None:
+    """Restore the zero-overhead disabled path in every hooked module."""
+    global _current
+    from ..core import bfp
+    from ..nn import tensor
+
+    bfp.set_sanitizer(None)
+    tensor.set_sanitizer(None)
+    _current = None
+
+
+def current() -> Optional[Sanitizer]:
+    return _current

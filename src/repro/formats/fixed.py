@@ -35,7 +35,7 @@ def uniform_quantize(x, bits: int, rng=None, stochastic: bool = False) -> np.nda
     scaled = x / scale
     if stochastic:
         if rng is None:
-            rng = np.random.default_rng()
+            rng = np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
         noise = rng.random(x.shape)
         quantized = np.sign(scaled) * np.floor(np.abs(scaled) + noise)
     else:

@@ -28,8 +28,12 @@ __all__ = [
 
 
 def causal_mask(length: int) -> np.ndarray:
-    """Additive mask that blocks attention to future positions."""
-    mask = np.triu(np.full((length, length), -1e9), k=1)
+    """Additive mask that blocks attention to future positions.
+
+    Built at float64; :func:`scaled_dot_product_attention` casts additive
+    masks to the scores dtype, so float32 pipelines are not upcast.
+    """
+    mask = np.triu(np.full((length, length), -1e9, dtype=np.float64), k=1)
     return mask
 
 
@@ -38,7 +42,9 @@ def positional_encoding(length: int, dim: int) -> np.ndarray:
     positions = np.arange(length)[:, None]
     dims = np.arange(dim)[None, :]
     angles = positions / np.power(10000.0, (2 * (dims // 2)) / dim)
-    encoding = np.zeros((length, dim))
+    # float64 on purpose: registered as a module buffer, so Module.to()
+    # casts it alongside the rest of the model state.
+    encoding = np.zeros((length, dim), dtype=np.float64)
     encoding[:, 0::2] = np.sin(angles[:, 0::2])
     encoding[:, 1::2] = np.cos(angles[:, 1::2])
     return encoding

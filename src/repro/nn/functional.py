@@ -245,7 +245,7 @@ def col2im(
         positions = flat.ravel()
         per_image = channels * padded_h * padded_w
         weights = np.ascontiguousarray(cols, dtype=np.float64).reshape(batch, -1)
-        padded = np.empty((batch, per_image))
+        padded = np.empty((batch, per_image), dtype=np.float64)
         for image in range(batch):
             padded[image] = np.bincount(positions, weights=weights[image],
                                         minlength=per_image)
@@ -645,7 +645,7 @@ def dropout(x: Tensor, p: float, training: bool = True, rng=None) -> Tensor:
     if not training or p <= 0.0:
         return x
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
     dtype = x.data.dtype if np.issubdtype(x.data.dtype, np.floating) else np.float64
     mask = (rng.random(x.shape) >= p).astype(dtype)
     mask *= 1.0 / (1.0 - p)

@@ -35,7 +35,7 @@ def _cast(values: np.ndarray, dtype) -> np.ndarray:
 
 def kaiming_uniform(shape, rng=None, gain: float = np.sqrt(2.0), dtype=None) -> np.ndarray:
     """He/Kaiming uniform initialization (default for ReLU networks)."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
     fan_in, _ = _fan_in_out(shape)
     bound = gain * np.sqrt(3.0 / max(fan_in, 1))
     return _cast(rng.uniform(-bound, bound, size=shape), dtype)
@@ -43,7 +43,7 @@ def kaiming_uniform(shape, rng=None, gain: float = np.sqrt(2.0), dtype=None) -> 
 
 def kaiming_normal(shape, rng=None, gain: float = np.sqrt(2.0), dtype=None) -> np.ndarray:
     """He/Kaiming normal initialization."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
     fan_in, _ = _fan_in_out(shape)
     std = gain / np.sqrt(max(fan_in, 1))
     return _cast(rng.normal(0.0, std, size=shape), dtype)
@@ -51,7 +51,7 @@ def kaiming_normal(shape, rng=None, gain: float = np.sqrt(2.0), dtype=None) -> n
 
 def xavier_uniform(shape, rng=None, gain: float = 1.0, dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform initialization (default for tanh/linear layers)."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * np.sqrt(6.0 / max(fan_in + fan_out, 1))
     return _cast(rng.uniform(-bound, bound, size=shape), dtype)
@@ -59,7 +59,7 @@ def xavier_uniform(shape, rng=None, gain: float = 1.0, dtype=None) -> np.ndarray
 
 def normal(shape, std: float = 0.02, rng=None, dtype=None) -> np.ndarray:
     """Gaussian initialization with a fixed standard deviation."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
     return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 

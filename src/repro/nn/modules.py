@@ -436,7 +436,7 @@ class Dropout(Module):
     def __init__(self, p: float = 0.5, rng=None):
         super().__init__()
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
 
     def forward(self, x) -> Tensor:
         return F.dropout(as_tensor(x), self.p, training=self.training, rng=self.rng)

@@ -99,7 +99,7 @@ class FormatScheme(QuantizationScheme):
 
     def __init__(self, number_format: NumberFormat, rng=None):
         self.number_format = number_format
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
 
     def quantize_weight(self, values: np.ndarray) -> np.ndarray:
         return self.number_format.quantize(values, kind=TensorKind.WEIGHT, rng=self.rng)
@@ -134,7 +134,7 @@ class BFPScheme(QuantizationScheme):
             TensorKind.GRADIENT: gradient_bits,
         }
         self.stochastic_gradients = stochastic_gradients
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
         # Per-scheme grouped-layout cache: a layer's W/A/G shapes repeat every
         # iteration, so their grouping descriptors and padded workspaces are
         # derived once and reused across the whole training run.
@@ -224,7 +224,7 @@ class FASTScheme(QuantizationScheme):
         self.iteration = 0
         self.config = config if config is not None else BFPConfig(exponent_bits=3)
         self.stochastic_gradients = stochastic_gradients
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=RL005 -- API fallback; repro paths thread a seeded rng
         self._last_bits: Dict[str, int] = {}
         self._layouts = LayoutCache(max_entries=16)
         # Bits chosen by the most recent weight_cache_token() call, tagged

@@ -18,10 +18,26 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor", "set_sanitizer"]
 
 
 _GRAD_ENABLED = True
+
+#: Non-finite-provenance hook (same gate idiom as the kernel profiler).
+#: ``None`` keeps op construction on the pre-existing code path: one global
+#: load and one branch per op.  Installed/removed by
+#: :mod:`repro.devtools.sanitize` -- this module never imports devtools.
+_SANITIZER = None
+
+
+def set_sanitizer(sanitizer) -> object:
+    """Install (or with ``None`` remove) the op-result sanitizer; returns
+    the previous one.  ``sanitizer`` needs one method:
+    ``check_tensor_op(out, parents)``."""
+    global _SANITIZER
+    previous = _SANITIZER
+    _SANITIZER = sanitizer
+    return previous
 
 
 @contextlib.contextmanager
@@ -137,6 +153,8 @@ class Tensor:
         out = Tensor(data, requires_grad=requires, parents=[p for p in parents if p.requires_grad], op=op)
         if requires:
             out._backward = backward
+        if _SANITIZER is not None:
+            _SANITIZER.check_tensor_op(out, parents)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -424,7 +442,7 @@ class Tensor:
                 return
             grad = np.asarray(grad)
             if axis is None:
-                expanded_max = np.full(self.shape, out_data)
+                expanded_max = np.full(self.shape, out_data, dtype=self.data.dtype)
                 expanded_grad = np.broadcast_to(grad, self.shape)
             else:
                 axes = axis if isinstance(axis, tuple) else (axis,)

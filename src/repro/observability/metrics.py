@@ -120,8 +120,8 @@ class Counter(_Metric):
 
     def __init__(self, name: str, labels: LabelItems = (), help: str = ""):
         super().__init__(name, labels, help)
-        self._value = 0.0
-        self._collected = 0.0
+        self._value = 0.0  # guarded-by: _lock
+        self._collected = 0.0  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -156,8 +156,8 @@ class Gauge(_Metric):
 
     def __init__(self, name: str, labels: LabelItems = (), help: str = ""):
         super().__init__(name, labels, help)
-        self._value = 0.0
-        self._collected: Optional[float] = None
+        self._value = 0.0  # guarded-by: _lock
+        self._collected: Optional[float] = None  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -202,13 +202,13 @@ class LatencyHistogram(_Metric):
             raise ValueError("buckets must be at least 2 increasing bounds")
         self.bounds = bounds
         # counts has one extra slot: the overflow bucket above bounds[-1].
-        self._counts = [0] * (len(bounds) + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = -math.inf
-        self._collected_counts = [0] * (len(bounds) + 1)
-        self._collected_sum = 0.0
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._min = math.inf  # guarded-by: _lock
+        self._max = -math.inf  # guarded-by: _lock
+        self._collected_counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._collected_sum = 0.0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     def observe(self, value: float) -> None:
@@ -238,7 +238,7 @@ class LatencyHistogram(_Metric):
             return self._sum / self._count if self._count else float("nan")
 
     # ------------------------------------------------------------------ #
-    def _bucket_edges(self, index: int) -> Tuple[float, float]:
+    def _bucket_edges_locked(self, index: int) -> Tuple[float, float]:
         """(lower, upper) value range of bucket ``index``, clamped to the
         observed min/max so interpolation never extrapolates."""
         if index == 0:
@@ -264,7 +264,7 @@ class LatencyHistogram(_Metric):
                 if not bucket_count:
                     continue
                 if cumulative + bucket_count >= target:
-                    lo, hi = self._bucket_edges(index)
+                    lo, hi = self._bucket_edges_locked(index)
                     fraction = (target - cumulative) / bucket_count
                     return lo + (hi - lo) * fraction
                 cumulative += bucket_count
@@ -288,11 +288,11 @@ class LatencyHistogram(_Metric):
 
     def merge_dict(self, payload: dict) -> None:
         counts = payload["counts"]
-        if len(counts) != len(self._counts):
-            raise ValueError(
-                f"histogram layout mismatch: {len(counts)} buckets vs "
-                f"{len(self._counts)}")
         with self._lock:
+            if len(counts) != len(self._counts):
+                raise ValueError(
+                    f"histogram layout mismatch: {len(counts)} buckets vs "
+                    f"{len(self._counts)}")
             for index, extra in enumerate(counts):
                 self._counts[index] += extra
             self._count += payload["count"]
@@ -331,7 +331,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._metrics: Dict[Tuple[str, LabelItems], _Metric] = {}
+        self._metrics: Dict[Tuple[str, LabelItems], _Metric] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     def _get_or_create(self, cls, name: str, labels: dict, help: str,

@@ -38,10 +38,12 @@ class KernelProfiler:
     def __init__(self, registry: MetricsRegistry):
         self.registry = registry
         self._lock = threading.Lock()
-        self._cache: dict = {}
+        self._cache: dict = {}  # guarded-by: _lock
 
     def _metrics(self, kernel: str):
-        metrics = self._cache.get(kernel)
+        # Double-checked locking: dict.get is atomic under the GIL, and a
+        # stale miss simply retries under the lock.
+        metrics = self._cache.get(kernel)  # repro-lint: disable=RL004 -- lock-free fast path of double-checked locking
         if metrics is None:
             with self._lock:
                 metrics = self._cache.get(kernel)

@@ -55,9 +55,9 @@ class Tracer:
         self.sample_rate = float(sample_rate)
         self.clock = clock
         self._lock = threading.Lock()
-        self._events: deque = deque(maxlen=int(max_events))
-        self._seen = 0
-        self._next_trace_id = 1
+        self._events: deque = deque(maxlen=int(max_events))  # guarded-by: _lock
+        self._seen = 0  # guarded-by: _lock
+        self._next_trace_id = 1  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     @property

@@ -400,27 +400,67 @@ class RemoteEngine:
         self.spec = spec
         self.config = config if config is not None else ClusterConfig()
         self._ctx = multiprocessing.get_context(self.config.mp_context)
-        self.generation = 0
-        self.respawns = 0
-        self.oversized_transfers = 0
-        self.warmed_up = False
-        self.warmup_seconds = 0.0
-        #: Transport share of the last predict() round-trip (round-trip
-        #: minus the worker-reported compute time), or None when the worker
-        #: ships no telemetry.  Read by InferenceServer for RequestTiming.
-        self.last_transport_ms: Optional[float] = None
         #: Extra labels stamped onto worker metric deltas when they are
         #: merged into this process's registry (set by ShardedServer).
         self.telemetry_labels: Dict[str, str] = {}
         self._req_id = itertools.count(1)
+        # _lock serializes the whole predict/rewarm/shutdown round-trip;
+        # _stats_lock guards the cheap counters below so stats() and the
+        # public read-only properties never block behind an in-flight
+        # batch.  Order: _lock -> _stats_lock, never the reverse.
         self._lock = threading.Lock()
-        self._closed = False
-        self._spawn()
+        self._stats_lock = threading.Lock()
+        self._closed = False  # guarded-by: _stats_lock
+        self._generation = 0  # guarded-by: _stats_lock
+        self._respawns = 0  # guarded-by: _stats_lock
+        self._oversized_transfers = 0  # guarded-by: _stats_lock
+        self._warmed_up = False  # guarded-by: _stats_lock
+        self._warmup_seconds = 0.0  # guarded-by: _stats_lock
+        # Transport share of the last predict() round-trip (round-trip
+        # minus the worker-reported compute time), or None when the worker
+        # ships no telemetry.  Read by InferenceServer for RequestTiming.
+        self._last_transport_ms: Optional[float] = None  # guarded-by: _stats_lock
+        with self._lock:
+            self._spawn_locked()
+
+    # -------------------------------------------------------------- #
+    # Read-only views of the mutable counters (consistent snapshots for
+    # ShardedServer.stats() and the supervisor, never blocking on _lock)
+    # -------------------------------------------------------------- #
+    @property
+    def generation(self) -> int:
+        with self._stats_lock:
+            return self._generation
+
+    @property
+    def respawns(self) -> int:
+        with self._stats_lock:
+            return self._respawns
+
+    @property
+    def oversized_transfers(self) -> int:
+        with self._stats_lock:
+            return self._oversized_transfers
+
+    @property
+    def warmed_up(self) -> bool:
+        with self._stats_lock:
+            return self._warmed_up
+
+    @property
+    def warmup_seconds(self) -> float:
+        with self._stats_lock:
+            return self._warmup_seconds
+
+    @property
+    def last_transport_ms(self) -> Optional[float]:
+        with self._stats_lock:
+            return self._last_transport_ms
 
     # -------------------------------------------------------------- #
     # Process lifecycle
     # -------------------------------------------------------------- #
-    def _spawn(self) -> None:
+    def _spawn_locked(self) -> None:
         config = self.config
         self._req_ring = ShmRing(config.slot_size, config.ring_slots)
         self._resp_ring = ShmRing(config.slot_size, config.ring_slots)
@@ -428,10 +468,12 @@ class RemoteEngine:
         # Telemetry enablement is latched at (re)spawn time: a worker ships
         # deltas iff the global gate was on when its process started.
         self._telemetry = observability.enabled()
+        with self._stats_lock:
+            generation = self._generation
         process = self._ctx.Process(
             target=_worker_main,
             args=(self.spec, child_conn, self._req_ring.name, self._resp_ring.name,
-                  config.slot_size, config.ring_slots, self.generation,
+                  config.slot_size, config.ring_slots, generation,
                   self._telemetry),
             name=f"engine-worker-{self.spec.model}",
             daemon=True,
@@ -450,10 +492,15 @@ class RemoteEngine:
                         os.environ[key] = value
         child_conn.close()
         self._process = process
-        self.warmed_up = False
+        with self._stats_lock:
+            self._warmed_up = False
 
     def wait_ready(self, timeout: Optional[float] = None) -> float:
         """Block until the worker reports its engine loaded and warmed."""
+        with self._lock:
+            return self._wait_ready_locked(timeout)
+
+    def _wait_ready_locked(self, timeout: Optional[float] = None) -> float:
         timeout = timeout if timeout is not None else self.config.spawn_timeout_s
         try:
             reply = self._recv(timeout)
@@ -467,9 +514,11 @@ class RemoteEngine:
         if reply[0] != "ready":
             raise WorkerStartupError(
                 f"worker for {self.spec.model!r} sent {reply[0]!r} before 'ready'")
-        self.warmup_seconds = float(reply[2])
-        self.warmed_up = True
-        return self.warmup_seconds
+        warmup_seconds = float(reply[2])
+        with self._stats_lock:
+            self._warmup_seconds = warmup_seconds
+            self._warmed_up = True
+        return warmup_seconds
 
     def _alive(self) -> bool:
         return self._process.is_alive()
@@ -507,7 +556,9 @@ class RemoteEngine:
     def predict(self, batch) -> np.ndarray:
         batch = np.ascontiguousarray(batch)
         with self._lock:
-            if self._closed:
+            with self._stats_lock:
+                closed = self._closed
+            if closed:
                 raise EngineCrash("remote engine is shut down")
             if not self._alive():
                 raise EngineCrash(
@@ -520,21 +571,22 @@ class RemoteEngine:
                 self._conn.send(("batch", req_id, slot, shape, dtype))
             else:
                 # Larger than a ring slot: correctness over zero-copy.
-                self.oversized_transfers += 1
+                with self._stats_lock:
+                    self._oversized_transfers += 1
                 self._conn.send(("batch_pickled", req_id, batch))
             sent_at = time.monotonic()
             reply = self._recv(self.config.request_timeout_s)
             roundtrip_ms = (time.monotonic() - sent_at) * 1e3
-            return self._handle_reply(reply, req_id, roundtrip_ms)
+            return self._handle_reply_locked(reply, req_id, roundtrip_ms)
 
     __call__ = predict
 
-    def _handle_reply(self, reply, req_id: int, roundtrip_ms: float) -> np.ndarray:
+    def _handle_reply_locked(self, reply, req_id: int, roundtrip_ms: float) -> np.ndarray:
         kind = reply[0]
         if kind == "result":
             _, rid, out_slot, shape, dtype, req_slot, telemetry = reply
             self._release_request_slot(req_slot)
-            self._absorb_telemetry(telemetry, roundtrip_ms)
+            self._absorb_telemetry_locked(telemetry, roundtrip_ms)
             # The worker reuses the slot only after our "free" ack, but the
             # result outlives this call, so copy out of the mapping.
             outputs = np.array(self._resp_ring.view(out_slot, shape, dtype), copy=True)
@@ -543,27 +595,29 @@ class RemoteEngine:
         if kind == "result_pickled":
             _, rid, outputs, req_slot, telemetry = reply
             self._release_request_slot(req_slot)
-            self._absorb_telemetry(telemetry, roundtrip_ms)
+            self._absorb_telemetry_locked(telemetry, roundtrip_ms)
             return outputs
         if kind == "error":
             _, rid, ekind, type_name, message, req_slot, telemetry = reply
             self._release_request_slot(req_slot)
-            self._absorb_telemetry(telemetry, roundtrip_ms)
+            self._absorb_telemetry_locked(telemetry, roundtrip_ms)
             if ekind == "crash":
                 raise EngineCrash(f"worker engine crashed: {message}")
             raise _rebuild_error(type_name, message)
         raise EngineCrash(f"unexpected worker reply {kind!r}")
 
-    def _absorb_telemetry(self, telemetry: Optional[dict],
-                          roundtrip_ms: float) -> None:
+    def _absorb_telemetry_locked(self, telemetry: Optional[dict],
+                                 roundtrip_ms: float) -> None:
         """Merge a worker reply's piggybacked telemetry into this process."""
         if telemetry is None:
-            self.last_transport_ms = None
+            with self._stats_lock:
+                self._last_transport_ms = None
             return
         compute_ms = telemetry.get("compute_ms")
-        self.last_transport_ms = (
-            max(0.0, roundtrip_ms - float(compute_ms))
-            if compute_ms is not None else None)
+        with self._stats_lock:
+            self._last_transport_ms = (
+                max(0.0, roundtrip_ms - float(compute_ms))
+                if compute_ms is not None else None)
         delta = telemetry.get("metrics")
         if delta is not None and observability.enabled():
             observability.registry().apply_delta(
@@ -596,7 +650,9 @@ class RemoteEngine:
         supervisor's bounded-restart accounting still applies.
         """
         with self._lock:
-            if self._closed:
+            with self._stats_lock:
+                closed = self._closed
+            if closed:
                 raise EngineCrash("remote engine is shut down")
             if self._alive():
                 try:
@@ -607,7 +663,8 @@ class RemoteEngine:
                         raise
                     return self._respawn_locked()
                 if reply[0] == "rewarmed":
-                    self.warmed_up = True
+                    with self._stats_lock:
+                        self._warmed_up = True
                     return float(reply[1])
                 if reply[0] == "rewarm_failed":
                     raise EngineCrash(f"worker rewarm failed: {reply[1]}")
@@ -620,11 +677,12 @@ class RemoteEngine:
         if self._process.is_alive():
             self._process.kill()
             self._process.join(timeout=5.0)
-        self.generation += 1
-        self.respawns += 1
-        self._spawn()
+        with self._stats_lock:
+            self._generation += 1
+            self._respawns += 1
+        self._spawn_locked()
         try:
-            return self.wait_ready()
+            return self._wait_ready_locked()
         except WorkerStartupError as error:
             raise EngineCrash(f"worker respawn failed: {error}") from error
 
@@ -640,9 +698,10 @@ class RemoteEngine:
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop the worker and release every transport resource."""
         with self._lock:
-            if self._closed:
-                return
-            self._closed = True
+            with self._stats_lock:
+                if self._closed:
+                    return
+                self._closed = True
             if self._process.is_alive():
                 try:
                     self._conn.send(("stop",))
@@ -656,15 +715,23 @@ class RemoteEngine:
 
     # -------------------------------------------------------------- #
     def stats(self) -> EngineStats:
-        return EngineStats(
-            alive=self._process.is_alive() and not self._closed,
-            pid=self._process.pid,
-            generation=self.generation,
-            respawns=self.respawns,
-            oversized_transfers=self.oversized_transfers,
-            warmup_seconds=self.warmup_seconds,
-            warmed_up=self.warmed_up,
-        )
+        """One internally-consistent snapshot of the worker counters.
+
+        Reads everything under ``_stats_lock`` (not ``_lock``), so a
+        monitoring scrape never waits behind an in-flight batch round-trip.
+        """
+        alive = self._process.is_alive()
+        pid = self._process.pid
+        with self._stats_lock:
+            return EngineStats(
+                alive=alive and not self._closed,
+                pid=pid,
+                generation=self._generation,
+                respawns=self._respawns,
+                oversized_transfers=self._oversized_transfers,
+                warmup_seconds=self._warmup_seconds,
+                warmed_up=self._warmed_up,
+            )
 
     def reset_stats(self) -> None:  # engine-protocol compatibility
         pass
@@ -701,14 +768,14 @@ class ShardedServer:
         # cluster-wide so a busy shard cannot reject what the cluster can
         # still serve.
         shard_batching = dataclasses.replace(self.config.batching, max_queue_depth=None)
-        self._closed = False
         self._close_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._latency_hist = LatencyHistogram("cluster_request_latency_ms")
-        self._completed = 0
-        self._rejected = 0
-        self._first_enqueued: Optional[float] = None
-        self._last_completed: Optional[float] = None
+        self._closed = False  # guarded-by: _close_lock
+        self._latency_hist = LatencyHistogram("cluster_request_latency_ms")  # guarded-by: _stats_lock
+        self._completed = 0  # guarded-by: _stats_lock
+        self._rejected = 0  # guarded-by: _stats_lock
+        self._first_enqueued: Optional[float] = None  # guarded-by: _stats_lock
+        self._last_completed: Optional[float] = None  # guarded-by: _stats_lock
         self._capacity = (threading.Semaphore(self.config.max_queue_depth)
                           if self.config.max_queue_depth is not None else None)
         self._shards: List[_Shard] = []
@@ -816,7 +883,9 @@ class ShardedServer:
         validation, admission) with cluster-wide admission control and an
         extra ``model=`` selector when the cluster hosts multiple families.
         """
-        if self._closed:
+        with self._close_lock:
+            closed = self._closed
+        if closed:
             raise ServerClosed("sharded server is closed")
         payload = np.asarray(request)
         if self.config.batching.validate_requests:
@@ -969,8 +1038,8 @@ class ShardedServer:
     # just expose it from the serving front end.
     def metrics_snapshot(self) -> dict:
         """JSON-ready snapshot of every metric, worker shards included."""
-        return observability.registry().snapshot()
+        return observability.registry().snapshot()  # repro-lint: disable=RL003 -- scrape endpoint, not a hot path
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition of the cluster-wide registry."""
-        return observability.registry().render_prometheus()
+        return observability.registry().render_prometheus()  # repro-lint: disable=RL003 -- scrape endpoint, not a hot path

@@ -515,23 +515,23 @@ class GenerationServer:
         self._batch_mkv = None      # rebuilt when batch composition changes
         self._batch_mmask = None
         self._lock = threading.Lock()
-        self._closed = False
-        self._draining = False
-        self._failure: Optional[str] = None
+        self._closed = False  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self._failure: Optional[str] = None  # guarded-by: _lock
         self._capacity = (threading.Semaphore(self.config.max_queue_depth)
                           if self.config.max_queue_depth else None)
         # Stats (guarded by _lock).
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._rejected = 0
-        self._tokens = 0
-        self._steps = 0
-        self._step_batch_total = 0
-        self._first_token_at: Optional[float] = None
-        self._last_token_at: Optional[float] = None
-        self._ttft_hist = LatencyHistogram("generation_ttft_ms")
-        self._step_hist = LatencyHistogram("generation_step_ms")
+        self._submitted = 0  # guarded-by: _lock
+        self._completed = 0  # guarded-by: _lock
+        self._failed = 0  # guarded-by: _lock
+        self._rejected = 0  # guarded-by: _lock
+        self._tokens = 0  # guarded-by: _lock
+        self._steps = 0  # guarded-by: _lock
+        self._step_batch_total = 0  # guarded-by: _lock
+        self._first_token_at: Optional[float] = None  # guarded-by: _lock
+        self._last_token_at: Optional[float] = None  # guarded-by: _lock
+        self._ttft_hist = LatencyHistogram("generation_ttft_ms")  # guarded-by: _lock
+        self._step_hist = LatencyHistogram("generation_step_ms")  # guarded-by: _lock
         self._obs_metrics = None
         self._obs_registry = None
         self._wake = threading.Event()
@@ -859,7 +859,7 @@ class GenerationServer:
 
     # ------------------------------ observability --------------------- #
     def _generation_metrics(self):
-        registry = observability.registry()
+        registry = observability.registry()  # repro-lint: disable=RL003 -- lazy handle (re)build; callers gate
         if self._obs_metrics is None or self._obs_registry is not registry:
             self._obs_metrics = (
                 registry.counter(

@@ -362,10 +362,10 @@ class InferenceServer:
         self.config = config if config is not None else BatchingConfig()
         self.name = name  # label on this server's global-registry metrics
         self._queue: "queue.Queue" = queue.Queue()
-        self._closed = False
-        self._state = "healthy"  # healthy | degraded | failed
-        self._failure_reason: Optional[str] = None
-        self._worker_error: Optional[str] = None
+        self._closed = False  # guarded-by: _submit_lock
+        self._state = "healthy"  # healthy | degraded | failed  # guarded-by: _submit_lock
+        self._failure_reason: Optional[str] = None  # guarded-by: _submit_lock
+        self._worker_error: Optional[str] = None  # guarded-by: _submit_lock
         # Serializes the closed/state-check-then-put in submit() against
         # close() and against the supervisor marking the server failed:
         # without it a request could land in the queue after the shutdown
@@ -385,25 +385,25 @@ class InferenceServer:
         # since start in O(buckets) memory -- a long-lived server neither
         # grows without bound nor slows stats() down, and the percentiles
         # are computed the same way as the load rig's (loadgen.py).
-        self._latency_hist = LatencyHistogram("serving_request_latency_ms")
-        self._batched_requests = 0  # sum of executed batch sizes (exact mean)
+        self._latency_hist = LatencyHistogram("serving_request_latency_ms")  # guarded-by: _stats_lock
+        self._batched_requests = 0  # sum of executed batch sizes  # guarded-by: _stats_lock
         # Lazily-created global-registry metrics, only while the
         # observability gate is enabled (None otherwise).
         self._obs_metrics = None
         self._obs_registry = None
-        self._completed = 0
-        self._batches = 0
-        self._inflight = 0
-        self._shed_deadline = 0
-        self._shed_watermark = 0
-        self._rejected = 0
-        self._requeues = 0
-        self._failed_requests = 0
-        self._nonfinite_outputs = 0
-        self._engine_crashes = 0
-        self._engine_restarts = 0
-        self._first_enqueued: Optional[float] = None
-        self._last_completed: Optional[float] = None
+        self._completed = 0  # guarded-by: _stats_lock
+        self._batches = 0  # guarded-by: _stats_lock
+        self._inflight = 0  # guarded-by: _stats_lock
+        self._shed_deadline = 0  # guarded-by: _stats_lock
+        self._shed_watermark = 0  # guarded-by: _stats_lock
+        self._rejected = 0  # guarded-by: _stats_lock
+        self._requeues = 0  # guarded-by: _stats_lock
+        self._failed_requests = 0  # guarded-by: _stats_lock
+        self._nonfinite_outputs = 0  # guarded-by: _stats_lock
+        self._engine_crashes = 0  # guarded-by: _stats_lock
+        self._engine_restarts = 0  # guarded-by: _stats_lock
+        self._first_enqueued: Optional[float] = None  # guarded-by: _stats_lock
+        self._last_completed: Optional[float] = None  # guarded-by: _stats_lock
         self._worker = threading.Thread(target=self._run, name="inference-server",
                                         daemon=True)
         self._worker.start()
@@ -501,7 +501,8 @@ class InferenceServer:
     def state(self) -> str:
         """``"healthy"`` | ``"degraded"`` (crash recovery in progress) |
         ``"failed"`` (restart budget exhausted, refusing work)."""
-        return self._state
+        with self._submit_lock:
+            return self._state
 
     @property
     def queue_depth(self) -> int:
@@ -531,9 +532,13 @@ class InferenceServer:
                 horizon = time.monotonic() + (timeout if timeout is not None else 60.0)
                 self._queue.put(_Shutdown(drain=drain, deadline=horizon))
         self._worker.join(timeout=None if timeout is None else timeout + 1.0)
-        if self._worker_error is not None:
+        # join(timeout) can return while the worker is still recording its
+        # failure; read the error under the lock that publishes it.
+        with self._submit_lock:
+            worker_error = self._worker_error
+        if worker_error is not None:
             raise RuntimeError(
-                "inference worker died from an uncaught error:\n" + self._worker_error)
+                "inference worker died from an uncaught error:\n" + worker_error)
         if self._worker.is_alive():
             raise RuntimeError(
                 f"inference worker did not exit within {timeout}s of close() "
@@ -673,7 +678,8 @@ class InferenceServer:
         for request in requests:
             self._fail_request(request, EngineCrash(
                 f"engine crashed while serving this batch: {error!r}"))
-        self._state = "degraded"
+        with self._submit_lock:
+            self._state = "degraded"
         with self._stats_lock:
             self._engine_crashes += 1
         for attempt in range(1, self.config.engine_restart_limit + 1):
@@ -687,17 +693,19 @@ class InferenceServer:
                 rewarm()
             except BaseException:  # noqa: BLE001 - try the next attempt
                 continue
-            self._state = "healthy"
+            with self._submit_lock:
+                self._state = "healthy"
             with self._stats_lock:
                 self._engine_restarts += 1
             return
         # Restart budget exhausted: refuse new work, resolve everything.
+        reason = (
+            f"engine crashed ({error!r}) and {self.config.engine_restart_limit} "
+            "rewarm attempts failed")
         with self._submit_lock:
             self._state = "failed"
-            self._failure_reason = (
-                f"engine crashed ({error!r}) and {self.config.engine_restart_limit} "
-                "rewarm attempts failed")
-        self._abort_pending(ServerUnavailable(self._failure_reason))
+            self._failure_reason = reason
+        self._abort_pending(ServerUnavailable(reason))
         raise _ServerFailed()
 
     def _execute(self, base_key: Tuple, requests: List[_Request]) -> None:
@@ -801,7 +809,7 @@ class InferenceServer:
         tracer.add_event("transport", done - leg_s, leg_s, args=args)
 
     def _server_metrics(self):
-        registry = observability.registry()
+        registry = observability.registry()  # repro-lint: disable=RL003 -- lazy handle (re)build; callers gate
         if self._obs_metrics is None or self._obs_registry is not registry:
             self._obs_metrics = (
                 registry.counter(
@@ -1007,8 +1015,10 @@ class InferenceServer:
                 "engine_restarts": self._engine_restarts,
             }
         wall = (last - first) if (first is not None and last is not None) else None
+        with self._submit_lock:
+            state = self._state
         return ServerStats(
-            state=self._state,
+            state=state,
             requests=completed,
             batches=batches,
             mean_batch_size=(batched / batches) if batches else float("nan"),

@@ -133,7 +133,7 @@ class _BaseTrainer:
 
     def _train_metrics(self):
         """Lazily-created registry metrics, rebuilt if the registry is swapped."""
-        registry = observability.registry()
+        registry = observability.registry()  # repro-lint: disable=RL003 -- lazy handle (re)build; callers gate
         if self._metrics is None or self._metrics_registry is not registry:
             labels = {"trainer": type(self).__name__,
                       "schedule": self.schedule.name}

@@ -1,7 +1,31 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+``REPRO_SANITIZE=1`` runs the whole session with the runtime invariant
+sanitizer installed (:mod:`repro.devtools.sanitize`): every
+:class:`~repro.core.bfp.BFPTensor` built by any test is validated on
+construction, and autograd ops log non-finite origins.  CI runs the core
+and serving shards once in this mode.
+"""
+
+import os
 
 import numpy as np
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runtime_sanitizer():
+    """Session-wide invariant sanitizer, enabled by ``REPRO_SANITIZE=1``."""
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro.devtools import sanitize
+
+    sanitize.install()
+    try:
+        yield
+    finally:
+        sanitize.uninstall()
 
 
 @pytest.fixture

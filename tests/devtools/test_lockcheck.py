@@ -1,0 +1,167 @@
+"""Tests for the dynamic lock-order detector.
+
+The key property: an ABBA deadlock is detected from a *single-threaded*
+trace -- each acquisition order only has to occur once, on any thread, so
+the detector fires deterministically without ever constructing the racy
+interleaving.
+"""
+
+import threading
+
+import pytest
+
+from repro.devtools import lockcheck
+
+
+@pytest.fixture()
+def detector():
+    """Install around the test, record-only; always restore threading.Lock."""
+    lockcheck.reset()
+    lockcheck.install(raise_inline=False)
+    try:
+        yield lockcheck
+    finally:
+        lockcheck.uninstall()
+        lockcheck.reset()
+
+
+def _abba(a, b):
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+
+
+class TestLockOrder:
+    def test_abba_inversion_detected_single_threaded(self, detector):
+        a = threading.Lock()
+        b = threading.Lock()
+        _abba(a, b)
+        with pytest.raises(lockcheck.LockOrderError) as excinfo:
+            detector.check()
+        assert "inversion" in str(excinfo.value)
+
+    def test_consistent_order_is_clean(self, detector):
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        detector.check()  # no raise
+        assert len(detector.edges()) == 1
+
+    def test_inline_raise_mode_fires_at_acquisition(self):
+        lockcheck.reset()
+        lockcheck.install(raise_inline=True)
+        try:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a:
+                with b:
+                    pass
+            with pytest.raises(lockcheck.LockOrderError):
+                _abba(a, b)
+        finally:
+            lockcheck.uninstall()
+            lockcheck.reset()
+
+    def test_indirect_cycle_through_three_locks(self, detector):
+        a = threading.Lock()
+        b = threading.Lock()
+        c = threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:  # closes the A -> B -> C -> A cycle
+                pass
+        with pytest.raises(lockcheck.LockOrderError):
+            detector.check()
+
+    def test_same_creation_site_locks_are_exempt(self, detector):
+        # One lock per metric instance, all born on the same line: ordering
+        # between peers of the same "role" carries no discipline signal.
+        locks = [threading.Lock() for _ in range(2)]
+        with locks[0]:
+            with locks[1]:
+                pass
+        with locks[1]:
+            with locks[0]:
+                pass
+        detector.check()  # no raise
+
+    def test_cross_thread_orders_combine(self, detector):
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+
+        def reversed_order():
+            with b:
+                with a:
+                    pass
+
+        worker = threading.Thread(target=reversed_order)
+        worker.start()
+        worker.join()
+        with pytest.raises(lockcheck.LockOrderError):
+            detector.check()
+
+
+class TestLockProtocol:
+    def test_tracked_lock_is_protocol_complete(self, detector):
+        lock = threading.Lock()
+        assert lock.acquire() is True
+        assert lock.locked()
+        assert lock.acquire(False) is False  # non-blocking on a held lock
+        lock.release()
+        assert not lock.locked()
+        assert lock.acquire(True, 0.01) is True
+        lock.release()
+
+    def test_queue_and_condition_work_on_tracked_locks(self, detector):
+        import queue
+
+        q = queue.Queue()
+        q.put("x")
+        assert q.get(timeout=1) == "x"
+
+        cond = threading.Condition(threading.Lock())
+        with cond:
+            cond.notify_all()
+
+    def test_uninstall_restores_real_lock(self):
+        lockcheck.install()
+        lockcheck.uninstall()
+        assert isinstance(threading.Lock(), type(threading.Lock()))
+        # The factory is the original C implementation again.
+        assert threading.Lock is lockcheck._RealLock
+
+
+class TestGuards:
+    def test_guard_violation_without_lock(self, detector):
+        lock = threading.Lock()
+        state = {"count": 0}
+        detector.register_guard(state, lock, "server counters")
+        with lock:
+            detector.record_access(state)  # owning thread: fine
+        with pytest.raises(lockcheck.GuardViolation) as excinfo:
+            detector.record_access(state)
+        assert "server counters" in str(excinfo.value)
+
+    def test_unregistered_object_is_noop(self, detector):
+        detector.record_access({"free": 1})  # no raise
+
+    def test_assert_owned(self, detector):
+        lock = threading.Lock()
+        with pytest.raises(lockcheck.GuardViolation):
+            detector.assert_owned(lock)
+        with lock:
+            detector.assert_owned(lock)  # no raise

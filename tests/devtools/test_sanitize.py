@@ -1,0 +1,158 @@
+"""Tests for the runtime invariant sanitizer.
+
+Covers the acceptance case from the issue: a corrupted shared exponent in
+a hand-built BFPTensor raises a clear diagnostic at construction, plus
+mantissa bounds, sign-set checks, non-finite provenance records, and the
+zero-overhead disabled path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bfp
+from repro.devtools import sanitize
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture()
+def sanitizer():
+    san = sanitize.install()
+    try:
+        yield san
+    finally:
+        sanitize.uninstall()
+
+
+def quantize(x=None, **overrides):
+    if x is None:
+        x = np.linspace(-2.0, 2.0, 64).reshape(4, 16)
+    return bfp.bfp_quantize_tensor(x, **overrides)
+
+
+def rebuild(t, **replacements):
+    fields = dict(signs=t.signs, mantissas=t.mantissas, exponents=t.exponents,
+                  config=t.config, shape=t.shape, axis=t.axis, pad=t.pad,
+                  _moved_shape=t._moved_shape)
+    fields.update(replacements)
+    return bfp.BFPTensor(**fields)
+
+
+class TestBFPInvariants:
+    def test_kernel_built_tensor_passes(self, sanitizer):
+        t = quantize(mantissa_bits=4, group_size=16)
+        assert sanitizer.bfp_checked == 1
+        assert sanitizer.bfp_failures == 0
+        np.testing.assert_allclose(t.to_float(), quantize().to_float())
+
+    def test_corrupt_shared_exponent_diagnostic(self, sanitizer):
+        t = quantize(exponent_bits=8)
+        bad = t.exponents.copy()
+        bad[0, 0] = 900  # far outside the 8-bit window anchored at the max
+        with pytest.raises(sanitize.SanitizerError) as excinfo:
+            rebuild(t, exponents=bad)
+        message = str(excinfo.value)
+        assert "shared exponent" in message or "window" in message
+        assert "8-bit" in message  # names the format that was violated
+        assert sanitizer.bfp_failures == 1
+
+    def test_exponent_outside_float64_range(self, sanitizer):
+        t = quantize(exponent_bits=None)
+        bad = t.exponents.copy()
+        bad[0, 0] = 5000
+        with pytest.raises(sanitize.SanitizerError, match="float64 range"):
+            rebuild(t, exponents=bad)
+
+    def test_mantissa_bound(self, sanitizer):
+        t = quantize(mantissa_bits=4)
+        bad = t.mantissas.copy()
+        bad[0, 0, 0] = 16  # 2**4 is one past the top magnitude
+        with pytest.raises(sanitize.SanitizerError, match=r"\[0, 15\]"):
+            rebuild(t, mantissas=bad)
+
+    def test_sign_set(self, sanitizer):
+        t = quantize()
+        bad = t.signs.copy()
+        bad[0, 0, 0] = 3
+        with pytest.raises(sanitize.SanitizerError, match="sign"):
+            rebuild(t, signs=bad)
+
+    def test_sign_mantissa_zero_mismatch(self, sanitizer):
+        t = quantize()
+        bad = t.signs.copy()
+        flat = t.mantissas.reshape(-1)
+        index = int(np.argmax(flat > 0))
+        bad.reshape(-1)[index] = 0  # nonzero mantissa with a zero sign
+        with pytest.raises(sanitize.SanitizerError, match="zero mismatch"):
+            rebuild(t, signs=bad)
+
+    def test_shape_mismatch(self, sanitizer):
+        t = quantize()
+        with pytest.raises(sanitize.SanitizerError, match="shape"):
+            rebuild(t, exponents=t.exponents[:1])
+
+    def test_deep_subnormal_groups_skip_roundtrip(self, sanitizer):
+        # Values around 1e-300 produce shifts past float64's exact-subnormal
+        # range; the round-trip check must skip them, not false-alarm.
+        x = np.full((2, 16), 1e-300)
+        t = quantize(x, exponent_bits=None)
+        assert sanitizer.bfp_failures == 0
+        np.testing.assert_allclose(t.to_float(), x, rtol=0.1)
+
+    def test_disabled_gate_skips_checks(self):
+        assert bfp._SANITIZER is None
+        t = quantize()
+        bad = t.exponents.copy()
+        bad[0, 0] = 900
+        rebuild(t, exponents=bad)  # no sanitizer, no raise
+
+
+class TestNonFiniteProvenance:
+    def test_origin_recorded_not_raised(self, sanitizer):
+        a = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        with np.errstate(divide="ignore"):
+            out = a.log()  # -inf at index 0: an origin
+        assert not np.isfinite(out.data).all()
+        records = sanitizer.nonfinite_records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.op == "log"
+        assert record.nonfinite == 1
+        assert record.first_index == (0,)
+
+    def test_propagation_not_double_counted(self, sanitizer):
+        a = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        with np.errstate(divide="ignore"):
+            bad = a.log()
+            _ = bad * 2.0  # parents already non-finite: not an origin
+        assert len(sanitizer.nonfinite_records()) == 1
+
+    def test_finite_ops_record_nothing(self, sanitizer):
+        a = Tensor(np.ones(4), requires_grad=True)
+        (a * 2.0 + 1.0).sum().backward()
+        assert sanitizer.nonfinite_records() == []
+        assert sanitizer.ops_checked > 0
+
+    def test_record_log_is_bounded(self):
+        san = sanitize.install(max_records=4)
+        try:
+            a = Tensor(np.array([0.0]), requires_grad=True)
+            with np.errstate(divide="ignore"):
+                for _ in range(10):
+                    a.log()
+            assert len(san.nonfinite_records()) == 4
+        finally:
+            sanitize.uninstall()
+
+
+class TestInstall:
+    def test_install_uninstall_flips_both_gates(self):
+        from repro.nn import tensor as tensor_module
+
+        san = sanitize.install()
+        assert bfp._SANITIZER is san
+        assert tensor_module._SANITIZER is san
+        assert sanitize.current() is san
+        sanitize.uninstall()
+        assert bfp._SANITIZER is None
+        assert tensor_module._SANITIZER is None
+        assert sanitize.current() is None

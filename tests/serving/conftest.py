@@ -11,6 +11,13 @@ to install it.)
 
 ``REPRO_SERVING_TEST_TIMEOUT`` overrides the per-test limit in seconds
 (CI pins it tighter than the generous local default).
+
+``REPRO_LOCKCHECK=1`` additionally runs every serving test under the
+dynamic lock-order detector (:mod:`repro.devtools.lockcheck`): locks
+created during the test record their acquisition order, and the test
+fails at teardown if any two code paths acquired the same pair of locks
+in opposite orders -- a latent ABBA deadlock -- even though no thread
+ever blocked.
 """
 
 import faulthandler
@@ -19,7 +26,28 @@ import sys
 
 import pytest
 
+from repro.devtools import lockcheck
+
 DEFAULT_TIMEOUT_S = 120.0
+
+
+@pytest.fixture(autouse=True)
+def lock_order_check():
+    """Fail the test on any lock-order inversion recorded while it ran."""
+    if os.environ.get("REPRO_LOCKCHECK") != "1":
+        yield
+        return
+    lockcheck.reset()
+    # Record-only during the test body so the offending code path completes
+    # and the server can shut down; the failure surfaces at teardown with
+    # both acquisition sites in the message.
+    lockcheck.install(raise_inline=False)
+    try:
+        yield
+        lockcheck.check()
+    finally:
+        lockcheck.uninstall()
+        lockcheck.reset()
 
 
 @pytest.fixture(autouse=True)
